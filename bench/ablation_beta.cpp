@@ -1,0 +1,58 @@
+// Ablation: sensitivity to β = γ/R, the interrogation-to-interference
+// ratio of §II (r_i = β·R_i).  β controls RRc pressure: past β = 1/2, two
+// *independent* readers can still overlap interrogation regions, which is
+// what makes the weight sub-additive and separates the location-aware PTAS
+// from the location-free algorithms (they cannot see graph-invisible
+// overlaps).
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/ptas.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  const int seeds = argc > 1 ? std::max(1, std::atoi(argv[1])) : 10;
+
+  std::cout << "# Ablation: beta = gamma/R (RRc pressure, Section II model)\n"
+            << "# 50 readers, 1200 tags, lambda_R=12, r = beta*R, " << seeds
+            << " seeds; one-shot weight\n\n";
+  std::cout << std::left << std::setw(7) << "beta" << std::setw(11) << "Alg1"
+            << std::setw(11) << "Alg2" << std::setw(11) << "Alg3"
+            << std::setw(11) << "GHC" << '\n';
+
+  for (const double beta : {0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9}) {
+    analysis::RunningStat w1, w2, w3, wg;
+    for (int s = 0; s < seeds; ++s) {
+      workload::Scenario sc = workload::paperScenario(12.0, 4.0);
+      sc.deploy.radius_mode = workload::RadiusMode::kBetaScaled;
+      sc.deploy.beta = beta;
+      const core::System sys =
+          workload::makeSystem(sc, 7000 + static_cast<std::uint64_t>(s));
+      const graph::InterferenceGraph g(sys);
+
+      sched::PtasScheduler alg1;
+      w1.add(alg1.schedule(sys).weight);
+      sched::GrowthScheduler alg2(g);
+      w2.add(alg2.schedule(sys).weight);
+      dist::GrowthDistributedScheduler alg3(g);
+      w3.add(alg3.schedule(sys).weight);
+      sched::HillClimbingScheduler ghc;
+      wg.add(ghc.schedule(sys).weight);
+    }
+    std::cout << std::setw(7) << std::fixed << std::setprecision(2) << beta
+              << std::setw(11) << std::setprecision(1) << w1.mean()
+              << std::setw(11) << w2.mean() << std::setw(11) << w3.mean()
+              << std::setw(11) << wg.mean() << '\n';
+  }
+  std::cout << "\n# Expected: weights grow with beta (bigger interrogation "
+               "disks cover more tags); the location-free algorithms track "
+               "Alg1 closely below beta=0.5 and fall behind above it, where "
+               "graph-invisible RRc overlaps appear.\n";
+  return 0;
+}

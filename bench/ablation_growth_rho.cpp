@@ -1,0 +1,59 @@
+// Ablation: the growth-bounded algorithms' stop parameter ρ = 1 + ε
+// (Theorems 4 and 6: the result is a 1/ρ approximation; Theorems 3 and 5:
+// the neighborhood radius r̄ is bounded by a constant c(ρ) — smaller ρ means
+// deeper exploration).  Reports one-shot weight, observed max r̄, and the
+// distributed algorithm's communication cost per ρ.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  const int seeds = argc > 1 ? std::max(1, std::atoi(argv[1])) : 10;
+
+  std::cout << "# Ablation: growth stop parameter rho (Theorems 3-6)\n"
+            << "# 50 readers, 1200 tags, lambda_R=10, lambda_r=4, " << seeds
+            << " seeds\n\n";
+  std::cout << std::left << std::setw(7) << "rho" << std::setw(11) << "1/rho"
+            << std::setw(12) << "w(Alg2)" << std::setw(10) << "rbar2"
+            << std::setw(12) << "w(Alg3)" << std::setw(10) << "rbar3"
+            << std::setw(14) << "msgs(Alg3)" << '\n';
+
+  const workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+  for (const double rho : {1.05, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+    analysis::RunningStat w2, r2, w3, r3, msgs;
+    for (int s = 0; s < seeds; ++s) {
+      const core::System sys = workload::makeSystem(sc, 6000 + static_cast<std::uint64_t>(s));
+      const graph::InterferenceGraph g(sys);
+
+      sched::GrowthOptions o2;
+      o2.rho = rho;
+      sched::GrowthScheduler alg2(g, o2);
+      w2.add(alg2.schedule(sys).weight);
+      r2.add(alg2.lastStats().max_rbar);
+
+      dist::DistributedGrowthOptions o3;
+      o3.rho = rho;
+      dist::GrowthDistributedScheduler alg3(g, o3);
+      w3.add(alg3.schedule(sys).weight);
+      r3.add(alg3.lastStats().max_rbar);
+      msgs.add(static_cast<double>(alg3.lastStats().messages));
+    }
+    std::cout << std::setw(7) << std::fixed << std::setprecision(2) << rho
+              << std::setw(11) << std::setprecision(3) << 1.0 / rho
+              << std::setw(12) << std::setprecision(1) << w2.mean()
+              << std::setw(10) << std::setprecision(2) << r2.mean()
+              << std::setw(12) << std::setprecision(1) << w3.mean()
+              << std::setw(10) << std::setprecision(2) << r3.mean()
+              << std::setw(14) << std::setprecision(0) << msgs.mean() << '\n';
+  }
+  std::cout << "\n# Expected: weights are flat-to-slightly-decreasing in rho "
+               "(the 1/rho bound is loose in practice); rbar shrinks as rho "
+               "grows, and message cost with it.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: the PTAS quality/runtime trade-off in the shifting parameter k
+// (Theorem 2: at least a (1−1/k)² fraction of the optimum survives the best
+// shift).  Reports one-shot weight, the Theorem-2 floor, observed DP size,
+// and wall time per k.
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "sched/ptas.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  const int seeds = argc > 1 ? std::max(1, std::atoi(argv[1])) : 10;
+
+  std::cout << "# Ablation: PTAS shifting parameter k (Theorem 2)\n"
+            << "# 50 readers, 1200 tags, lambda_R=10, lambda_r=4, " << seeds
+            << " seeds\n\n";
+  std::cout << std::left << std::setw(4) << "k" << std::setw(12) << "(1-1/k)^2"
+            << std::setw(12) << "w_promote" << std::setw(12) << "w_strict"
+            << std::setw(14) << "dp_entries" << std::setw(10) << "ms/call"
+            << '\n';
+
+  const workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+  for (const int k : {2, 3, 4, 5, 6, 8}) {
+    analysis::RunningStat promote, strict, dp, ms;
+    for (int s = 0; s < seeds; ++s) {
+      const core::System sys = workload::makeSystem(sc, 5000 + static_cast<std::uint64_t>(s));
+      sched::PtasOptions opt;
+      opt.k = k;
+      sched::PtasScheduler ptas(opt);
+      const auto t0 = std::chrono::steady_clock::now();
+      const sched::OneShotResult res = ptas.schedule(sys);
+      const auto t1 = std::chrono::steady_clock::now();
+      promote.add(res.weight);
+      dp.add(static_cast<double>(ptas.lastStats().dp_entries));
+      ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+
+      sched::PtasOptions sopt = opt;
+      sopt.strict_survive = true;  // §IV's textbook discard rule
+      sched::PtasScheduler textbook(sopt);
+      strict.add(textbook.schedule(sys).weight);
+    }
+    const double floor = (1.0 - 1.0 / k) * (1.0 - 1.0 / k);
+    std::cout << std::setw(4) << k << std::setw(12) << std::fixed
+              << std::setprecision(3) << floor << std::setw(12)
+              << std::setprecision(1) << promote.mean() << std::setw(12)
+              << strict.mean() << std::setw(14) << std::setprecision(0)
+              << dp.mean() << std::setw(10) << std::setprecision(2)
+              << ms.mean() << '\n';
+  }
+  std::cout << "\n# Expected: the strict (Section IV) variant climbs with k "
+               "per Theorem 2's (1-1/k)^2 floor; the default promotion "
+               "variant is k-insensitive because nothing is discarded.\n";
+  return 0;
+}

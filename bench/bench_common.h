@@ -1,0 +1,150 @@
+// bench_common.h — shared harness for the figure-reproduction benches.
+//
+// Every figure in the paper's §VI is a sweep over λ_R or λ_r with the other
+// fixed, averaging a metric over random deployments, with five curves:
+// Alg 1 (PTAS), Alg 2 (centralized location-free), Alg 3 (distributed),
+// CA (Colorwave), GHC (greedy hill-climbing).  This header factors the
+// sweep so each fig*_ binary only states its axes and metric.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/chart.h"
+#include "analysis/parallel.h"
+#include "analysis/series.h"
+#include "analysis/table.h"
+#include "distributed/colorwave.h"
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/mcs.h"
+#include "sched/ptas.h"
+#include "workload/scenario.h"
+
+namespace rfid::bench {
+
+/// Which quantity a figure reports.
+enum class Metric {
+  kMcsSlots,       // Figures 6, 7: size of the covering schedule
+  kOneShotWeight,  // Figures 8, 9: well-covered tags in a single slot
+};
+
+struct FigureConfig {
+  std::string figure;        // e.g. "Figure 6"
+  std::string sweep_name;    // "lambda_R" or "lambda_r"
+  std::vector<double> sweep; // swept mean radii
+  double fixed = 0.0;        // the other mean
+  bool sweep_is_lambda_R = true;
+  Metric metric = Metric::kMcsSlots;
+  int seeds = 20;
+  std::uint64_t seed_base = 1000;
+};
+
+inline constexpr const char* kFigureAlgos[] = {"Alg1", "Alg2", "Alg3", "CA",
+                                               "GHC"};
+
+/// Runs the sweep and returns one curve per algorithm.
+///
+/// Sweep points × seeds are independent, so they run via
+/// analysis::parallelFor into pre-sized slots; accumulation into the
+/// SeriesSet happens sequentially afterwards, making the output
+/// bit-identical at any thread count (each iteration derives everything
+/// from its own (x, seed) pair).
+inline analysis::SeriesSet runFigure(const FigureConfig& cfg) {
+  const int xs = static_cast<int>(cfg.sweep.size());
+  const int total = xs * cfg.seeds;
+  struct Sample {
+    double value[5] = {0, 0, 0, 0, 0};
+  };
+  std::vector<Sample> samples(static_cast<std::size_t>(total));
+
+  analysis::parallelFor(0, total, [&](int idx) {
+    const double x = cfg.sweep[static_cast<std::size_t>(idx / cfg.seeds)];
+    const int s = idx % cfg.seeds;
+    const double lambda_R = cfg.sweep_is_lambda_R ? x : cfg.fixed;
+    const double lambda_r = cfg.sweep_is_lambda_R ? cfg.fixed : x;
+    const workload::Scenario sc = workload::paperScenario(lambda_R, lambda_r);
+    const std::uint64_t seed = cfg.seed_base +
+                               static_cast<std::uint64_t>(s) * 7919 +
+                               static_cast<std::uint64_t>(x * 100);
+    core::System sys = workload::makeSystem(sc, seed);
+    const graph::InterferenceGraph g(sys);
+
+    sched::PtasScheduler alg1;
+    sched::GrowthScheduler alg2(g);
+    dist::GrowthDistributedScheduler alg3(g);
+    dist::ColorwaveScheduler ca(sys, seed);
+    sched::HillClimbingScheduler ghc;
+    sched::OneShotScheduler* schedulers[5] = {&alg1, &alg2, &alg3, &ca, &ghc};
+
+    for (int a = 0; a < 5; ++a) {
+      sys.resetReads();
+      double value = 0.0;
+      if (cfg.metric == Metric::kMcsSlots) {
+        const sched::McsResult res =
+            sched::runCoveringSchedule(sys, *schedulers[a]);
+        value = res.slots;
+        if (!res.completed) {
+          std::cerr << "warning: " << kFigureAlgos[a] << " did not complete at "
+                    << cfg.sweep_name << "=" << x << " seed " << seed << '\n';
+        }
+      } else {
+        value = schedulers[a]->schedule(sys).weight;
+      }
+      samples[static_cast<std::size_t>(idx)].value[a] = value;
+    }
+  });
+
+  analysis::SeriesSet out;
+  for (int idx = 0; idx < total; ++idx) {
+    const double x = cfg.sweep[static_cast<std::size_t>(idx / cfg.seeds)];
+    for (int a = 0; a < 5; ++a) {
+      out.add(kFigureAlgos[a], x, samples[static_cast<std::size_t>(idx)].value[a]);
+    }
+  }
+  return out;
+}
+
+/// Prints the figure header, the table, and writes results/<stem>.csv.
+inline void emitFigure(const FigureConfig& cfg, const analysis::SeriesSet& set,
+                       const std::string& stem, const std::string& shape_note) {
+  std::cout << "# " << cfg.figure << " — "
+            << (cfg.metric == Metric::kMcsSlots
+                    ? "size of the covering schedule (time-slots)"
+                    : "well-covered tags in one time-slot")
+            << "\n# 50 readers, 1200 tags, 100x100 region; "
+            << (cfg.sweep_is_lambda_R ? "lambda_r" : "lambda_R") << " fixed at "
+            << cfg.fixed << "; " << cfg.seeds << " seeds per point\n"
+            << "# Paper shape: " << shape_note << "\n\n";
+  analysis::printTable(std::cout, set, cfg.sweep_name);
+  const std::string csv_path = "results/" + stem + ".csv";
+  if (analysis::writeCsvFile(csv_path, set, cfg.sweep_name)) {
+    std::cout << "\n(csv written to " << csv_path << ")\n";
+  }
+  analysis::ChartOptions chart;
+  chart.title = cfg.figure;
+  chart.x_label = cfg.sweep_name;
+  chart.y_label = cfg.metric == Metric::kMcsSlots
+                      ? "covering-schedule slots"
+                      : "well-covered tags per slot";
+  const std::string svg_path = "results/" + stem + ".svg";
+  if (analysis::writeChartSvgFile(svg_path, set, chart)) {
+    std::cout << "(chart written to " << svg_path << ")\n";
+  }
+}
+
+/// Shared CLI: an optional single argument overrides the seed count
+/// (e.g. quick smoke runs in CI use 2).
+inline int seedsFromArgv(int argc, char** argv, int fallback) {
+  if (argc > 1) {
+    const int v = std::atoi(argv[1]);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace rfid::bench

@@ -1,0 +1,105 @@
+// Microbenchmarks for the core substrates: spatial index, system
+// construction, weight evaluation, interference/sensing graph builds.
+// These are the inner loops every scheduler leans on.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/weight.h"
+#include "graph/interference_graph.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace rfid;
+
+workload::Scenario scaled(int readers, int tags) {
+  workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+  sc.deploy.num_readers = readers;
+  sc.deploy.num_tags = tags;
+  return sc;
+}
+
+void BM_SystemConstruction(benchmark::State& state) {
+  const auto sc = scaled(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(0)) * 24);
+  for (auto _ : state) {
+    core::System sys = workload::makeSystem(sc, 1);
+    benchmark::DoNotOptimize(sys.numTags());
+  }
+}
+BENCHMARK(BM_SystemConstruction)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SpatialGridQuery(benchmark::State& state) {
+  const auto sc = scaled(50, static_cast<int>(state.range(0)));
+  const core::System sys = workload::makeSystem(sc, 2);
+  std::vector<geom::Vec2> pts;
+  for (const core::Tag& t : sys.tags()) pts.push_back(t.pos);
+  const geom::SpatialGrid grid(pts, 4.0);
+  std::vector<int> out;
+  int i = 0;
+  for (auto _ : state) {
+    out.clear();
+    grid.queryDisk(sys.reader(i % sys.numReaders()).pos, 4.0, out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_SpatialGridQuery)->Arg(1200)->Arg(12000)->Arg(120000);
+
+void BM_WeightEvaluation(benchmark::State& state) {
+  const auto sc = scaled(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(0)) * 24);
+  const core::System sys = workload::makeSystem(sc, 3);
+  // A plausible mid-size feasible set: greedy independent fill.
+  std::vector<int> x;
+  for (int v = 0; v < sys.numReaders(); ++v) {
+    bool ok = true;
+    for (const int u : x) ok = ok && sys.independent(u, v);
+    if (ok) x.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.weight(x));
+  }
+}
+BENCHMARK(BM_WeightEvaluation)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_WeightEvaluatorPushPop(benchmark::State& state) {
+  const auto sc = scaled(50, 1200);
+  const core::System sys = workload::makeSystem(sc, 4);
+  core::WeightEvaluator eval(sys);
+  int v = 0;
+  for (auto _ : state) {
+    eval.push(v % sys.numReaders());
+    benchmark::DoNotOptimize(eval.weight());
+    eval.pop();
+    ++v;
+  }
+}
+BENCHMARK(BM_WeightEvaluatorPushPop);
+
+void BM_InterferenceGraphBuild(benchmark::State& state) {
+  const auto sc = scaled(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(0)));
+  const core::System sys = workload::makeSystem(sc, 5);
+  for (auto _ : state) {
+    graph::InterferenceGraph g(sys);
+    benchmark::DoNotOptimize(g.numEdges());
+  }
+}
+BENCHMARK(BM_InterferenceGraphBuild)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SensingGraphBuild(benchmark::State& state) {
+  const auto sc = scaled(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(0)));
+  const core::System sys = workload::makeSystem(sc, 6);
+  for (auto _ : state) {
+    auto g = graph::buildSensingGraph(sys);
+    benchmark::DoNotOptimize(g.numEdges());
+  }
+}
+BENCHMARK(BM_SensingGraphBuild)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Microbenchmarks for the one-shot schedulers: cost per scheduling decision
+// as the system scales, and the full MCS loop at paper scale.
+#include <benchmark/benchmark.h>
+
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/mcs.h"
+#include "sched/ptas.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace rfid;
+
+workload::Scenario scaled(int readers) {
+  workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+  sc.deploy.num_readers = readers;
+  sc.deploy.num_tags = readers * 24;
+  // Grow the region with the fleet to hold density roughly constant.
+  sc.deploy.region_side = 100.0 * std::sqrt(readers / 50.0);
+  return sc;
+}
+
+void BM_OneShotPtas(benchmark::State& state) {
+  const core::System sys = workload::makeSystem(
+      scaled(static_cast<int>(state.range(0))), 11);
+  sched::PtasScheduler ptas;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptas.schedule(sys).weight);
+  }
+}
+BENCHMARK(BM_OneShotPtas)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_OneShotGrowth(benchmark::State& state) {
+  const core::System sys = workload::makeSystem(
+      scaled(static_cast<int>(state.range(0))), 12);
+  const graph::InterferenceGraph g(sys);
+  sched::GrowthScheduler alg2(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alg2.schedule(sys).weight);
+  }
+}
+BENCHMARK(BM_OneShotGrowth)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_OneShotDistributed(benchmark::State& state) {
+  const core::System sys = workload::makeSystem(
+      scaled(static_cast<int>(state.range(0))), 13);
+  const graph::InterferenceGraph g(sys);
+  dist::GrowthDistributedScheduler alg3(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alg3.schedule(sys).weight);
+  }
+}
+BENCHMARK(BM_OneShotDistributed)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_OneShotGhc(benchmark::State& state) {
+  const core::System sys = workload::makeSystem(
+      scaled(static_cast<int>(state.range(0))), 14);
+  sched::HillClimbingScheduler ghc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ghc.schedule(sys).weight);
+  }
+}
+BENCHMARK(BM_OneShotGhc)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_FullMcsPaperScale(benchmark::State& state) {
+  const workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+  for (auto _ : state) {
+    core::System sys = workload::makeSystem(sc, 15);
+    const graph::InterferenceGraph g(sys);
+    sched::GrowthScheduler alg2(g);
+    const sched::McsResult res = sched::runCoveringSchedule(sys, alg2);
+    benchmark::DoNotOptimize(res.slots);
+  }
+}
+BENCHMARK(BM_FullMcsPaperScale);
+
+}  // namespace
+
+BENCHMARK_MAIN();

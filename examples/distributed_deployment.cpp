@@ -1,0 +1,78 @@
+// distributed_deployment — no central entity, no locations.
+//
+// The scenario §V-B targets: readers dropped ad hoc (a pop-up screening
+// site, a temporary yard), nobody knows coordinates, and there is no
+// backend to run a centralized scheduler.  Readers self-organize purely by
+// exchanging messages with radio neighbors.  This example runs the paper's
+// distributed Algorithm 3 next to Colorwave and reports both schedule
+// quality and the communication bill.
+//
+//   $ ./examples/distributed_deployment
+#include <iomanip>
+#include <iostream>
+
+#include "distributed/colorwave.h"
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/mcs.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace rfid;
+
+  workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+  sc.deploy.num_readers = 35;
+  sc.deploy.num_tags = 700;
+  sc.deploy.region_side = 90.0;
+  core::System sys = workload::makeSystem(sc, 99);
+  const graph::InterferenceGraph g(sys);
+
+  std::cout << "ad-hoc deployment: " << sys.numReaders() << " readers, "
+            << sys.numTags() << " tags, interference graph with "
+            << g.numEdges() << " edges\n\n";
+
+  // --- Algorithm 3: growth-bounded coordinators over message passing ---
+  dist::GrowthDistributedScheduler alg3(g);
+  sys.resetReads();
+  std::int64_t alg3_msgs = 0;
+  int alg3_rounds = 0;
+  sched::McsResult mcs3;
+  {
+    // Run slot by slot so we can account messages per slot.
+    while (sys.unreadCoverableCount() > 0 && mcs3.slots < 200) {
+      const sched::OneShotResult one = alg3.schedule(sys);
+      const auto served = sys.wellCoveredTags(one.readers);
+      sys.markRead(served);
+      alg3_msgs += alg3.lastStats().messages;
+      alg3_rounds += alg3.lastStats().rounds;
+      ++mcs3.slots;
+      mcs3.tags_read += static_cast<int>(served.size());
+      std::cout << "Alg3 slot " << std::setw(2) << mcs3.slots << ": "
+                << std::setw(2) << one.readers.size() << " readers ("
+                << alg3.lastStats().heads << " coordinators, r-bar max "
+                << alg3.lastStats().max_rbar << "), " << std::setw(3)
+                << served.size() << " tags, "
+                << alg3.lastStats().messages << " msgs\n";
+    }
+  }
+  std::cout << "Alg3 total: " << mcs3.tags_read << " tags in " << mcs3.slots
+            << " slots, " << alg3_msgs << " message-hops over " << alg3_rounds
+            << " protocol rounds\n\n";
+
+  // --- Colorwave: distributed TDMA coloring ---
+  dist::ColorwaveScheduler ca(sys, 99);
+  sys.resetReads();
+  const sched::McsResult mcs_ca = sched::runCoveringSchedule(sys, ca);
+  std::cout << "Colorwave total: " << mcs_ca.tags_read << " tags in "
+            << mcs_ca.slots << " slots, " << ca.stats().messages
+            << " message-hops over " << ca.stats().protocol_rounds
+            << " protocol rounds"
+            << (ca.converged() ? " (coloring converged)" : "") << '\n';
+
+  std::cout << "\nAlg3 used "
+            << (mcs_ca.slots > 0
+                    ? 100.0 * mcs3.slots / static_cast<double>(mcs_ca.slots)
+                    : 0.0)
+            << "% of Colorwave's slots to serve every coverable tag.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// dynamic_arrivals — a dock door receiving pallets all morning.
+//
+// Tags stream into the reader field (Poisson arrivals) while the scheduler
+// keeps running one slot at a time.  Watch the backlog breathe: it rises
+// while trucks unload and drains once arrivals stop.  This is the dynamic
+// setting the paper points out prior work ignored (§VII).
+//
+//   $ ./examples/dock_door_arrivals
+#include <iomanip>
+#include <iostream>
+
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "workload/dynamic.h"
+
+int main() {
+  using namespace rfid;
+
+  workload::DynamicConfig cfg;
+  cfg.arrival_rate = 25.0;  // tags per slot while unloading
+  cfg.arrival_slots = 20;
+  cfg.drain_slots = 100;
+  cfg.deploy.num_readers = 30;
+  cfg.deploy.region_side = 80.0;
+  cfg.deploy.lambda_R = 10.0;
+  cfg.deploy.lambda_r = 5.0;
+
+  workload::DynamicInstance inst = workload::makeDynamicInstance(cfg, 321);
+  std::cout << "dock door: " << inst.system.numReaders() << " readers; "
+            << inst.system.numTags() << " tags will arrive over "
+            << cfg.arrival_slots << " slots\n\n";
+
+  const graph::InterferenceGraph g(inst.system);
+  sched::GrowthScheduler alg2(g);
+  const workload::DynamicResult res =
+      workload::runDynamicSimulation(inst, alg2, cfg);
+
+  std::cout << "backlog per slot (unread coverable tags in the field):\n";
+  for (int s = 0; s < res.slots_run; ++s) {
+    const int b = res.backlog[static_cast<std::size_t>(s)];
+    std::cout << "  slot " << std::setw(3) << s + 1 << " |";
+    for (int i = 0; i < b; i += 4) std::cout << '#';
+    std::cout << ' ' << b << (s + 1 == cfg.arrival_slots ? "   <- arrivals end" : "")
+              << '\n';
+  }
+  std::cout << "\nserved " << res.served << '/' << res.arrived_coverable
+            << " coverable tags, mean latency "
+            << std::fixed << std::setprecision(2) << res.mean_latency
+            << " slots, peak backlog " << res.max_backlog
+            << (res.drained ? ", floor clean." : ", backlog remains!")
+            << '\n';
+  return 0;
+}

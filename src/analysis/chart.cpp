@@ -1,0 +1,169 @@
+#include "analysis/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace rfid::analysis {
+
+namespace {
+
+// A color-blind-friendly categorical palette (Okabe–Ito).
+constexpr const char* kPalette[] = {"#0072b2", "#d55e00", "#009e73",
+                                    "#cc79a7", "#e69f00", "#56b4e9",
+                                    "#f0e442", "#000000"};
+constexpr int kPaletteSize = 8;
+
+/// Largest "nice" step (1/2/5 × 10^k) giving at most `max_ticks` intervals.
+double niceStep(double range, int max_ticks) {
+  if (range <= 0.0) return 1.0;
+  const double rough = range / max_ticks;
+  const double mag = std::pow(10.0, std::floor(std::log10(rough)));
+  for (const double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (m * mag >= rough) return m * mag;
+  }
+  return 10.0 * mag;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string renderLineChart(const SeriesSet& set, const ChartOptions& opt) {
+  const auto xs = set.xValues();
+  const auto& names = set.seriesNames();
+
+  // Data ranges (y covers mean ± ci).
+  double x_lo = 0, x_hi = 1, y_lo = 0, y_hi = 1;
+  bool first = true;
+  for (const std::string& name : names) {
+    for (const double x : xs) {
+      const RunningStat* s = set.at(name, x);
+      if (s == nullptr || s->count() == 0) continue;
+      const double lo = s->mean() - s->ci95();
+      const double hi = s->mean() + s->ci95();
+      if (first) {
+        x_lo = x_hi = x;
+        y_lo = lo;
+        y_hi = hi;
+        first = false;
+      } else {
+        x_lo = std::min(x_lo, x);
+        x_hi = std::max(x_hi, x);
+        y_lo = std::min(y_lo, lo);
+        y_hi = std::max(y_hi, hi);
+      }
+    }
+  }
+  if (opt.y_from_zero) y_lo = std::min(0.0, y_lo);
+  if (x_hi - x_lo < 1e-12) x_hi = x_lo + 1.0;
+  if (y_hi - y_lo < 1e-12) y_hi = y_lo + 1.0;
+  y_hi += (y_hi - y_lo) * 0.05;  // headroom
+
+  const double ml = 62, mr = 16, mt = opt.title.empty() ? 16 : 36, mb = 46;
+  const double pw = opt.width - ml - mr;
+  const double ph = opt.height - mt - mb;
+  auto X = [&](double x) { return ml + (x - x_lo) / (x_hi - x_lo) * pw; };
+  auto Y = [&](double y) { return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << opt.width
+      << "' height='" << opt.height
+      << "' font-family='sans-serif' font-size='11'>\n"
+      << "<rect width='100%' height='100%' fill='white'/>\n";
+  if (!opt.title.empty()) {
+    svg << "<text x='" << opt.width / 2.0
+        << "' y='20' text-anchor='middle' font-size='14'>" << opt.title
+        << "</text>\n";
+  }
+
+  // Gridlines + ticks.
+  const double ys = niceStep(y_hi - y_lo, 8);
+  for (double y = std::ceil(y_lo / ys) * ys; y <= y_hi + 1e-9; y += ys) {
+    svg << "<line x1='" << ml << "' y1='" << Y(y) << "' x2='" << ml + pw
+        << "' y2='" << Y(y) << "' stroke='#eeeeee'/>\n"
+        << "<text x='" << ml - 6 << "' y='" << Y(y) + 4
+        << "' text-anchor='end'>" << fmt(y) << "</text>\n";
+  }
+  const double xstep = niceStep(x_hi - x_lo, 8);
+  for (double x = std::ceil(x_lo / xstep) * xstep; x <= x_hi + 1e-9;
+       x += xstep) {
+    svg << "<line x1='" << X(x) << "' y1='" << mt + ph << "' x2='" << X(x)
+        << "' y2='" << mt + ph + 4 << "' stroke='#444444'/>\n"
+        << "<text x='" << X(x) << "' y='" << mt + ph + 17
+        << "' text-anchor='middle'>" << fmt(x) << "</text>\n";
+  }
+  // Axes.
+  svg << "<line x1='" << ml << "' y1='" << mt << "' x2='" << ml << "' y2='"
+      << mt + ph << "' stroke='#444444'/>\n"
+      << "<line x1='" << ml << "' y1='" << mt + ph << "' x2='" << ml + pw
+      << "' y2='" << mt + ph << "' stroke='#444444'/>\n";
+  if (!opt.x_label.empty()) {
+    svg << "<text x='" << ml + pw / 2 << "' y='" << opt.height - 8
+        << "' text-anchor='middle'>" << opt.x_label << "</text>\n";
+  }
+  if (!opt.y_label.empty()) {
+    svg << "<text x='14' y='" << mt + ph / 2 << "' text-anchor='middle' "
+        << "transform='rotate(-90 14 " << mt + ph / 2 << ")'>" << opt.y_label
+        << "</text>\n";
+  }
+
+  // Series: CI whiskers behind, polyline, markers on top.
+  for (std::size_t si = 0; si < names.size(); ++si) {
+    const char* color = kPalette[si % kPaletteSize];
+    std::ostringstream pts;
+    for (const double x : xs) {
+      const RunningStat* s = set.at(names[si], x);
+      if (s == nullptr || s->count() == 0) continue;
+      const double ci = s->ci95();
+      if (ci > 0.0) {
+        svg << "<line x1='" << X(x) << "' y1='" << Y(s->mean() - ci)
+            << "' x2='" << X(x) << "' y2='" << Y(s->mean() + ci)
+            << "' stroke='" << color << "' stroke-opacity='0.45'/>\n";
+      }
+      pts << X(x) << ',' << Y(s->mean()) << ' ';
+    }
+    svg << "<polyline points='" << pts.str() << "' fill='none' stroke='"
+        << color << "' stroke-width='1.8'/>\n";
+    for (const double x : xs) {
+      const RunningStat* s = set.at(names[si], x);
+      if (s == nullptr || s->count() == 0) continue;
+      svg << "<circle cx='" << X(x) << "' cy='" << Y(s->mean())
+          << "' r='2.8' fill='" << color << "'/>\n";
+    }
+  }
+
+  // Legend (top-right inside the plot).
+  const double lx = ml + pw - 86, ly = mt + 8;
+  for (std::size_t si = 0; si < names.size(); ++si) {
+    const double yy = ly + 16 * static_cast<double>(si);
+    svg << "<line x1='" << lx << "' y1='" << yy << "' x2='" << lx + 18
+        << "' y2='" << yy << "' stroke='" << kPalette[si % kPaletteSize]
+        << "' stroke-width='2'/>\n"
+        << "<text x='" << lx + 24 << "' y='" << yy + 4 << "'>" << names[si]
+        << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool writeChartSvgFile(const std::string& path, const SeriesSet& set,
+                       const ChartOptions& opt) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+  std::ofstream os(path);
+  if (!os) return false;
+  os << renderLineChart(set, opt);
+  return static_cast<bool>(os);
+}
+
+}  // namespace rfid::analysis

@@ -1,0 +1,32 @@
+// chart.h — SVG line charts for sweep results.
+//
+// The figure benches print tables and CSVs; this renders the same
+// SeriesSet as a chart comparable to the paper's figures — one line per
+// algorithm, mean markers with 95% CI whiskers, axes with round ticks, and
+// a legend.  Pure text SVG, no dependencies, deterministic output.
+#pragma once
+
+#include <string>
+
+#include "analysis/series.h"
+
+namespace rfid::analysis {
+
+struct ChartOptions {
+  int width = 640;
+  int height = 420;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Force the y axis to start at zero (the paper's figures do).
+  bool y_from_zero = true;
+};
+
+/// Renders the series set as an SVG line chart.
+std::string renderLineChart(const SeriesSet& set, const ChartOptions& opt);
+
+/// Convenience: renders to a file, creating parent directories.
+bool writeChartSvgFile(const std::string& path, const SeriesSet& set,
+                       const ChartOptions& opt);
+
+}  // namespace rfid::analysis

@@ -1,0 +1,30 @@
+// parallel.h — deterministic parallel sweeps.
+//
+// Experiment sweeps are embarrassingly parallel across seeds, and the
+// library is built so parallelism cannot change results: every iteration
+// derives its RNG by splitting (seed, label, index) — independent of
+// execution order — and writes to its own output slot; accumulation happens
+// afterwards, sequentially.  parallelFor is the minimal tool for that
+// pattern: static block partitioning, one thread per block, join, first
+// exception rethrown.
+//
+// (On a single-core CI box this degrades to a plain loop; the point is the
+// *discipline* — results are bit-identical at any thread count.)
+#pragma once
+
+#include <functional>
+
+namespace rfid::analysis {
+
+/// Runs fn(i) for every i in [begin, end), distributed over up to
+/// `num_threads` threads (0 = hardware concurrency).  Blocks until all
+/// iterations finish.  If any iteration throws, the first exception (in
+/// thread order) is rethrown after the join; remaining iterations of other
+/// threads still run.
+///
+/// fn must be safe to call concurrently for distinct i — the intended use
+/// writes each result to its own pre-sized slot.
+void parallelFor(int begin, int end, const std::function<void(int)>& fn,
+                 int num_threads = 0);
+
+}  // namespace rfid::analysis

@@ -1,0 +1,30 @@
+#include "analysis/series.h"
+
+#include <algorithm>
+
+namespace rfid::analysis {
+
+void SeriesSet::add(const std::string& series, double x, double value) {
+  if (data_.find(series) == data_.end()) order_.push_back(series);
+  data_[series][x].add(value);
+}
+
+std::vector<double> SeriesSet::xValues() const {
+  std::vector<double> xs;
+  for (const auto& [name, curve] : data_) {
+    for (const auto& [x, stat] : curve) xs.push_back(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+const RunningStat* SeriesSet::at(const std::string& series, double x) const {
+  const auto it = data_.find(series);
+  if (it == data_.end()) return nullptr;
+  const auto jt = it->second.find(x);
+  if (jt == it->second.end()) return nullptr;
+  return &jt->second;
+}
+
+}  // namespace rfid::analysis

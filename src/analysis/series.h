@@ -1,0 +1,36 @@
+// series.h — (x, statistic) series keyed by sweep parameter and algorithm.
+//
+// A figure in the paper is a family of curves: one per algorithm, each a
+// metric as a function of the swept parameter (λ_R or λ_r).  SeriesSet is
+// the in-memory form of one figure; the table/CSV writers render it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace rfid::analysis {
+
+/// One figure's worth of curves: series name → (x → RunningStat).
+class SeriesSet {
+ public:
+  /// Adds one sample for curve `series` at sweep value `x`.
+  void add(const std::string& series, double x, double value);
+
+  /// Curve names in insertion order.
+  const std::vector<std::string>& seriesNames() const { return order_; }
+
+  /// Sorted distinct x values across all curves.
+  std::vector<double> xValues() const;
+
+  /// The accumulator for (series, x); null if absent.
+  const RunningStat* at(const std::string& series, double x) const;
+
+ private:
+  std::map<std::string, std::map<double, RunningStat>> data_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace rfid::analysis

@@ -1,0 +1,42 @@
+// stats.h — streaming statistics for experiment aggregation.
+//
+// Every figure in the paper averages a metric over random deployments.  The
+// harness accumulates samples into RunningStat (Welford's algorithm: stable
+// single-pass mean/variance) and reports mean ± 95% CI so the "shape"
+// comparisons in EXPERIMENTS.md are backed by uncertainty estimates rather
+// than single runs.
+#pragma once
+
+#include <cstdint>
+
+namespace rfid::analysis {
+
+/// Single-pass mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderrMean() const;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95() const { return 1.96 * stderrMean(); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStat& o);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rfid::analysis

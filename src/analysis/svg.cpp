@@ -1,0 +1,104 @@
+#include "analysis/svg.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "geometry/disk.h"
+
+namespace rfid::analysis {
+
+namespace {
+
+/// Bounding box of everything drawable, in deployment units.
+geom::Aabb sceneBounds(const core::System& sys, double margin) {
+  geom::Aabb box{{0.0, 0.0}, {1.0, 1.0}};
+  bool first = true;
+  auto grow = [&box, &first](geom::Vec2 p, double r) {
+    if (first) {
+      box = {{p.x - r, p.y - r}, {p.x + r, p.y + r}};
+      first = false;
+      return;
+    }
+    box.lo.x = std::min(box.lo.x, p.x - r);
+    box.lo.y = std::min(box.lo.y, p.y - r);
+    box.hi.x = std::max(box.hi.x, p.x + r);
+    box.hi.y = std::max(box.hi.y, p.y + r);
+  };
+  for (const core::Reader& r : sys.readers()) grow(r.pos, r.interference_radius);
+  for (const core::Tag& t : sys.tags()) grow(t.pos, 0.0);
+  box.lo.x -= margin;
+  box.lo.y -= margin;
+  box.hi.x += margin;
+  box.hi.y += margin;
+  return box;
+}
+
+}  // namespace
+
+std::string renderSvg(const core::System& sys, std::span<const int> active,
+                      const SvgOptions& opt) {
+  const geom::Aabb box = sceneBounds(sys, opt.margin_units);
+  const double s = opt.pixels_per_unit;
+  const double w = box.width() * s;
+  const double h = box.height() * s;
+  // SVG's y axis points down; flip so the plot reads like the math.
+  auto X = [&](double x) { return (x - box.lo.x) * s; };
+  auto Y = [&](double y) { return h - (y - box.lo.y) * s; };
+
+  std::vector<char> is_active(static_cast<std::size_t>(sys.numReaders()), 0);
+  for (const int v : active) is_active[static_cast<std::size_t>(v)] = 1;
+  const std::vector<int> served = sys.wellCoveredTags(active);
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w
+      << "' height='" << h << "' viewBox='0 0 " << w << ' ' << h << "'>\n"
+      << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  // Interference disks first (back layer), then interrogation, then points.
+  if (opt.draw_interference) {
+    for (const core::Reader& r : sys.readers()) {
+      svg << "<circle cx='" << X(r.pos.x) << "' cy='" << Y(r.pos.y)
+          << "' r='" << r.interference_radius * s
+          << "' fill='none' stroke='#bbbbbb' stroke-dasharray='4 3'/>\n";
+    }
+  }
+  if (opt.draw_interrogation) {
+    for (const core::Reader& r : sys.readers()) {
+      const bool on = is_active[static_cast<std::size_t>(r.id)] != 0;
+      svg << "<circle cx='" << X(r.pos.x) << "' cy='" << Y(r.pos.y)
+          << "' r='" << r.interrogation_radius * s << "' fill='"
+          << (on ? "#2e7d3218" : "#1565c010") << "' stroke='"
+          << (on ? "#2e7d32" : "#90a4ae") << "'/>\n";
+    }
+  }
+  for (const core::Tag& t : sys.tags()) {
+    const bool was_read = sys.isRead(t.id);
+    const bool now = std::binary_search(served.begin(), served.end(), t.id);
+    const char* color = now ? "#2e7d32" : (was_read ? "#cccccc" : "#212121");
+    svg << "<circle cx='" << X(t.pos.x) << "' cy='" << Y(t.pos.y)
+        << "' r='1.6' fill='" << color << "'/>\n";
+  }
+  for (const core::Reader& r : sys.readers()) {
+    const bool on = is_active[static_cast<std::size_t>(r.id)] != 0;
+    svg << "<rect x='" << X(r.pos.x) - 3.5 << "' y='" << Y(r.pos.y) - 3.5
+        << "' width='7' height='7' fill='" << (on ? "#2e7d32" : "#c62828")
+        << "'/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool writeSvgFile(const std::string& path, const core::System& sys,
+                  std::span<const int> active, const SvgOptions& opt) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+  std::ofstream os(path);
+  if (!os) return false;
+  os << renderSvg(sys, active, opt);
+  return static_cast<bool>(os);
+}
+
+}  // namespace rfid::analysis

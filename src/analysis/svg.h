@@ -1,0 +1,34 @@
+// svg.h — SVG rendering of deployments and schedules.
+//
+// A reproduction lives or dies by whether readers of the code can *see*
+// what the scheduler decided.  This writer renders a deployment — tags as
+// dots, interrogation disks solid, interference disks dashed — and
+// optionally one slot's decision: active readers highlighted, their
+// well-covered tags recolored.  Pure text output, no dependencies.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/system.h"
+
+namespace rfid::analysis {
+
+struct SvgOptions {
+  double pixels_per_unit = 7.0;
+  double margin_units = 5.0;
+  bool draw_interference = true;   // dashed R_i disks
+  bool draw_interrogation = true;  // solid γ_i disks
+};
+
+/// Renders the system (and optionally an active set) to an SVG string.
+/// `active` readers are highlighted; tags currently well-covered by them
+/// are drawn green, already-read tags gray, unread-uncovered tags black.
+std::string renderSvg(const core::System& sys, std::span<const int> active,
+                      const SvgOptions& opt = {});
+
+/// Convenience: renderSvg to a file.  Returns false on I/O failure.
+bool writeSvgFile(const std::string& path, const core::System& sys,
+                  std::span<const int> active, const SvgOptions& opt = {});
+
+}  // namespace rfid::analysis

@@ -1,0 +1,93 @@
+#include "analysis/table.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rfid::analysis {
+
+namespace {
+
+std::string cell(const RunningStat* s, bool with_ci) {
+  if (s == nullptr || s->count() == 0) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << s->mean();
+  if (with_ci && s->count() > 1) {
+    os << " ±" << std::setprecision(2) << s->ci95();
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void printTable(std::ostream& os, const SeriesSet& set,
+                const std::string& x_label, bool with_ci) {
+  const auto xs = set.xValues();
+  const auto& names = set.seriesNames();
+
+  // Compute column widths.
+  std::size_t xw = x_label.size();
+  for (const double x : xs) {
+    std::ostringstream tmp;
+    tmp << std::fixed << std::setprecision(1) << x;
+    xw = std::max(xw, tmp.str().size());
+  }
+  std::vector<std::size_t> widths;
+  for (const auto& name : names) {
+    std::size_t w = name.size();
+    for (const double x : xs) w = std::max(w, cell(set.at(name, x), with_ci).size());
+    widths.push_back(w);
+  }
+
+  os << std::left << std::setw(static_cast<int>(xw) + 2) << x_label;
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    os << std::setw(static_cast<int>(widths[c]) + 2) << names[c];
+  }
+  os << '\n';
+  for (const double x : xs) {
+    std::ostringstream xv;
+    xv << std::fixed << std::setprecision(1) << x;
+    os << std::setw(static_cast<int>(xw) + 2) << xv.str();
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2)
+         << cell(set.at(names[c], x), with_ci);
+    }
+    os << '\n';
+  }
+}
+
+void writeCsv(std::ostream& os, const SeriesSet& set,
+              const std::string& x_label) {
+  const auto xs = set.xValues();
+  const auto& names = set.seriesNames();
+  os << x_label;
+  for (const auto& name : names) os << ',' << name << "_mean," << name << "_ci95";
+  os << '\n';
+  for (const double x : xs) {
+    os << x;
+    for (const auto& name : names) {
+      const RunningStat* s = set.at(name, x);
+      if (s == nullptr || s->count() == 0) {
+        os << ",,";
+      } else {
+        os << ',' << s->mean() << ',' << s->ci95();
+      }
+    }
+    os << '\n';
+  }
+}
+
+bool writeCsvFile(const std::string& path, const SeriesSet& set,
+                  const std::string& x_label) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+  std::ofstream os(path);
+  if (!os) return false;
+  writeCsv(os, set, x_label);
+  return static_cast<bool>(os);
+}
+
+}  // namespace rfid::analysis

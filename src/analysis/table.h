@@ -1,0 +1,30 @@
+// table.h — rendering experiment results as aligned text and CSV.
+//
+// The figure harnesses print the same rows the paper plots: one row per
+// sweep value, one column per algorithm (mean ± 95% CI), so a reader can
+// compare shapes against the paper directly from the terminal, and the CSV
+// form feeds any plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/series.h"
+
+namespace rfid::analysis {
+
+/// Prints `set` as an aligned table.  `x_label` heads the sweep column.
+/// When `with_ci` is set, cells read "mean ±ci".
+void printTable(std::ostream& os, const SeriesSet& set,
+                const std::string& x_label, bool with_ci = true);
+
+/// Writes `set` as CSV with columns x, <series>_mean, <series>_ci, ...
+void writeCsv(std::ostream& os, const SeriesSet& set,
+              const std::string& x_label);
+
+/// Convenience: writes the CSV to `path`, creating parent dirs if needed.
+/// Returns false (and leaves no partial file) on I/O failure.
+bool writeCsvFile(const std::string& path, const SeriesSet& set,
+                  const std::string& x_label);
+
+}  // namespace rfid::analysis

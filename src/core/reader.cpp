@@ -1,0 +1,4 @@
+#include "core/reader.h"
+
+// Reader is a plain value type; this TU exists so the module has a stable
+// home for future out-of-line helpers and keeps the build graph uniform.

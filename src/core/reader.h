@@ -1,0 +1,44 @@
+// reader.h — the RFID reader model (paper §II).
+//
+// Each reader v_i sits at a fixed position and carries two radii: the
+// interrogation radius γ_i (tags inside can be read) and the interference
+// radius R_i (other readers inside suffer reader–tag collision when v_i
+// transmits).  The paper's general model allows per-reader radii — the whole
+// point of the IPDPS 2011 generalization over Zhou et al. — with the single
+// physical invariant γ_i ≤ R_i (a reader's signal reaches at least as far as
+// it can read).
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace rfid::core {
+
+/// One RFID reader.  Plain value type; identity is the index in the owning
+/// System, mirrored in `id` for convenience in logs and messages.
+struct Reader {
+  int id = 0;
+  geom::Vec2 pos;
+  /// Interference radius R_i: readers within this disk of an *active* v_i
+  /// cannot read anything (RTc).
+  double interference_radius = 0.0;
+  /// Interrogation radius γ_i ≤ R_i: tags within this disk are readable.
+  double interrogation_radius = 0.0;
+
+  /// True iff the radii satisfy the model invariant 0 < γ ≤ R.
+  bool valid() const {
+    return interrogation_radius > 0.0 &&
+           interrogation_radius <= interference_radius;
+  }
+};
+
+/// Independence predicate of Definition 2: v_i ⟂ v_j iff neither reader lies
+/// inside the other's interference disk, i.e. ‖v_i − v_j‖ > max(R_i, R_j).
+/// Symmetric by construction.
+inline bool independent(const Reader& a, const Reader& b) {
+  const double m =
+      a.interference_radius > b.interference_radius ? a.interference_radius
+                                                    : b.interference_radius;
+  return geom::dist2(a.pos, b.pos) > m * m;
+}
+
+}  // namespace rfid::core

@@ -1,0 +1,130 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rfid::core {
+
+System::System(std::vector<Reader> readers, std::vector<Tag> tags)
+    : readers_(std::move(readers)), tags_(std::move(tags)) {
+  for (std::size_t i = 0; i < readers_.size(); ++i) {
+    readers_[i].id = static_cast<int>(i);
+    assert(readers_[i].valid() && "reader must satisfy 0 < gamma <= R");
+  }
+  for (std::size_t i = 0; i < tags_.size(); ++i) tags_[i].id = static_cast<int>(i);
+
+  // Index tags once; coverage queries are disk queries around readers.
+  double max_gamma = 1.0;
+  for (const Reader& r : readers_) max_gamma = std::max(max_gamma, r.interrogation_radius);
+  std::vector<geom::Vec2> tag_pos;
+  tag_pos.reserve(tags_.size());
+  for (const Tag& t : tags_) tag_pos.push_back(t.pos);
+  const geom::SpatialGrid tag_index(tag_pos, max_gamma);
+
+  coverage_.resize(readers_.size());
+  coverers_.resize(tags_.size());
+  for (std::size_t v = 0; v < readers_.size(); ++v) {
+    tag_index.queryDisk(readers_[v].pos, readers_[v].interrogation_radius,
+                        coverage_[v]);
+    for (const int t : coverage_[v]) {
+      coverers_[static_cast<std::size_t>(t)].push_back(static_cast<int>(v));
+    }
+  }
+  // coverers_ entries are appended in ascending v order already.
+
+  read_.assign(tags_.size(), 0);
+  scratch_count_.assign(tags_.size(), 0);
+  scratch_victim_.assign(readers_.size(), 0);
+}
+
+bool System::isFeasible(std::span<const int> X) const {
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    for (std::size_t j = i + 1; j < X.size(); ++j) {
+      if (X[i] == X[j]) return false;  // duplicates are not a set
+      if (!independent(X[i], X[j])) return false;
+    }
+  }
+  return true;
+}
+
+void System::markRead(std::span<const int> tags) {
+  for (const int t : tags) markRead(t);
+}
+
+void System::resetReads() { std::fill(read_.begin(), read_.end(), 0); }
+
+int System::unreadCount() const {
+  int n = 0;
+  for (const char r : read_) n += (r == 0);
+  return n;
+}
+
+int System::unreadCoverableCount() const {
+  int n = 0;
+  for (std::size_t t = 0; t < tags_.size(); ++t) {
+    if (read_[t] == 0 && !coverers_[t].empty()) ++n;
+  }
+  return n;
+}
+
+template <typename OnTag>
+void System::forEachWellCovered(std::span<const int> X, OnTag&& on_tag) const {
+  // Pass 1: RTc victims — v_i inside some other active v_j's interference
+  // disk reads nothing (Definition 1, second condition).  Note the
+  // asymmetry: only R_j matters for whether v_i is a victim.
+  for (const int vi : X) {
+    char victim = 0;
+    for (const int vj : X) {
+      if (vi == vj) continue;
+      const Reader& a = reader(vi);
+      const Reader& b = reader(vj);
+      const double rj = b.interference_radius;
+      if (geom::dist2(a.pos, b.pos) <= rj * rj) {
+        victim = 1;
+        break;
+      }
+    }
+    scratch_victim_[static_cast<std::size_t>(vi)] = victim;
+  }
+  // Pass 2: coverage multiplicity among all of X (RRc counts every active
+  // reader's interrogation region, victim or not — a victim still radiates).
+  for (const int v : X) {
+    for (const int t : coverage(v)) ++scratch_count_[static_cast<std::size_t>(t)];
+  }
+  // Pass 3: a tag is well-covered iff it is unread, covered by exactly one
+  // reader of X, and that reader is not an RTc victim.
+  for (const int v : X) {
+    if (scratch_victim_[static_cast<std::size_t>(v)] != 0) continue;
+    for (const int t : coverage(v)) {
+      if (scratch_count_[static_cast<std::size_t>(t)] == 1 && read_[static_cast<std::size_t>(t)] == 0) {
+        on_tag(t);
+      }
+    }
+  }
+  // Pass 4: restore scratch.
+  for (const int v : X) {
+    for (const int t : coverage(v)) scratch_count_[static_cast<std::size_t>(t)] = 0;
+  }
+}
+
+std::vector<int> System::wellCoveredTags(std::span<const int> X) const {
+  std::vector<int> out;
+  forEachWellCovered(X, [&out](int t) { out.push_back(t); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int System::weight(std::span<const int> X) const {
+  int w = 0;
+  forEachWellCovered(X, [&w](int) { ++w; });
+  return w;
+}
+
+int System::singleWeight(int v) const {
+  int w = 0;
+  for (const int t : coverage(v)) w += (read_[static_cast<std::size_t>(t)] == 0);
+  return w;
+}
+
+}  // namespace rfid::core

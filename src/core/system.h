@@ -1,0 +1,109 @@
+// system.h — the multi-reader RFID system model (paper §II–III).
+//
+// A System owns the static deployment (readers, tags, precomputed coverage
+// lists) plus the one piece of mutable state the MCS loop needs: which tags
+// have already been served.  Everything the schedulers consume — coverage,
+// independence, weights, well-covered semantics — is defined here so that
+// every algorithm (PTAS, growth-bounded, distributed, Colorwave, GHC) is
+// scored by the exact same referee.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/reader.h"
+#include "core/tag.h"
+#include "geometry/spatial_grid.h"
+
+namespace rfid::core {
+
+/// The deployment plus the tag read-state.
+///
+/// Thread-safety: const member functions are safe to call concurrently
+/// *except* weight()/wellCoveredTags(), which use an internal scratch buffer
+/// (documented on the members).  Use one System per thread or a
+/// WeightEvaluator per thread for parallel sweeps.
+class System {
+ public:
+  /// Builds the system and precomputes coverage both ways (reader → tags in
+  /// its interrogation disk, tag → covering readers).  Reader/tag `id`
+  /// fields are rewritten to their indices to keep identity unambiguous.
+  System(std::vector<Reader> readers, std::vector<Tag> tags);
+
+  int numReaders() const { return static_cast<int>(readers_.size()); }
+  int numTags() const { return static_cast<int>(tags_.size()); }
+  const Reader& reader(int i) const { return readers_[static_cast<std::size_t>(i)]; }
+  const Tag& tag(int i) const { return tags_[static_cast<std::size_t>(i)]; }
+  std::span<const Reader> readers() const { return readers_; }
+  std::span<const Tag> tags() const { return tags_; }
+
+  /// Tag indices inside reader `v`'s interrogation disk, ascending.
+  std::span<const int> coverage(int v) const {
+    return coverage_[static_cast<std::size_t>(v)];
+  }
+  /// Reader indices whose interrogation disk contains tag `t`, ascending.
+  std::span<const int> coverers(int t) const {
+    return coverers_[static_cast<std::size_t>(t)];
+  }
+
+  /// Definition 2 independence: ‖v_i − v_j‖ > max(R_i, R_j).
+  bool independent(int i, int j) const {
+    return core::independent(reader(i), reader(j));
+  }
+
+  /// True iff `X` is a feasible scheduling set (pairwise independent).
+  /// O(|X|²); scheduling sets are small (bounded by the packing number).
+  bool isFeasible(std::span<const int> X) const;
+
+  // ---- read-state (MCS loop renders served tags passive) ----
+
+  bool isRead(int t) const { return read_[static_cast<std::size_t>(t)] != 0; }
+  void markRead(int t) { read_[static_cast<std::size_t>(t)] = 1; }
+  void markRead(std::span<const int> tags);
+  /// Re-arms a tag.  Two uses: undoing experiment state, and the dynamic
+  /// arrival simulation (workload::DynamicSimulation), which pre-places all
+  /// future tags as read ("not in the field yet") and un-reads each one at
+  /// its arrival slot.
+  void markUnread(int t) { read_[static_cast<std::size_t>(t)] = 0; }
+  /// Forgets all reads; used between independent experiments on one System.
+  void resetReads();
+  /// Number of unread tags (coverable or not).
+  int unreadCount() const;
+  /// Number of unread tags covered by at least one reader — the MCS loop
+  /// terminates exactly when this reaches zero.
+  int unreadCoverableCount() const;
+
+  // ---- well-covered semantics (Definition 1) ----
+
+  /// Tags well-covered when exactly the readers in `X` are active.  Valid
+  /// for *arbitrary* X, feasible or not: a reader lying inside another
+  /// active reader's interference disk is an RTc victim and reads nothing,
+  /// and a tag covered by more than one active reader is lost to RRc.
+  /// Only unread tags are reported.  Uses the internal scratch buffer
+  /// (not thread-safe across concurrent calls on one System).
+  std::vector<int> wellCoveredTags(std::span<const int> X) const;
+
+  /// w(X) of Definition 3: |wellCoveredTags(X)| without materializing the
+  /// list.  Same scratch-buffer caveat.
+  int weight(std::span<const int> X) const;
+
+  /// w({v}): unread tags in v's interrogation disk (activating v alone
+  /// well-covers all of them).  Thread-safe.
+  int singleWeight(int v) const;
+
+ private:
+  template <typename OnTag>
+  void forEachWellCovered(std::span<const int> X, OnTag&& on_tag) const;
+
+  std::vector<Reader> readers_;
+  std::vector<Tag> tags_;
+  std::vector<std::vector<int>> coverage_;
+  std::vector<std::vector<int>> coverers_;
+  std::vector<char> read_;
+  // Scratch for weight evaluation: per-tag coverage multiplicity within the
+  // currently evaluated X.  Reset to zero after every evaluation.
+  mutable std::vector<int> scratch_count_;
+  mutable std::vector<char> scratch_victim_;
+};
+
+}  // namespace rfid::core

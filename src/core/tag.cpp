@@ -1,0 +1,3 @@
+#include "core/tag.h"
+
+// Tag is a plain value type; see reader.cpp for why this TU exists.

@@ -1,0 +1,25 @@
+// tag.h — the passive RFID tag model (paper §II).
+//
+// Tags are passive: they have no battery and no protocol state of their own
+// beyond a (unique) identifier used by the link-layer protocols in
+// src/protocol.  Whether a tag has already been served is *system* state
+// (the MCS loop renders served tags passive), so the read flag lives in
+// core::System, not here.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/vec2.h"
+
+namespace rfid::core {
+
+/// One passive tag.
+struct Tag {
+  int id = 0;
+  geom::Vec2 pos;
+  /// EPC-style identifier used by tree-walking arbitration; defaults to the
+  /// index but scenarios may assign structured IDs.
+  std::uint64_t epc = 0;
+};
+
+}  // namespace rfid::core

@@ -1,0 +1,70 @@
+#include "core/weight.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfid::core {
+
+WeightEvaluator::WeightEvaluator(const System& sys) : sys_(&sys) {
+  count_.assign(static_cast<std::size_t>(sys.numTags()), 0);
+}
+
+int WeightEvaluator::push(int v) {
+  int delta = 0;
+  for (const int t : sys_->coverage(v)) {
+    if (sys_->isRead(t)) {
+      // Served tags never count, but multiplicities must still be tracked
+      // so pop() restores state exactly.
+      ++count_[static_cast<std::size_t>(t)];
+      continue;
+    }
+    const int c = count_[static_cast<std::size_t>(t)]++;
+    if (c == 0) {
+      ++delta;  // newly exclusively covered
+    } else if (c == 1) {
+      --delta;  // previously exclusive tag now lost to RRc
+    }
+  }
+  stack_.push_back(v);
+  weight_ += delta;
+  return delta;
+}
+
+int WeightEvaluator::pop() {
+  assert(!stack_.empty());
+  const int v = stack_.back();
+  stack_.pop_back();
+  int delta = 0;
+  for (const int t : sys_->coverage(v)) {
+    if (sys_->isRead(t)) {
+      --count_[static_cast<std::size_t>(t)];
+      continue;
+    }
+    const int c = --count_[static_cast<std::size_t>(t)];
+    if (c == 0) {
+      --delta;  // tag was exclusive to v, leaves the well-covered set
+    } else if (c == 1) {
+      ++delta;  // tag regains exclusivity for its remaining coverer
+    }
+  }
+  weight_ += delta;
+  return delta;
+}
+
+int WeightEvaluator::peekDelta(int v) const {
+  int delta = 0;
+  for (const int t : sys_->coverage(v)) {
+    if (sys_->isRead(t)) continue;
+    const int c = count_[static_cast<std::size_t>(t)];
+    if (c == 0) ++delta;
+    else if (c == 1) --delta;
+  }
+  return delta;
+}
+
+void WeightEvaluator::clear() {
+  while (!stack_.empty()) pop();
+  assert(weight_ == 0);
+}
+
+}  // namespace rfid::core

@@ -1,0 +1,64 @@
+// weight.h — incremental weight evaluation for search algorithms.
+//
+// The exact solver, the PTAS enumeration, and GHC all explore feasible sets
+// by adding/removing one reader at a time.  Recomputing w(X) from scratch at
+// every node is O(Σ coverage); the incremental evaluator keeps the per-tag
+// coverage multiplicities live so each push/pop costs only the coverage of
+// the moved reader, and the weight is available in O(1).
+//
+// The evaluator assumes the maintained set stays *feasible* (pairwise
+// independent) — under feasibility there are no RTc victims, so
+//   w(X) = #{ unread tags covered by exactly one reader of X }.
+// Callers (B&B, PTAS, GHC) only ever extend by independent readers, so this
+// holds by construction.  For arbitrary sets use System::weight.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/system.h"
+
+namespace rfid::core {
+
+/// Maintains w(X) under push/pop of readers for a feasible X.
+///
+/// The evaluator reads the System's live tag read-state: weights always
+/// refer to *currently unread* tags, which is exactly the per-slot semantics
+/// of Definition 3 inside the MCS loop.
+class WeightEvaluator {
+ public:
+  explicit WeightEvaluator(const System& sys);
+
+  /// Adds reader v to the maintained set.  Returns the weight delta, which
+  /// may be negative: v's exclusive unread tags enter, while tags that were
+  /// exclusively covered by an existing member and are also covered by v
+  /// leave (RRc, Figure 2's phenomenon).
+  int push(int v);
+
+  /// Removes the most recently pushed reader (LIFO, matching search
+  /// backtracking).  Returns the weight delta (negation of the push delta
+  /// when the read-state has not changed in between).
+  int pop();
+
+  /// Current w(X).
+  int weight() const { return weight_; }
+
+  /// Members in push order.
+  std::span<const int> members() const { return stack_; }
+
+  int size() const { return static_cast<int>(stack_.size()); }
+
+  /// Weight delta that push(v) *would* return, without mutating state.
+  int peekDelta(int v) const;
+
+  /// Drops all members.
+  void clear();
+
+ private:
+  const System* sys_;
+  std::vector<int> count_;  // per-tag coverage multiplicity within X
+  std::vector<int> stack_;
+  int weight_ = 0;
+};
+
+}  // namespace rfid::core

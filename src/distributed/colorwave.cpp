@@ -1,0 +1,164 @@
+#include "distributed/colorwave.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/coloring.h"
+#include "workload/rng.h"
+
+namespace rfid::dist {
+
+namespace {
+
+enum MsgType : int { kColor = 1 };
+// COLOR payload: [color, priority]
+
+class ColorwaveNode final : public NodeProgram {
+ public:
+  ColorwaveNode(std::uint64_t seed, const ColorwaveOptions& opt)
+      : opt_(opt), rng_(seed), max_colors_(opt.initial_max_colors) {
+    color_ = rng_.uniformInt(0, max_colors_ - 1);
+  }
+
+  void init(Context& ctx) override { announce(ctx); }
+
+  void onRound(Context& ctx, std::span<const Message> inbox) override {
+    bool collided = false;
+    bool must_repick = false;
+    for (const Message& m : inbox) {
+      if (m.type != kColor) continue;
+      const int their_color = m.data[0];
+      const int their_pri = m.data[1];
+      if (their_color != color_) continue;
+      collided = true;
+      // Kick rule: the contender with the larger (priority, id) keeps the
+      // color; everyone else re-picks.
+      if (std::pair(their_pri, m.from) > std::pair(last_priority_, ctx.self())) {
+        must_repick = true;
+      }
+    }
+
+    // Sliding collision window drives the safe/unsafe maxColors adaptation.
+    window_.push_back(collided ? 1 : 0);
+    if (static_cast<int>(window_.size()) > opt_.window) window_.erase(window_.begin());
+    if (static_cast<int>(window_.size()) == opt_.window) {
+      int hits = 0;
+      for (const char h : window_) hits += h;
+      const double pct = static_cast<double>(hits) / opt_.window;
+      if (pct > opt_.up_threshold && max_colors_ < opt_.max_colors_cap) {
+        ++max_colors_;
+        window_.clear();
+      } else if (opt_.down_threshold > 0.0 && pct < opt_.down_threshold &&
+                 max_colors_ > opt_.min_colors) {
+        --max_colors_;
+        window_.clear();
+        if (color_ >= max_colors_) must_repick = true;
+      }
+    }
+
+    if (must_repick) color_ = rng_.uniformInt(0, max_colors_ - 1);
+    stable_rounds_ = collided ? 0 : stable_rounds_ + 1;
+    announce(ctx);
+  }
+
+  /// Colorwave never truly halts; "done" here means locally conflict-free
+  /// long enough that the network's quiescence check can stop a test run.
+  bool isDone() const override { return stable_rounds_ >= 20; }
+
+  int color() const { return color_; }
+
+ private:
+  void announce(Context& ctx) {
+    last_priority_ = static_cast<int>(rng_.next() & 0x7fffffff);
+    ctx.broadcast(kColor, {color_, last_priority_});
+  }
+
+  ColorwaveOptions opt_;
+  workload::Rng rng_;
+  int max_colors_;
+  int color_;
+  int last_priority_ = 0;
+  int stable_rounds_ = 0;
+  std::vector<char> window_;
+};
+
+}  // namespace
+
+ColorwaveScheduler::ColorwaveScheduler(const graph::InterferenceGraph& g,
+                                       std::uint64_t seed,
+                                       ColorwaveOptions opt)
+    : graph_(&g), opt_(opt) {
+  init(seed);
+}
+
+ColorwaveScheduler::ColorwaveScheduler(const core::System& sys,
+                                       std::uint64_t seed,
+                                       ColorwaveOptions opt)
+    : owned_graph_(std::make_unique<graph::InterferenceGraph>(
+          graph::buildSensingGraph(sys))),
+      graph_(owned_graph_.get()),
+      opt_(opt) {
+  init(seed);
+}
+
+void ColorwaveScheduler::init(std::uint64_t seed) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<std::size_t>(graph_->numNodes()));
+  for (int v = 0; v < graph_->numNodes(); ++v) {
+    programs.push_back(std::make_unique<ColorwaveNode>(
+        workload::deriveSeed(seed, "colorwave-node", static_cast<std::uint64_t>(v)), opt_));
+  }
+  net_ = std::make_unique<Network>(*graph_, std::move(programs));
+}
+
+ColorwaveScheduler::~ColorwaveScheduler() = default;
+
+void ColorwaveScheduler::advance(int rounds) {
+  const Network::RunStats s = net_->run(rounds);
+  stats_.protocol_rounds += s.rounds;
+  stats_.messages += s.messages;
+}
+
+std::vector<int> ColorwaveScheduler::colors() const {
+  std::vector<int> c(static_cast<std::size_t>(net_->numNodes()));
+  for (int v = 0; v < net_->numNodes(); ++v) {
+    c[static_cast<std::size_t>(v)] =
+        static_cast<const ColorwaveNode&>(net_->program(v)).color();
+  }
+  return c;
+}
+
+bool ColorwaveScheduler::converged() const {
+  const auto c = colors();
+  return graph::isProperColoring(*graph_, c);
+}
+
+sched::OneShotResult ColorwaveScheduler::schedule(const core::System& sys) {
+  assert(graph_->numNodes() == sys.numReaders());
+  if (!settled_) {
+    advance(opt_.settle_rounds);
+    settled_ = true;
+  } else {
+    advance(opt_.rounds_between_slots);
+  }
+
+  // Rotate through the distinct colors currently in use; activate that
+  // class wholesale.  Colorwave is weight-blind by design — it schedules
+  // air time, not tags — which is exactly the baseline the paper compares
+  // against.
+  const auto node_colors = colors();
+  std::vector<int> distinct = node_colors;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  const int cls =
+      distinct[static_cast<std::size_t>(slot_counter_) % distinct.size()];
+  ++slot_counter_;
+
+  std::vector<int> X;
+  for (int v = 0; v < sys.numReaders(); ++v) {
+    if (node_colors[static_cast<std::size_t>(v)] == cls) X.push_back(v);
+  }
+  return {X, sys.weight(X)};
+}
+
+}  // namespace rfid::dist

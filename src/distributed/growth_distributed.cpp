@@ -1,0 +1,355 @@
+#include "distributed/growth_distributed.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sched/exact.h"
+#include "workload/rng.h"
+
+namespace rfid::dist {
+
+namespace {
+
+enum MsgType : int { kInfo = 1, kResult = 2 };
+
+// INFO payload: [origin, weight, ttl, deg, neighbors..., ntags, tags...]
+// RESULT payload: [head, ttl, |gamma|, gamma..., |removed|, removed...]
+
+struct InfoRecord {
+  int weight = 0;
+  std::vector<int> neighbors;
+  std::vector<int> tags;
+};
+
+enum class NodeState { kWhite, kRed, kBlack };
+
+class GrowthNode final : public NodeProgram {
+ public:
+  GrowthNode(int self, int weight, std::vector<int> tags,
+             std::vector<int> neighbors, const DistributedGrowthOptions& opt)
+      : self_(self), weight_(weight), opt_(opt) {
+    InfoRecord mine;
+    mine.weight = weight;
+    mine.neighbors = std::move(neighbors);
+    mine.tags = std::move(tags);
+    info_.emplace(self, std::move(mine));
+    // Zero-weight readers can never be heads or Γ members; they park as
+    // Black relays immediately (they still forward floods below).
+    if (weight_ == 0) state_ = NodeState::kBlack;
+  }
+
+  void init(Context& ctx) override {
+    const InfoRecord& mine = info_.at(self_);
+    ctx.broadcast(kInfo, encodeInfo(self_, weight_, collectRadius(),
+                                    mine.neighbors, mine.tags));
+  }
+
+  void onRound(Context& ctx, std::span<const Message> inbox) override {
+    for (const Message& m : inbox) {
+      if (m.type == kInfo) {
+        handleInfo(ctx, m);
+      } else {
+        handleResult(ctx, m);
+      }
+    }
+    // Step 2: headship check once the (2c+2)-hop collection has settled.
+    // The per-slot fire delay staggers coordinators that would otherwise
+    // fire simultaneously without seeing each other's selections.
+    const int delay = static_cast<int>(
+        workload::splitmix64(static_cast<std::uint64_t>(self_) ^ opt_.salt) % 3);
+    if (state_ == NodeState::kWhite && !fired_ &&
+        ctx.round() >= collectRadius() + delay) {
+      maybeBecomeHead(ctx);
+    }
+  }
+
+  bool isDone() const override { return state_ != NodeState::kWhite; }
+
+  NodeState state() const { return state_; }
+  bool wasHead() const { return fired_; }
+  int rbar() const { return rbar_; }
+
+ private:
+  int collectRadius() const { return 2 * opt_.c + 2; }
+
+  static std::vector<int> encodeInfo(int origin, int weight, int ttl,
+                                     const std::vector<int>& neighbors,
+                                     const std::vector<int>& tags) {
+    std::vector<int> d;
+    d.reserve(4 + neighbors.size() + 1 + tags.size());
+    d.push_back(origin);
+    d.push_back(weight);
+    d.push_back(ttl);
+    d.push_back(static_cast<int>(neighbors.size()));
+    d.insert(d.end(), neighbors.begin(), neighbors.end());
+    d.push_back(static_cast<int>(tags.size()));
+    d.insert(d.end(), tags.begin(), tags.end());
+    return d;
+  }
+
+  void handleInfo(Context& ctx, const Message& m) {
+    std::size_t p = 0;
+    const int origin = m.data[p++];
+    const int w = m.data[p++];
+    const int ttl = m.data[p++];
+    if (info_.count(origin) != 0) return;  // already known; drop duplicate
+    InfoRecord rec;
+    rec.weight = w;
+    const int deg = m.data[p++];
+    rec.neighbors.assign(m.data.begin() + static_cast<std::ptrdiff_t>(p),
+                         m.data.begin() + static_cast<std::ptrdiff_t>(p + static_cast<std::size_t>(deg)));
+    p += static_cast<std::size_t>(deg);
+    const int ntags = m.data[p++];
+    rec.tags.assign(m.data.begin() + static_cast<std::ptrdiff_t>(p),
+                    m.data.begin() + static_cast<std::ptrdiff_t>(p + static_cast<std::size_t>(ntags)));
+    info_.emplace(origin, std::move(rec));
+    if (ttl > 1) {
+      ctx.broadcast(kInfo, encodeInfo(origin, w, ttl - 1,
+                                      info_.at(origin).neighbors,
+                                      info_.at(origin).tags));
+    }
+  }
+
+  void handleResult(Context& ctx, const Message& m) {
+    std::size_t p = 0;
+    const int head = m.data[p++];
+    const int ttl = m.data[p++];
+    if (seen_results_.count(head) != 0) return;
+    seen_results_.insert(head);
+    const int ng = m.data[p++];
+    std::vector<int> gamma(m.data.begin() + static_cast<std::ptrdiff_t>(p),
+                           m.data.begin() + static_cast<std::ptrdiff_t>(p + static_cast<std::size_t>(ng)));
+    p += static_cast<std::size_t>(ng);
+    const int nr = m.data[p++];
+    std::vector<int> removed(m.data.begin() + static_cast<std::ptrdiff_t>(p),
+                             m.data.begin() + static_cast<std::ptrdiff_t>(p + static_cast<std::size_t>(nr)));
+
+    applyResult(gamma, removed);
+    if (ttl > 1) {
+      std::vector<int> relay = m.data;
+      relay[1] = ttl - 1;
+      ctx.broadcast(kResult, relay);
+    }
+  }
+
+  void applyResult(const std::vector<int>& gamma,
+                   const std::vector<int>& removed) {
+    for (const int u : removed) removed_.insert(u);
+    for (const int u : gamma) {
+      removed_.insert(u);
+      selected_.insert(u);
+    }
+    if (state_ != NodeState::kWhite) return;
+    if (std::find(gamma.begin(), gamma.end(), self_) != gamma.end()) {
+      state_ = NodeState::kRed;  // selected for this slot
+    } else if (removed_.count(self_) != 0) {
+      state_ = NodeState::kBlack;  // suppressed by a nearby coordinator
+    }
+  }
+
+  /// BFS over collected knowledge, relaying only through non-removed nodes
+  /// (the paper deletes N^{r̄+1} from G; deleted nodes carry no hops).
+  /// Returns hop distance per known node id; nodes without collected INFO
+  /// are unreachable by construction.
+  std::unordered_map<int, int> localBfs(int max_hops) const {
+    std::unordered_map<int, int> dist;
+    dist.emplace(self_, 0);
+    std::queue<int> q;
+    q.push(self_);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      const int du = dist.at(u);
+      if (du >= max_hops) continue;
+      const auto it = info_.find(u);
+      if (it == info_.end()) continue;
+      for (const int v : it->second.neighbors) {
+        if (removed_.count(v) != 0 || dist.count(v) != 0) continue;
+        dist.emplace(v, du + 1);
+        q.push(v);
+      }
+    }
+    return dist;
+  }
+
+  void maybeBecomeHead(Context& ctx) {
+    // Strict (weight, id) maximum among the White readers this node has
+    // collected INFO from.  Collection travels over the sensing graph, so
+    // rivals in other interference-graph components — but close enough to
+    // RRc-collide — are visible here and serialize instead of firing
+    // concurrently.
+    for (const auto& [u, rec] : info_) {
+      if (u == self_) continue;
+      if (rec.weight == 0) continue;        // idle relay, never a rival
+      if (removed_.count(u) != 0) continue;  // no longer White
+      if (std::pair(rec.weight, u) > std::pair(weight_, self_)) {
+        return;  // a larger White rival exists; defer
+      }
+    }
+    becomeHead(ctx);
+  }
+
+  void becomeHead(Context& ctx) {
+    fired_ = true;
+    // Grow Γ_r per inequality (1) over collected knowledge, scored
+    // *marginally* to the selections this node has learned about: readers
+    // chosen by earlier coordinators may share interrogation area with our
+    // candidates, and double-covering their tags scores negative.
+    const sched::BnbResult own = solveOn({self_});
+    std::vector<int> gamma = own.members;
+    int gamma_w = own.weight;
+    rbar_ = 0;
+    for (int r = 0; r < opt_.c; ++r) {
+      const auto dist = localBfs(r + 1);
+      std::vector<int> candidates;
+      for (const auto& [u, d] : dist) {
+        const auto it = info_.find(u);
+        if (it != info_.end() && it->second.weight > 0) candidates.push_back(u);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      const sched::BnbResult next = solveOn(candidates);
+      if (static_cast<double>(next.weight) <
+          opt_.rho * static_cast<double>(gamma_w)) {
+        break;
+      }
+      gamma = next.members;
+      gamma_w = next.weight;
+      rbar_ = r + 1;
+    }
+
+    // N^{r̄+1} over the residual graph becomes the removal wave.  When the
+    // marginal optimum is empty (everything this region could read is
+    // already claimed), only this node retires — suppressing neighbors
+    // would throw away readers other coordinators may still want.
+    std::vector<int> removed;
+    if (gamma.empty()) {
+      removed.push_back(self_);
+    } else {
+      for (const auto& [u, d] : localBfs(rbar_ + 1)) removed.push_back(u);
+    }
+    std::sort(removed.begin(), removed.end());
+    std::sort(gamma.begin(), gamma.end());
+
+    applyResult(gamma, removed);
+    if (state_ == NodeState::kWhite) state_ = NodeState::kBlack;
+    seen_results_.insert(self_);
+
+    std::vector<int> d;
+    d.reserve(4 + gamma.size() + removed.size());
+    d.push_back(self_);
+    d.push_back(rbar_ + 1 + collectRadius());
+    d.push_back(static_cast<int>(gamma.size()));
+    d.insert(d.end(), gamma.begin(), gamma.end());
+    d.push_back(static_cast<int>(removed.size()));
+    d.insert(d.end(), removed.begin(), removed.end());
+    ctx.broadcast(kResult, d);
+  }
+
+  /// Exact MWFS over `candidates` using only message-collected knowledge:
+  /// conflict edges from the exchanged neighbor lists, weights from the
+  /// exchanged unread-tag ids (shared ids model RRc overlap), marginal to
+  /// the coverage of already-selected readers we know about.
+  sched::BnbResult solveOn(const std::vector<int>& candidates) const {
+    sched::LocalProblem p;
+    for (const int s : selected_) {
+      const auto it = info_.find(s);
+      if (it == info_.end()) continue;
+      p.preload.insert(p.preload.end(), it->second.tags.begin(),
+                       it->second.tags.end());
+    }
+    const int n = static_cast<int>(candidates.size());
+    p.adj.resize(static_cast<std::size_t>(n));
+    p.coverage.resize(static_cast<std::size_t>(n));
+    std::unordered_map<int, int> local_index;
+    for (int i = 0; i < n; ++i) local_index.emplace(candidates[static_cast<std::size_t>(i)], i);
+    for (int i = 0; i < n; ++i) {
+      const InfoRecord& rec = info_.at(candidates[static_cast<std::size_t>(i)]);
+      p.coverage[static_cast<std::size_t>(i)] = rec.tags;
+      for (const int u : rec.neighbors) {
+        const auto it = local_index.find(u);
+        if (it != local_index.end() && it->second > i) {
+          p.adj[static_cast<std::size_t>(i)].push_back(it->second);
+          p.adj[static_cast<std::size_t>(it->second)].push_back(i);
+        }
+      }
+    }
+    for (auto& a : p.adj) std::sort(a.begin(), a.end());
+    sched::BnbResult res = sched::solveLocal(p, opt_.node_limit);
+    for (int& m : res.members) m = candidates[static_cast<std::size_t>(m)];
+    std::sort(res.members.begin(), res.members.end());
+    return res;
+  }
+
+  int self_;
+  int weight_;
+  DistributedGrowthOptions opt_;
+  NodeState state_ = NodeState::kWhite;
+  bool fired_ = false;
+  int rbar_ = 0;
+  std::unordered_map<int, InfoRecord> info_;
+  std::unordered_set<int> removed_;
+  std::unordered_set<int> selected_;
+  std::unordered_set<int> seen_results_;
+};
+
+}  // namespace
+
+GrowthDistributedScheduler::GrowthDistributedScheduler(
+    const graph::InterferenceGraph& g, DistributedGrowthOptions opt)
+    : graph_(&g), opt_(opt) {
+  assert(opt_.rho > 1.0);
+  assert(opt_.c >= 1);
+}
+
+sched::OneShotResult GrowthDistributedScheduler::schedule(
+    const core::System& sys) {
+  assert(graph_->numNodes() == sys.numReaders());
+  const int n = sys.numReaders();
+  stats_ = {};
+  ++opt_.salt;  // new symmetry-breaking pattern each slot
+
+  // Control traffic flows over the sensing graph (see buildSensingGraph):
+  // a supergraph of the interference graph that connects every pair of
+  // readers able to RRc-collide.  Interference semantics (conflict edges,
+  // N^r, removal waves) stay on `graph_`.
+  if (comm_ == nullptr) {
+    comm_ = std::make_unique<graph::InterferenceGraph>(
+        graph::buildSensingGraph(sys));
+  }
+
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    std::vector<int> unread_tags;
+    for (const int t : sys.coverage(v)) {
+      if (!sys.isRead(t)) unread_tags.push_back(t);
+    }
+    const auto nb = graph_->neighbors(v);
+    programs.push_back(std::make_unique<GrowthNode>(
+        v, sys.singleWeight(v), std::move(unread_tags),
+        std::vector<int>(nb.begin(), nb.end()), opt_));
+  }
+
+  Network net(*comm_, std::move(programs));
+  const Network::RunStats run = net.run(opt_.max_rounds);
+  stats_.rounds = run.rounds;
+  stats_.messages = run.messages;
+  stats_.payload_words = run.payload_words;
+  stats_.quiesced = run.all_done;
+
+  std::vector<int> X;
+  for (int v = 0; v < n; ++v) {
+    const auto& node = static_cast<const GrowthNode&>(net.program(v));
+    if (node.state() == NodeState::kRed) X.push_back(v);
+    if (node.wasHead()) {
+      ++stats_.heads;
+      stats_.max_rbar = std::max(stats_.max_rbar, node.rbar());
+    }
+  }
+  return {X, sys.weight(X)};
+}
+
+}  // namespace rfid::dist

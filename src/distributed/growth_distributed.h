@@ -1,0 +1,84 @@
+// growth_distributed.h — Algorithm 3: distributed scheduling without
+// location information (paper §V-B).
+//
+// The faithful message-passing rendition of Algorithm 2, run by node
+// programs on the network simulator:
+//
+//  Step 1  Every reader floods INFO (its standalone weight, neighbor list,
+//          and unread-tag coverage) through its (2c+2)-hop neighborhood.
+//  Step 2  A White reader that holds the strict maximum weight among the
+//          White readers it knows within 2c+2 hops becomes a *coordinator*
+//          (head) and computes Γ_0, Γ_1, … locally — exact MWFS over its
+//          collected r-hop neighborhoods — until inequality (1)
+//          w(Γ_{r+1}) ≥ ρ·w(Γ_r) first fails (or the cap c is reached,
+//          Theorem 5's constant).
+//  Step 3  The head floods RESULT(Γ_r̄, N^{r̄+1}) through r̄+1+2c+2 hops.
+//          Receivers in Γ turn Red (selected), receivers in N^{r̄+1} turn
+//          Black (suppressed); everyone else records the removals and
+//          re-evaluates headship (Algorithm 3, line 19).
+//
+// Ties on weight are broken by reader id, which makes headship a strict
+// total order and guarantees progress.  Readers whose standalone weight is
+// zero can never be heads or members; they stay as relays until some head's
+// removal wave covers them.
+//
+// The (2c+2)-hop separation between simultaneous coordinators guarantees
+// that independently computed Γ's are pairwise non-adjacent, hence their
+// union is feasible (Theorem 6) — the tests assert exactly this.
+#pragma once
+
+#include <cstdint>
+
+#include "distributed/network.h"
+#include "graph/interference_graph.h"
+#include "sched/scheduler.h"
+
+namespace rfid::dist {
+
+struct DistributedGrowthOptions {
+  /// ρ = 1 + ε of inequality (1).
+  double rho = 1.25;
+  /// The growth-bound constant c (Theorem 5): hard cap on r̄ and the radius
+  /// driving the (2c+2)-hop information collection.
+  int c = 3;
+  /// Node budget per local exact MWFS (0 = unlimited).
+  std::int64_t node_limit = 2'000'000;
+  /// Safety cap on simulated rounds per one-shot execution.
+  int max_rounds = 100000;
+  /// Symmetry-breaking salt: coordinators hold their fire for
+  /// hash(id, salt) % 3 extra rounds, so coordinators that would fire in
+  /// the same round usually serialize and see each other's RESULTs.  The
+  /// scheduler advances the salt every slot, which prevents two slots from
+  /// deadlocking on the identical simultaneous-coordinator pattern.
+  std::uint64_t salt = 0;
+};
+
+class GrowthDistributedScheduler final : public sched::OneShotScheduler {
+ public:
+  /// `g` must be the interference graph of the system passed to schedule().
+  GrowthDistributedScheduler(const graph::InterferenceGraph& g,
+                             DistributedGrowthOptions opt = {});
+
+  std::string name() const override { return "Alg3"; }
+  sched::OneShotResult schedule(const core::System& sys) override;
+
+  struct Stats {
+    int rounds = 0;
+    std::int64_t messages = 0;
+    std::int64_t payload_words = 0;
+    int heads = 0;       // coordinators that fired
+    int max_rbar = 0;    // largest Γ radius across heads
+    bool quiesced = false;
+  };
+  const Stats& lastStats() const { return stats_; }
+
+ private:
+  const graph::InterferenceGraph* graph_;
+  DistributedGrowthOptions opt_;
+  Stats stats_;
+  /// Sensing graph used as the message topology; built lazily from the
+  /// first schedule() call's System and reused across slots.
+  std::unique_ptr<graph::InterferenceGraph> comm_;
+};
+
+}  // namespace rfid::dist

@@ -1,0 +1,41 @@
+#include "distributed/kcoloring.h"
+
+#include <cassert>
+
+namespace rfid::dist {
+
+KColoringScheduler::KColoringScheduler(const core::System& sys, int channels,
+                                       std::uint64_t seed)
+    : channels_(channels) {
+  assert(channels >= 1);
+  ColorwaveOptions opt;
+  // Pin the palette to the channel count: [13] has exactly k channels to
+  // hand out, so Colorwave's frame adaptation is disabled.
+  opt.initial_max_colors = channels;
+  opt.min_colors = channels;
+  opt.max_colors_cap = channels;
+  opt.settle_rounds = 1500;  // pinned palettes converge slower when k is tight
+  protocol_ = std::make_unique<ColorwaveScheduler>(sys, seed, opt);
+}
+
+std::string KColoringScheduler::name() const {
+  return "KCol" + std::to_string(channels_);
+}
+
+sched::ChanneledResult KColoringScheduler::scheduleChanneled(
+    const core::System& sys) {
+  protocol_->runProtocol(settled_ ? 10 : 1500);
+  settled_ = true;
+
+  const std::vector<int> colors = protocol_->colors();
+  sched::ChanneledResult res;
+  for (int v = 0; v < sys.numReaders(); ++v) {
+    res.readers.push_back(v);
+    res.channel.push_back(colors[static_cast<std::size_t>(v)]);
+  }
+  res.weight = static_cast<int>(
+      sched::wellCoveredTagsChanneled(sys, res.readers, res.channel).size());
+  return res;
+}
+
+}  // namespace rfid::dist

@@ -1,0 +1,67 @@
+#include "distributed/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfid::dist {
+
+void Context::send(int to, int type, std::vector<int> data) {
+  assert(std::find(neighbors_.begin(), neighbors_.end(), to) !=
+             neighbors_.end() &&
+         "messages travel only along interference-graph edges");
+  net_->enqueue({self_, to, type, std::move(data)});
+}
+
+void Context::broadcast(int type, const std::vector<int>& data) {
+  for (const int u : neighbors_) net_->enqueue({self_, u, type, data});
+}
+
+Network::Network(const graph::InterferenceGraph& topology,
+                 std::vector<std::unique_ptr<NodeProgram>> programs)
+    : topology_(&topology), programs_(std::move(programs)) {
+  assert(static_cast<int>(programs_.size()) == topology.numNodes());
+}
+
+void Network::enqueue(Message m) {
+  stats_.messages += 1;
+  stats_.payload_words += static_cast<std::int64_t>(m.data.size());
+  in_flight_.push_back(std::move(m));
+}
+
+Network::RunStats Network::run(int max_rounds) {
+  stats_ = {};
+  const int n = numNodes();
+
+  // init(): programs may queue their first broadcasts.
+  for (int v = 0; v < n; ++v) {
+    Context ctx(*this, v, -1, topology_->neighbors(v));
+    programs_[static_cast<std::size_t>(v)]->init(ctx);
+  }
+
+  std::vector<std::vector<Message>> inbox(static_cast<std::size_t>(n));
+  for (int round = 0; round < max_rounds; ++round) {
+    // Deliver everything sent last round.
+    for (auto& box : inbox) box.clear();
+    std::vector<Message> deliveries;
+    deliveries.swap(in_flight_);
+    for (Message& m : deliveries) {
+      inbox[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+    }
+
+    bool all_done = true;
+    for (int v = 0; v < n; ++v) {
+      Context ctx(*this, v, round, topology_->neighbors(v));
+      programs_[static_cast<std::size_t>(v)]->onRound(ctx, inbox[static_cast<std::size_t>(v)]);
+      all_done = all_done && programs_[static_cast<std::size_t>(v)]->isDone();
+    }
+    stats_.rounds = round + 1;
+
+    if (all_done && in_flight_.empty()) {
+      stats_.all_done = true;
+      break;
+    }
+  }
+  return stats_;
+}
+
+}  // namespace rfid::dist

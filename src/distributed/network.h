@@ -1,0 +1,107 @@
+// network.h — synchronous message-passing simulator over the interference
+// graph.
+//
+// The distributed algorithms (Algorithm 3, Colorwave) are implemented as
+// *node programs*: per-reader state machines that exchange messages only
+// with graph neighbors.  The simulator runs synchronous rounds — messages
+// sent in round t are delivered at round t+1 — and accounts every message
+// and payload word, so the benchmarks can report communication cost, not
+// just schedule quality.
+//
+// This is the "no central entity" substrate the paper's §V-B asks for: node
+// programs see their own id, their neighbor list, and their inbox.  Nothing
+// else.  Any global scan in a node program is a bug, and the tests enforce
+// delivery discipline (messages only along edges, one-round latency).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/interference_graph.h"
+
+namespace rfid::dist {
+
+/// A message on the wire.  `type` and `data` are algorithm-defined.
+struct Message {
+  int from = -1;
+  int to = -1;
+  int type = 0;
+  std::vector<int> data;
+};
+
+class Network;
+
+/// Per-node view handed to programs each round.
+class Context {
+ public:
+  int self() const { return self_; }
+  int round() const { return round_; }
+  std::span<const int> neighbors() const { return neighbors_; }
+
+  /// Queues a message for delivery next round.  `to` must be a neighbor.
+  void send(int to, int type, std::vector<int> data);
+
+  /// Sends the same message to every neighbor.
+  void broadcast(int type, const std::vector<int>& data);
+
+ private:
+  friend class Network;
+  Context(Network& net, int self, int round, std::span<const int> neighbors)
+      : net_(&net), self_(self), round_(round), neighbors_(neighbors) {}
+
+  Network* net_;
+  int self_;
+  int round_;
+  std::span<const int> neighbors_;
+};
+
+/// A distributed algorithm's per-node state machine.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once before round 0 (e.g. to queue initial broadcasts).
+  virtual void init(Context& ctx) = 0;
+
+  /// Called every round with the messages delivered this round.
+  virtual void onRound(Context& ctx, std::span<const Message> inbox) = 0;
+
+  /// True when the node has reached a terminal state.  The network stops
+  /// when every node is done *and* no message is in flight.
+  virtual bool isDone() const = 0;
+};
+
+class Network {
+ public:
+  /// Topology must outlive the network.  One program per node, in id order.
+  Network(const graph::InterferenceGraph& topology,
+          std::vector<std::unique_ptr<NodeProgram>> programs);
+
+  struct RunStats {
+    int rounds = 0;
+    std::int64_t messages = 0;      // message-hops delivered
+    std::int64_t payload_words = 0; // total ints carried
+    bool all_done = false;
+  };
+
+  /// Runs until quiescence (all programs done, no messages in flight) or
+  /// `max_rounds`.
+  RunStats run(int max_rounds);
+
+  NodeProgram& program(int v) { return *programs_[static_cast<std::size_t>(v)]; }
+  const NodeProgram& program(int v) const { return *programs_[static_cast<std::size_t>(v)]; }
+  int numNodes() const { return topology_->numNodes(); }
+
+ private:
+  friend class Context;
+  void enqueue(Message m);
+
+  const graph::InterferenceGraph* topology_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<Message> in_flight_;   // sent this round, delivered next
+  RunStats stats_;
+};
+
+}  // namespace rfid::dist

@@ -1,0 +1,15 @@
+#include "geometry/disk.h"
+
+#include <algorithm>
+
+namespace rfid::geom {
+
+bool Disk::intersects(const Aabb& box) const {
+  // Clamp the center onto the box; the disk meets the box iff the clamped
+  // point is within `radius` of the center.
+  const double cx = std::clamp(center.x, box.lo.x, box.hi.x);
+  const double cy = std::clamp(center.y, box.lo.y, box.hi.y);
+  return dist2(center, {cx, cy}) <= radius * radius;
+}
+
+}  // namespace rfid::geom

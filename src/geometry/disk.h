@@ -1,0 +1,65 @@
+// disk.h — disks and axis-aligned boxes.
+//
+// A reader's interference region O(v_i) and interrogation region are both
+// modeled as closed disks centered at the reader position (paper §II).  The
+// PTAS additionally needs axis-aligned boxes to express grid squares and the
+// "survive" predicate (a disk survives iff it does not cross the boundary of
+// its level's square).
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace rfid::geom {
+
+/// Closed axis-aligned bounding box [lo.x, hi.x] × [lo.y, hi.y].
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// True iff this box and `o` share at least one point.
+  constexpr bool intersects(const Aabb& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+};
+
+/// Closed disk { p : ‖p − center‖ ≤ radius }.
+struct Disk {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr bool contains(Vec2 p) const {
+    return dist2(center, p) <= radius * radius;
+  }
+
+  /// True iff the two closed disks share at least one point.
+  bool intersects(const Disk& o) const {
+    const double r = radius + o.radius;
+    return dist2(center, o.center) <= r * r;
+  }
+
+  /// True iff the disk lies entirely inside `box` (touching the boundary
+  /// counts as *not* inside — the PTAS survive predicate requires strict
+  /// clearance from the grid lines).
+  constexpr bool strictlyInside(const Aabb& box) const {
+    return center.x - radius > box.lo.x && center.x + radius < box.hi.x &&
+           center.y - radius > box.lo.y && center.y + radius < box.hi.y;
+  }
+
+  /// True iff the disk and the box share at least one point.
+  bool intersects(const Aabb& box) const;
+
+  /// Smallest AABB covering the disk.
+  constexpr Aabb bounds() const {
+    return {{center.x - radius, center.y - radius},
+            {center.x + radius, center.y + radius}};
+  }
+};
+
+}  // namespace rfid::geom

@@ -1,0 +1,94 @@
+#include "geometry/shifted_grid.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rfid::geom {
+
+ShiftedGrid::ShiftedGrid(int k, int shift_r, int shift_s)
+    : k_(k), shift_r_(shift_r), shift_s_(shift_s) {
+  assert(k >= 2 && "shifting needs k >= 2");
+  assert(shift_r >= 0 && shift_r < k);
+  assert(shift_s >= 0 && shift_s < k);
+}
+
+int ShiftedGrid::levelOf(double radius) const {
+  assert(radius > 0.0 && radius <= 0.5 + 1e-12 &&
+         "radii must be scaled so the maximum is 1/2");
+  // Find the largest j with 2R ≤ (k+1)^{-j} by exact repeated division;
+  // avoids log() rounding surprises at level boundaries.
+  const double d = 2.0 * radius;
+  double bound = 1.0;
+  int j = 0;
+  while (d <= bound / (k_ + 1)) {
+    bound /= (k_ + 1);
+    ++j;
+  }
+  return j;
+}
+
+double ShiftedGrid::lineSpacing(int level) const {
+  return std::pow(static_cast<double>(k_ + 1), -static_cast<double>(level));
+}
+
+std::int64_t ShiftedGrid::alignDown(std::int64_t t, int shift, int k) {
+  // Mathematical (non-negative) modulo so negative coordinates work.
+  std::int64_t m = (t - shift) % k;
+  if (m < 0) m += k;
+  return t - m;
+}
+
+SquareKey ShiftedGrid::containingSquare(Vec2 p, int level) const {
+  const double spacing = lineSpacing(level);
+  const auto tx = static_cast<std::int64_t>(std::floor(p.x / spacing));
+  const auto ty = static_cast<std::int64_t>(std::floor(p.y / spacing));
+  return {level, alignDown(tx, shift_r_, k_), alignDown(ty, shift_s_, k_)};
+}
+
+Aabb ShiftedGrid::squareBox(const SquareKey& s) const {
+  const double spacing = lineSpacing(s.level);
+  const Vec2 lo{static_cast<double>(s.ix) * spacing,
+                static_cast<double>(s.iy) * spacing};
+  return {lo, {lo.x + k_ * spacing, lo.y + k_ * spacing}};
+}
+
+bool ShiftedGrid::survives(const Disk& disk, int level) const {
+  const SquareKey sq = containingSquare(disk.center, level);
+  return disk.strictlyInside(squareBox(sq));
+}
+
+SquareKey ShiftedGrid::parent(const SquareKey& s) const {
+  assert(s.level >= 1 && "level-0 squares are roots");
+  // The square's center cannot lie on a coarser grid line (nesting
+  // property), so the containing (level−1)-square is well defined.
+  const Aabb box = squareBox(s);
+  const Vec2 center{(box.lo.x + box.hi.x) / 2.0, (box.lo.y + box.hi.y) / 2.0};
+  return containingSquare(center, s.level - 1);
+}
+
+std::vector<SquareKey> ShiftedGrid::children(const SquareKey& s) const {
+  // In level-(s.level+1) line units, the parent's corner is at index
+  // s.ix·(k+1); children corners step by k and there are k+1 of them per
+  // axis (the parent spans k(k+1) fine cells).
+  std::vector<SquareKey> out;
+  out.reserve(static_cast<std::size_t>((k_ + 1) * (k_ + 1)));
+  const std::int64_t bx = s.ix * (k_ + 1);
+  const std::int64_t by = s.iy * (k_ + 1);
+  for (int row = 0; row <= k_; ++row) {
+    for (int col = 0; col <= k_; ++col) {
+      out.push_back({s.level + 1, bx + static_cast<std::int64_t>(col) * k_,
+                     by + static_cast<std::int64_t>(row) * k_});
+    }
+  }
+  return out;
+}
+
+bool ShiftedGrid::isAncestor(const SquareKey& anc, const SquareKey& child) const {
+  if (child.level < anc.level) return false;
+  if (child.level == anc.level) return child == anc;
+  SquareKey cur = child;
+  while (cur.level > anc.level) cur = parent(cur);
+  return cur == anc;
+}
+
+}  // namespace rfid::geom

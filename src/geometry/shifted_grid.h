@@ -1,0 +1,108 @@
+// shifted_grid.h — hierarchical (r,s)-shifted grid subdivision (paper §IV).
+//
+// The PTAS of Tang et al. partitions interference disks into levels by
+// radius: level j holds all disks with 1/(k+1)^{j+1} < 2R ≤ 1/(k+1)^j (after
+// scaling so the largest radius is 1/2).  For each level j the plane is cut
+// by grid lines at multiples of (k+1)^{-j}; an (r,s)-shifting keeps only the
+// vertical lines with index ≡ r (mod k) and horizontal lines with index ≡ s
+// (mod k).  Two consecutive kept lines bound a *j-square* of side k/(k+1)^j.
+//
+// Two structural properties make the dynamic program work, and both are
+// enforced (and unit-tested) here:
+//
+//  1. Line hierarchy: a kept line at level j is also a kept line at level
+//     j+1 (index v ↦ v(k+1), and v(k+1) ≡ v (mod k)).  Hence every j-square
+//     is the disjoint union of exactly (k+1)² (j+1)-squares ("children").
+//  2. Nesting: a j-square never crosses a (j−1)-square boundary, so the
+//     squares of all levels form a forest.
+//
+// A level-j disk *survives* the shifting iff it does not intersect the
+// boundary of the j-square containing its center.  Surviving disks are
+// strictly inside exactly one j-square, which is what lets the DP decompose
+// the plane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/disk.h"
+#include "geometry/vec2.h"
+
+namespace rfid::geom {
+
+/// Identifies one square of the shifted subdivision: the square at `level`
+/// whose lower-left corner is the intersection of kept vertical line `ix`
+/// and kept horizontal line `iy` (indices in level-`level` line units).
+struct SquareKey {
+  int level = 0;
+  std::int64_t ix = 0;
+  std::int64_t iy = 0;
+
+  bool operator==(const SquareKey&) const = default;
+};
+
+struct SquareKeyHash {
+  std::size_t operator()(const SquareKey& s) const {
+    auto h = static_cast<unsigned long long>(s.level) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::uint64_t>(s.ix) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(s.iy) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One (r,s)-shifted hierarchical subdivision for a fixed parameter k ≥ 2.
+///
+/// All geometry passed in must already be scaled so that the largest disk
+/// radius is 1/2 (see sched::Ptas for the scaling step); the grid itself is
+/// agnostic to where the scaling came from.
+class ShiftedGrid {
+ public:
+  /// `k` is the PTAS quality parameter (larger k → finer shifting → better
+  /// approximation, Theorem 2).  `shift_r`, `shift_s` ∈ [0, k).
+  ShiftedGrid(int k, int shift_r, int shift_s);
+
+  int k() const { return k_; }
+  int shiftR() const { return shift_r_; }
+  int shiftS() const { return shift_s_; }
+
+  /// Level of a disk of radius `radius` ∈ (0, 1/2]:
+  /// the unique j ≥ 0 with 1/(k+1)^{j+1} < 2·radius ≤ 1/(k+1)^j.
+  int levelOf(double radius) const;
+
+  /// Distance between adjacent *unshifted* grid lines at `level`:
+  /// (k+1)^{-level}.
+  double lineSpacing(int level) const;
+
+  /// Side length of a square at `level`: k·(k+1)^{-level}.
+  double squareSide(int level) const { return k_ * lineSpacing(level); }
+
+  /// The square at `level` containing point `p` (ties broken towards the
+  /// lower-indexed square, consistent with half-open [lo, hi) cells).
+  SquareKey containingSquare(Vec2 p, int level) const;
+
+  /// Geometric extent of a square.
+  Aabb squareBox(const SquareKey& s) const;
+
+  /// True iff `disk` (whose level must be `level`) survives the shifting:
+  /// it lies strictly inside the `level`-square containing its center.
+  bool survives(const Disk& disk, int level) const;
+
+  /// The (level−1)-square containing `s`.  Requires s.level ≥ 1.
+  SquareKey parent(const SquareKey& s) const;
+
+  /// The (k+1)² squares at level s.level+1 tiling `s`, row-major.
+  std::vector<SquareKey> children(const SquareKey& s) const;
+
+  /// True iff `child` is nested (possibly transitively) inside `anc`.
+  bool isAncestor(const SquareKey& anc, const SquareKey& child) const;
+
+ private:
+  /// Largest kept-line index a ≤ t with a ≡ shift (mod k).
+  static std::int64_t alignDown(std::int64_t t, int shift, int k);
+
+  int k_;
+  int shift_r_;
+  int shift_s_;
+};
+
+}  // namespace rfid::geom

@@ -1,0 +1,51 @@
+// vec2.h — planar vector/point arithmetic for the RFID deployment plane.
+//
+// All geometry in rfidsched lives in a flat 2-D Euclidean plane, matching the
+// deployment model of Tang et al. (IPDPS 2011): readers and tags are points,
+// interference/interrogation regions are disks around reader positions.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace rfid::geom {
+
+/// A point or displacement in the 2-D deployment plane.
+///
+/// Vec2 is a plain value type; all operations are non-throwing and
+/// constexpr-friendly so geometry predicates can be evaluated in tight loops
+/// (weight evaluation touches every covered tag of every candidate reader).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double px, double py) : x(px), y(py) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Squared Euclidean norm; prefer this in comparisons to avoid sqrt.
+  constexpr double norm2() const { return x * x + y * y; }
+  /// Euclidean norm.
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Squared distance between two points (exact, no rounding from sqrt).
+constexpr double dist2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Euclidean distance ‖a − b‖ as used in Definition 2 of the paper.
+inline double dist(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace rfid::geom

@@ -1,0 +1,54 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rfid::graph {
+
+std::vector<int> greedyColoring(const InterferenceGraph& g) {
+  const int n = g.numNodes();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&g](int a, int b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+  std::vector<char> used;
+  for (const int v : order) {
+    used.assign(static_cast<std::size_t>(g.degree(v)) + 1, 0);
+    for (const int u : g.neighbors(v)) {
+      const int c = color[static_cast<std::size_t>(u)];
+      if (c >= 0 && c < static_cast<int>(used.size())) used[static_cast<std::size_t>(c)] = 1;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)] != 0) ++c;
+    color[static_cast<std::size_t>(v)] = c;
+  }
+  return color;
+}
+
+bool isProperColoring(const InterferenceGraph& g, std::span<const int> colors) {
+  for (int v = 0; v < g.numNodes(); ++v) {
+    for (const int u : g.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == colors[static_cast<std::size_t>(v)]) return false;
+    }
+  }
+  return true;
+}
+
+int numColors(std::span<const int> colors) {
+  int mx = -1;
+  for (const int c : colors) mx = std::max(mx, c);
+  return mx + 1;
+}
+
+std::vector<int> colorClass(std::span<const int> colors, int color) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    if (colors[i] == color) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace rfid::graph

@@ -1,0 +1,30 @@
+// coloring.h — graph coloring utilities.
+//
+// Colorwave assigns time-slots by coloring the interference graph; a proper
+// coloring's color classes are independent sets, hence feasible scheduling
+// sets.  Besides the distributed Colorwave node program (src/distributed),
+// the library ships a deterministic greedy coloring used as a centralized
+// reference and by the tests to sanity-check the distributed outcome.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/interference_graph.h"
+
+namespace rfid::graph {
+
+/// Greedy (first-fit) coloring in largest-degree-first order.
+/// Uses at most maxDegree+1 colors.  Returns color per node (0-based).
+std::vector<int> greedyColoring(const InterferenceGraph& g);
+
+/// True iff no edge joins two nodes of equal color.
+bool isProperColoring(const InterferenceGraph& g, std::span<const int> colors);
+
+/// Number of distinct colors used (max + 1); 0 for an empty graph.
+int numColors(std::span<const int> colors);
+
+/// Nodes of one color class, ascending.
+std::vector<int> colorClass(std::span<const int> colors, int color);
+
+}  // namespace rfid::graph

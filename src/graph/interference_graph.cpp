@@ -1,0 +1,103 @@
+#include "graph/interference_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfid::graph {
+
+InterferenceGraph::InterferenceGraph(const core::System& sys) {
+  const int n = sys.numReaders();
+  adj_.resize(static_cast<std::size_t>(n));
+  // Spatial pruning: index reader positions and query by the maximum
+  // interference radius, then apply the exact pairwise predicate.
+  double max_r = 1.0;
+  for (const core::Reader& r : sys.readers()) {
+    max_r = std::max(max_r, r.interference_radius);
+  }
+  std::vector<geom::Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  for (const core::Reader& r : sys.readers()) pos.push_back(r.pos);
+  const geom::SpatialGrid index(pos, max_r);
+
+  std::vector<int> near;
+  for (int i = 0; i < n; ++i) {
+    near.clear();
+    index.queryDisk(sys.reader(i).pos, max_r, near);
+    for (const int j : near) {
+      if (j <= i) continue;
+      if (!sys.independent(i, j)) {
+        adj_[static_cast<std::size_t>(i)].push_back(j);
+        adj_[static_cast<std::size_t>(j)].push_back(i);
+        ++num_edges_;
+      }
+    }
+  }
+  for (auto& a : adj_) std::sort(a.begin(), a.end());
+}
+
+InterferenceGraph::InterferenceGraph(
+    int num_nodes, std::span<const std::pair<int, int>> edges) {
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+  for (const auto& [u, v] : edges) {
+    assert(u != v && "self-loops are not allowed");
+    assert(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    adj_[static_cast<std::size_t>(u)].push_back(v);
+    adj_[static_cast<std::size_t>(v)].push_back(u);
+    ++num_edges_;
+  }
+  for (auto& a : adj_) {
+    std::sort(a.begin(), a.end());
+    assert(std::adjacent_find(a.begin(), a.end()) == a.end() &&
+           "duplicate edges are not allowed");
+  }
+}
+
+InterferenceGraph buildSensingGraph(const core::System& sys) {
+  const int n = sys.numReaders();
+  double max_r = 1.0;
+  for (const core::Reader& r : sys.readers()) {
+    max_r = std::max(max_r, r.interference_radius);
+  }
+  std::vector<geom::Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  for (const core::Reader& r : sys.readers()) pos.push_back(r.pos);
+  const geom::SpatialGrid index(pos, max_r);
+
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> near;
+  for (int i = 0; i < n; ++i) {
+    near.clear();
+    index.queryDisk(sys.reader(i).pos, 2.0 * max_r, near);
+    for (const int j : near) {
+      if (j <= i) continue;
+      const double reach = sys.reader(i).interference_radius +
+                           sys.reader(j).interference_radius;
+      if (geom::dist2(sys.reader(i).pos, sys.reader(j).pos) <= reach * reach) {
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+  return InterferenceGraph(n, edges);
+}
+
+bool InterferenceGraph::hasEdge(int u, int v) const {
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+int InterferenceGraph::maxDegree() const {
+  int d = 0;
+  for (const auto& a : adj_) d = std::max(d, static_cast<int>(a.size()));
+  return d;
+}
+
+bool InterferenceGraph::isIndependentSet(std::span<const int> X) const {
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    for (std::size_t j = i + 1; j < X.size(); ++j) {
+      if (X[i] == X[j] || hasEdge(X[i], X[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rfid::graph

@@ -1,0 +1,88 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace rfid::graph {
+
+namespace {
+
+/// Shared BFS core: distances from v, optionally restricted to alive nodes
+/// and/or capped at max_hops (-1 = unbounded).
+std::vector<int> bfs(const InterferenceGraph& g, int v,
+                     std::span<const char> alive, int max_hops) {
+  std::vector<int> dist(static_cast<std::size_t>(g.numNodes()), -1);
+  assert(alive.empty() || alive[static_cast<std::size_t>(v)] != 0);
+  dist[static_cast<std::size_t>(v)] = 0;
+  std::queue<int> q;
+  q.push(v);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    const int du = dist[static_cast<std::size_t>(u)];
+    if (max_hops >= 0 && du >= max_hops) continue;
+    for (const int w : g.neighbors(u)) {
+      if (!alive.empty() && alive[static_cast<std::size_t>(w)] == 0) continue;
+      if (dist[static_cast<std::size_t>(w)] != -1) continue;
+      dist[static_cast<std::size_t>(w)] = du + 1;
+      q.push(w);
+    }
+  }
+  return dist;
+}
+
+std::vector<int> collectWithin(const std::vector<int>& dist, int r) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    if (dist[i] >= 0 && dist[i] <= r) out.push_back(static_cast<int>(i));
+  }
+  return out;  // ascending by construction
+}
+
+}  // namespace
+
+std::vector<int> kHopNeighborhood(const InterferenceGraph& g, int v, int r) {
+  return collectWithin(bfs(g, v, {}, r), r);
+}
+
+std::vector<int> kHopNeighborhoodAlive(const InterferenceGraph& g, int v,
+                                       int r, std::span<const char> alive) {
+  return collectWithin(bfs(g, v, alive, r), r);
+}
+
+std::vector<int> hopDistances(const InterferenceGraph& g, int v) {
+  return bfs(g, v, {}, -1);
+}
+
+std::vector<int> hopDistancesAlive(const InterferenceGraph& g, int v,
+                                   std::span<const char> alive) {
+  return bfs(g, v, alive, -1);
+}
+
+std::vector<int> components(const InterferenceGraph& g) {
+  const int n = g.numNodes();
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  for (int v = 0; v < n; ++v) {
+    if (comp[static_cast<std::size_t>(v)] != -1) continue;
+    const auto dist = bfs(g, v, {}, -1);
+    for (int u = 0; u < n; ++u) {
+      if (dist[static_cast<std::size_t>(u)] >= 0) comp[static_cast<std::size_t>(u)] = next;
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::vector<int> growthProfile(const InterferenceGraph& g, int v, int max_r) {
+  const auto dist = bfs(g, v, {}, max_r);
+  std::vector<int> profile(static_cast<std::size_t>(max_r) + 1, 0);
+  for (const int d : dist) {
+    if (d < 0) continue;
+    for (int r = d; r <= max_r; ++r) ++profile[static_cast<std::size_t>(r)];
+  }
+  return profile;
+}
+
+}  // namespace rfid::graph

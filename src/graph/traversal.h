@@ -1,0 +1,44 @@
+// traversal.h — BFS neighborhoods and hop distances on the interference
+// graph.
+//
+// The location-free algorithms are built around r-hop neighborhoods:
+//   N(v)^r = { u : hop-distance(u, v) ≤ r }  (paper, Table I / §V).
+// Algorithm 2 grows N(v)^r until the weight stops improving geometrically;
+// Algorithm 3 floods information through N(v)^{2c+2}.  These helpers keep
+// the hop semantics in one place so the centralized and distributed code
+// paths provably agree.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/interference_graph.h"
+
+namespace rfid::graph {
+
+/// Nodes with hop-distance ≤ r from v (includes v itself at distance 0),
+/// ascending order.
+std::vector<int> kHopNeighborhood(const InterferenceGraph& g, int v, int r);
+
+/// Like kHopNeighborhood but restricted to nodes for which alive[u] != 0.
+/// Paths must stay inside the alive subgraph — "removed" nodes (paper's
+/// N^{r+1} deletion, Algorithm 2 line 5) do not relay hops.
+std::vector<int> kHopNeighborhoodAlive(const InterferenceGraph& g, int v,
+                                       int r, std::span<const char> alive);
+
+/// Hop distance from v to every node; -1 for unreachable.
+std::vector<int> hopDistances(const InterferenceGraph& g, int v);
+
+/// Hop distances from v restricted to the alive subgraph (v must be alive).
+std::vector<int> hopDistancesAlive(const InterferenceGraph& g, int v,
+                                   std::span<const char> alive);
+
+/// Connected components; returns component id per node (0-based, dense).
+std::vector<int> components(const InterferenceGraph& g);
+
+/// The growth function of the graph around v: f(r) = |N(v)^r|.  Used by the
+/// tests to check the growth-bounded property the paper's Theorems 3 and 5
+/// rely on (polynomial growth in r for geometric interference graphs).
+std::vector<int> growthProfile(const InterferenceGraph& g, int v, int max_r);
+
+}  // namespace rfid::graph

@@ -1,0 +1,44 @@
+#include "protocol/aloha.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rfid::protocol {
+
+AlohaResult runAloha(int num_tags, workload::Rng& rng,
+                     const AlohaOptions& opt) {
+  AlohaResult res;
+  int remaining = num_tags;
+  int frame = std::clamp(opt.initial_frame, opt.min_frame, opt.max_frame);
+  std::vector<int> occupancy;
+
+  while (remaining > 0 && res.frames < opt.max_frames) {
+    occupancy.assign(static_cast<std::size_t>(frame), 0);
+    for (int t = 0; t < remaining; ++t) {
+      ++occupancy[static_cast<std::size_t>(rng.uniformInt(0, frame - 1))];
+    }
+    int singles = 0;
+    int collisions = 0;
+    int empties = 0;
+    for (const int o : occupancy) {
+      if (o == 0) ++empties;
+      else if (o == 1) ++singles;
+      else ++collisions;
+    }
+    remaining -= singles;
+    res.tags_identified += singles;
+    res.collisions += collisions;
+    res.empties += empties;
+    res.micro_slots += frame;
+    ++res.frames;
+
+    // Vogt's rule of thumb: a collision slot hides ≥ 2 tags on average, so
+    // the backlog estimate is 2·collisions; frame size tracks the backlog.
+    const int estimate = std::max(remaining > 0 ? 1 : 0, 2 * collisions);
+    frame = std::clamp(estimate, opt.min_frame, opt.max_frame);
+  }
+  res.completed = remaining == 0;
+  return res;
+}
+
+}  // namespace rfid::protocol

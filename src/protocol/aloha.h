@@ -1,0 +1,44 @@
+// aloha.h — framed slotted ALOHA tag arbitration (paper §II, TTc).
+//
+// Inside one scheduler time-slot, an active reader must arbitrate among the
+// tags it well-covers (tag–tag collisions).  The paper delegates this to
+// link-layer protocols and sizes the macro time-slot "such that each active
+// reader is able to read at least one tag".  This module simulates framed
+// slotted ALOHA (Vogt, Pervasive'02): each frame has F micro-slots, every
+// unidentified tag answers in a uniformly random micro-slot, singleton
+// slots identify a tag, and the reader re-sizes the next frame from what it
+// observed — giving the slot-duration metrics used by bench/protocol_slots.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/rng.h"
+
+namespace rfid::protocol {
+
+struct AlohaOptions {
+  int initial_frame = 16;
+  int min_frame = 1;
+  int max_frame = 1024;
+  /// Safety cap on simulated frames.
+  int max_frames = 100000;
+};
+
+struct AlohaResult {
+  int tags_identified = 0;
+  int frames = 0;
+  /// Total micro-slots elapsed (the slot-duration currency).
+  std::int64_t micro_slots = 0;
+  std::int64_t collisions = 0;
+  std::int64_t empties = 0;
+  bool completed = false;
+};
+
+/// Runs framed ALOHA until all `num_tags` tags are identified (or the frame
+/// cap is hit).  Frame adaptation: the next frame size is the lowest-error
+/// Vogt estimate — 2·(collision slots of the previous frame) + remaining
+/// singletons' leftovers — clamped to [min_frame, max_frame].
+AlohaResult runAloha(int num_tags, workload::Rng& rng,
+                     const AlohaOptions& opt = {});
+
+}  // namespace rfid::protocol

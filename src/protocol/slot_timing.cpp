@@ -1,0 +1,61 @@
+#include "protocol/slot_timing.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "protocol/aloha.h"
+#include "protocol/tree_walking.h"
+
+namespace rfid::protocol {
+
+namespace {
+
+/// Bits needed to separate all EPCs in the system.
+int epcBits(const core::System& sys) {
+  std::uint64_t mx = 1;
+  for (const core::Tag& t : sys.tags()) mx = std::max(mx, t.epc);
+  return std::max(1, 64 - std::countl_zero(mx));
+}
+
+}  // namespace
+
+SlotTimingResult timeSchedule(core::System& sys,
+                              const sched::McsResult& schedule,
+                              Arbitration arbitration, workload::Rng rng) {
+  SlotTimingResult res;
+  sys.resetReads();
+  const int bits = epcBits(sys);
+
+  for (const sched::SlotRecord& slot : schedule.schedule) {
+    // Recover which tags each active reader serves this slot.
+    const std::vector<int> served = sys.wellCoveredTags(slot.active);
+    std::int64_t slot_max = 0;
+    for (const int v : slot.active) {
+      // Tags of v among the served set (exclusive coverage ⇒ unique owner).
+      std::vector<std::uint64_t> epcs;
+      for (const int t : sys.coverage(v)) {
+        if (std::binary_search(served.begin(), served.end(), t)) {
+          epcs.push_back(sys.tag(t).epc);
+        }
+      }
+      if (epcs.empty()) continue;
+      std::int64_t cost = 0;
+      if (arbitration == Arbitration::kAloha) {
+        workload::Rng reader_rng = rng.split("aloha", static_cast<std::uint64_t>(
+            res.macro_slots * 1000 + v));
+        cost = runAloha(static_cast<int>(epcs.size()), reader_rng).micro_slots;
+      } else {
+        cost = runTreeWalk(epcs, bits).probes;
+      }
+      slot_max = std::max(slot_max, cost);
+      res.micro_slots_serial += cost;
+    }
+    res.micro_slots += slot_max;
+    ++res.macro_slots;
+    res.tags_read += static_cast<int>(served.size());
+    sys.markRead(served);
+  }
+  return res;
+}
+
+}  // namespace rfid::protocol

@@ -1,0 +1,39 @@
+// slot_timing.h — macro-slot duration accounting (paper §III).
+//
+// The paper sizes the macro time-slot so every active reader can serve at
+// least one well-covered tag, then measures schedules in slots.  This
+// adapter descends one level: it replays a covering schedule and charges
+// each slot the micro-slots its *slowest* active reader needs to arbitrate
+// its well-covered tags (readers run in parallel within a slot; TTc
+// arbitration is per-reader).  That converts "number of slots" into the
+// physical air-time the installation would actually spend — the extension
+// experiment bench/protocol_slots reports both.
+#pragma once
+
+#include <cstdint>
+
+#include "core/system.h"
+#include "sched/mcs.h"
+#include "workload/rng.h"
+
+namespace rfid::protocol {
+
+enum class Arbitration { kAloha, kTreeWalk };
+
+struct SlotTimingResult {
+  int macro_slots = 0;
+  /// Σ over slots of max-over-active-readers arbitration cost.
+  std::int64_t micro_slots = 0;
+  /// Σ over slots and readers (total energy/air-time if slots were serial).
+  std::int64_t micro_slots_serial = 0;
+  int tags_read = 0;
+};
+
+/// Replays `schedule` on a fresh copy of the read-state of `sys` (the
+/// system is reset and re-marked internally, restoring the caller's state
+/// afterwards is the caller's business — pass a scratch copy).
+SlotTimingResult timeSchedule(core::System& sys,
+                              const sched::McsResult& schedule,
+                              Arbitration arbitration, workload::Rng rng);
+
+}  // namespace rfid::protocol

@@ -1,0 +1,55 @@
+#include "protocol/tree_walking.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace rfid::protocol {
+
+namespace {
+
+/// Recursive walk over [prefix, bit position]; `ids` is the sorted slice of
+/// EPCs matching the current prefix.
+void walk(std::span<const std::uint64_t> ids, int bits_left,
+          TreeWalkResult& res) {
+  ++res.probes;  // the query for this prefix
+  if (ids.empty()) {
+    ++res.empties;
+    return;
+  }
+  if (ids.size() == 1) {
+    ++res.tags_identified;
+    return;
+  }
+  // All remaining ids identical: indistinguishable tags; identify one and
+  // stop splitting (the subtree would recurse forever otherwise).
+  if (ids.front() == ids.back()) {
+    assert(false && "duplicate EPCs cannot be arbitrated");
+    ++res.tags_identified;
+    return;
+  }
+  ++res.collisions;
+  assert(bits_left > 0 && "distinct ids must differ within id_bits");
+  const std::uint64_t mask = 1ull << (bits_left - 1);
+  // ids sorted → the 0-branch is a prefix slice.
+  const auto split = std::partition_point(
+      ids.begin(), ids.end(),
+      [mask](std::uint64_t v) { return (v & mask) == 0; });
+  const auto zero_len = static_cast<std::size_t>(split - ids.begin());
+  walk(ids.subspan(0, zero_len), bits_left - 1, res);
+  walk(ids.subspan(zero_len), bits_left - 1, res);
+}
+
+}  // namespace
+
+TreeWalkResult runTreeWalk(std::span<const std::uint64_t> epcs, int id_bits) {
+  TreeWalkResult res;
+  std::vector<std::uint64_t> sorted(epcs.begin(), epcs.end());
+  std::sort(sorted.begin(), sorted.end());
+  walk(sorted, id_bits, res);
+  // The root probe asked "anyone there?", which is part of the protocol,
+  // so probes ≥ 1 even for zero tags.
+  return res;
+}
+
+}  // namespace rfid::protocol

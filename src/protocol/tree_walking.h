@@ -1,0 +1,31 @@
+// tree_walking.h — binary tree-walking tag arbitration (paper §II, TTc).
+//
+// The deterministic alternative to ALOHA (Law/Lee/Siu; Hush/Wood): the
+// reader walks the binary EPC-id space, querying prefixes.  All tags whose
+// id extends the queried prefix respond; a collision splits the prefix, a
+// singleton identifies the tag, an empty prunes the subtree.  Probe count
+// is the slot-duration currency — deterministic in the tag id multiset,
+// unlike ALOHA.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rfid::protocol {
+
+struct TreeWalkResult {
+  int tags_identified = 0;
+  /// Reader queries issued (each costs one micro-slot on air).
+  std::int64_t probes = 0;
+  std::int64_t collisions = 0;
+  std::int64_t empties = 0;
+};
+
+/// Identifies every tag in `epcs` by walking the `id_bits`-bit binary tree
+/// from the most significant bit.  Duplicate EPCs are a physical
+/// impossibility the protocol cannot separate; they are counted once and
+/// the walk still terminates (asserted in debug builds).
+TreeWalkResult runTreeWalk(std::span<const std::uint64_t> epcs,
+                           int id_bits = 16);
+
+}  // namespace rfid::protocol

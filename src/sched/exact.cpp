@@ -1,0 +1,192 @@
+#include "sched/exact.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+namespace rfid::sched {
+
+namespace {
+
+/// Branch & bound over a LocalProblem with dense tag ids.
+class Search {
+ public:
+  Search(const LocalProblem& p, std::int64_t node_limit)
+      : p_(p), node_limit_(node_limit) {
+    const int n = static_cast<int>(p.adj.size());
+    // Densify tag ids for O(1) multiplicity counters.
+    std::unordered_map<int, int> remap;
+    coverage_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (const int t : p.coverage[static_cast<std::size_t>(i)]) {
+        const auto [it, fresh] = remap.try_emplace(t, static_cast<int>(remap.size()));
+        coverage_[static_cast<std::size_t>(i)].push_back(it->second);
+      }
+    }
+    count_.assign(remap.size(), 0);
+    // Preloaded context coverage: multiplicities the outside world already
+    // holds on these tags.  Ids that no candidate covers are irrelevant.
+    for (const int t : p.preload) {
+      const auto it = remap.find(t);
+      if (it != remap.end()) ++count_[static_cast<std::size_t>(it->second)];
+    }
+    for (const int c : count_) unclaimed_ += (c == 0);
+    conflict_.assign(static_cast<std::size_t>(n), 0);
+
+    // Explore high-coverage candidates first: better incumbents earlier,
+    // tighter bounds.
+    order_.resize(static_cast<std::size_t>(n));
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [this](int a, int b) {
+      return coverage_[static_cast<std::size_t>(a)].size() >
+             coverage_[static_cast<std::size_t>(b)].size();
+    });
+  }
+
+  BnbResult run() {
+    recurse(0);
+    std::sort(best_.begin(), best_.end());
+    return {best_, best_weight_, nodes_, !budget_hit_};
+  }
+
+ private:
+  int pushCandidate(int c) {
+    int delta = 0;
+    for (const int t : coverage_[static_cast<std::size_t>(c)]) {
+      const int k = count_[static_cast<std::size_t>(t)]++;
+      if (k == 0) {
+        ++delta;
+        --unclaimed_;
+      } else if (k == 1) {
+        --delta;
+      }
+    }
+    for (const int u : p_.adj[static_cast<std::size_t>(c)]) ++conflict_[static_cast<std::size_t>(u)];
+    chosen_.push_back(c);
+    weight_ += delta;
+    return delta;
+  }
+
+  void popCandidate() {
+    const int c = chosen_.back();
+    chosen_.pop_back();
+    int delta = 0;
+    for (const int t : coverage_[static_cast<std::size_t>(c)]) {
+      const int k = --count_[static_cast<std::size_t>(t)];
+      if (k == 0) {
+        --delta;
+        ++unclaimed_;
+      } else if (k == 1) {
+        ++delta;
+      }
+    }
+    for (const int u : p_.adj[static_cast<std::size_t>(c)]) --conflict_[static_cast<std::size_t>(u)];
+    weight_ += delta;
+  }
+
+  /// Admissible bound, the tighter of two relaxations:
+  ///  (a) adding candidate c raises the weight by at most |coverage(c)|,
+  ///      summed over the still-selectable suffix;
+  ///  (b) the weight can only grow by claiming currently-unclaimed tags,
+  ///      so no completion gains more than `unclaimed_` in total.
+  /// (b) is what kills the combinatorial tail on dense instances, where
+  /// nearly every tag is already covered once and (a) stays huge.
+  int suffixBound(std::size_t pos) const {
+    int b = 0;
+    for (std::size_t i = pos; i < order_.size(); ++i) {
+      const int c = order_[i];
+      if (conflict_[static_cast<std::size_t>(c)] == 0) {
+        b += static_cast<int>(coverage_[static_cast<std::size_t>(c)].size());
+        if (b >= unclaimed_) return unclaimed_;
+      }
+    }
+    return b;
+  }
+
+  void recurse(std::size_t pos) {
+    ++nodes_;
+    if (node_limit_ > 0 && nodes_ > node_limit_) {
+      budget_hit_ = true;
+      return;
+    }
+    if (weight_ > best_weight_) {
+      best_weight_ = weight_;
+      best_ = chosen_;
+    }
+    if (pos >= order_.size()) return;
+    if (weight_ + suffixBound(pos) <= best_weight_) return;  // prune
+
+    const int c = order_[pos];
+    if (conflict_[static_cast<std::size_t>(c)] == 0) {
+      pushCandidate(c);
+      recurse(pos + 1);
+      popCandidate();
+      if (budget_hit_) return;
+    }
+    recurse(pos + 1);
+  }
+
+  const LocalProblem& p_;
+  std::int64_t node_limit_;
+  std::vector<std::vector<int>> coverage_;  // densified tag ids
+  std::vector<int> count_;
+  std::vector<int> conflict_;
+  std::vector<int> order_;
+  std::vector<int> chosen_;
+  int unclaimed_ = 0;  // tags with multiplicity 0 (including preload)
+  int weight_ = 0;
+  int best_weight_ = 0;  // the empty set has weight 0
+  std::vector<int> best_;
+  std::int64_t nodes_ = 0;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit) {
+  assert(problem.adj.size() == problem.coverage.size());
+  Search s(problem, node_limit);
+  return s.run();
+}
+
+BnbResult maxWeightFeasibleSubset(const core::System& sys,
+                                  std::span<const int> candidates,
+                                  std::int64_t node_limit,
+                                  std::span<const int> committed) {
+  const int n = static_cast<int>(candidates.size());
+  LocalProblem p;
+  for (const int c : committed) {
+    for (const int t : sys.coverage(c)) {
+      if (!sys.isRead(t)) p.preload.push_back(t);
+    }
+  }
+  p.adj.resize(static_cast<std::size_t>(n));
+  p.coverage.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!sys.independent(candidates[static_cast<std::size_t>(i)],
+                           candidates[static_cast<std::size_t>(j)])) {
+        p.adj[static_cast<std::size_t>(i)].push_back(j);
+        p.adj[static_cast<std::size_t>(j)].push_back(i);
+      }
+    }
+    for (const int t : sys.coverage(candidates[static_cast<std::size_t>(i)])) {
+      if (!sys.isRead(t)) p.coverage[static_cast<std::size_t>(i)].push_back(t);
+    }
+  }
+  BnbResult res = solveLocal(p, node_limit);
+  // Translate local indices back to reader indices.
+  for (int& m : res.members) m = candidates[static_cast<std::size_t>(m)];
+  std::sort(res.members.begin(), res.members.end());
+  return res;
+}
+
+OneShotResult ExactScheduler::schedule(const core::System& sys) {
+  std::vector<int> all(static_cast<std::size_t>(sys.numReaders()));
+  std::iota(all.begin(), all.end(), 0);
+  const BnbResult res = maxWeightFeasibleSubset(sys, all, node_limit_);
+  return {res.members, res.weight};
+}
+
+}  // namespace rfid::sched

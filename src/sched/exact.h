@@ -1,0 +1,88 @@
+// exact.h — exact Maximum Weighted Feasible Scheduling set solvers.
+//
+// The paper's approximation guarantees (Theorems 2, 4, 6) are stated against
+// the optimum w(OPT).  This module computes that optimum by branch & bound
+// so the tests can check the guarantees empirically and the ablations can
+// report true approximation ratios on small instances.  It is also the
+// engine behind the *local* MWFS computations of Algorithms 2 and 3: their
+// neighborhoods are small (growth-bounded), so exact local search is exactly
+// what the paper prescribes ("compute MWFS ... by enumeration", §V-B).
+//
+// Weight is sub-additive (RRc), so this is not a plain max-weight
+// independent-set instance: the objective is evaluated by live coverage
+// multiplicities (core::WeightEvaluator semantics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/system.h"
+#include "sched/scheduler.h"
+
+namespace rfid::sched {
+
+/// A self-contained local MWFS instance over `n = adj.size()` candidates.
+///
+/// Used directly by the distributed algorithm, whose coordinators only know
+/// what arrived in messages: local conflict edges and per-candidate unread
+/// tag-id lists.  Tag ids are arbitrary non-negative ints, shared across
+/// candidates (shared ids model RRc overlap).
+struct LocalProblem {
+  /// adj[i] = conflicting candidates (must not be co-selected), ascending.
+  std::vector<std::vector<int>> adj;
+  /// coverage[i] = ids of *unread* tags inside candidate i's interrogation
+  /// region.
+  std::vector<std::vector<int>> coverage;
+  /// Tags already covered by readers selected *outside* this subproblem
+  /// (repeat an id to record multiplicity).  The solver then maximizes the
+  /// *marginal* weight: covering a preloaded tag once more removes it from
+  /// the outside context's well-covered set (RRc), which scores −1, and
+  /// never +1.  An empty preload reduces to plain MWFS.
+  std::vector<int> preload;
+};
+
+struct BnbResult {
+  /// Chosen candidates (local indices for solveLocal, reader indices for
+  /// the System overloads), ascending.
+  std::vector<int> members;
+  int weight = 0;
+  /// Search nodes expanded.
+  std::int64_t nodes = 0;
+  /// True iff the search ran to completion (false = node budget hit and the
+  /// result is only the best found so far).
+  bool optimal = true;
+};
+
+/// Exact MWFS on a LocalProblem via branch & bound.
+/// Bound: current weight + Σ exclusive-coverage upper bounds of remaining
+/// selectable candidates.  `node_limit` caps the search (≤0 = unlimited).
+BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit = 0);
+
+/// Exact MWFS restricted to `candidates` (reader indices) of `sys`,
+/// scored against the system's current unread set.  When `committed` is
+/// non-empty, the result maximizes the weight *marginal* to those already
+/// selected readers (their unread coverage is preloaded), which is how the
+/// growth algorithms keep later picks from silently cancelling earlier
+/// picks' tags through RRc.
+BnbResult maxWeightFeasibleSubset(const core::System& sys,
+                                  std::span<const int> candidates,
+                                  std::int64_t node_limit = 0,
+                                  std::span<const int> committed = {});
+
+/// Exact one-shot scheduler over all readers.  Exponential in the worst
+/// case — intended for tests and small-n ablations, not the paper-scale
+/// sweeps.
+class ExactScheduler final : public OneShotScheduler {
+ public:
+  explicit ExactScheduler(std::int64_t node_limit = 0)
+      : node_limit_(node_limit) {}
+
+  std::string name() const override { return "Exact"; }
+  OneShotResult schedule(const core::System& sys) override;
+
+ private:
+  std::int64_t node_limit_;
+};
+
+}  // namespace rfid::sched

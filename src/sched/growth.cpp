@@ -1,0 +1,85 @@
+#include "sched/growth.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/weight.h"
+#include "graph/traversal.h"
+#include "sched/exact.h"
+
+namespace rfid::sched {
+
+GrowthScheduler::GrowthScheduler(const graph::InterferenceGraph& g,
+                                 GrowthOptions opt)
+    : graph_(&g), opt_(opt) {
+  assert(opt_.rho > 1.0 && "rho must exceed 1 for inequality (1) to bind");
+  assert(opt_.hop_cap >= 0);
+}
+
+OneShotResult GrowthScheduler::schedule(const core::System& sys) {
+  assert(graph_->numNodes() == sys.numReaders());
+  const int n = sys.numReaders();
+  stats_ = {};
+
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  std::vector<int> X;
+  // Tracks X's coverage so picks and local MWFS are scored *marginally*:
+  // readers from different (graph-independent) regions can still share
+  // interrogation area and cancel each other's tags through RRc, which the
+  // paper's weight definition charges but pure local scoring would miss.
+  core::WeightEvaluator committed(sys);
+
+  while (true) {
+    // Pick the alive reader with maximum marginal standalone weight.
+    int v = -1;
+    int vw = 0;
+    for (int u = 0; u < n; ++u) {
+      if (alive[static_cast<std::size_t>(u)] == 0) continue;
+      const int w = committed.peekDelta(u);
+      if (w > vw) {
+        vw = w;
+        v = u;
+      }
+    }
+    // No alive reader can add value: adding any subset of the remaining
+    // readers is non-positive (marginal deltas are subadditive), stop.
+    if (v < 0) break;
+    ++stats_.picks;
+
+    // Grow Γ_r until inequality (1) fails (or the cap / the component edge
+    // is hit — once N stops growing, Γ stops improving and (1) fails with
+    // ratio 1 < ρ anyway).
+    std::vector<int> gamma = {v};  // Γ_0 = MWFS within {v}
+    int gamma_w = vw;
+    int rbar = 0;
+    for (int r = 0; r < opt_.hop_cap; ++r) {
+      const auto next_hood =
+          graph::kHopNeighborhoodAlive(*graph_, v, r + 1, alive);
+      const BnbResult next = maxWeightFeasibleSubset(
+          sys, next_hood, opt_.node_limit, committed.members());
+      stats_.bnb_nodes += next.nodes;
+      if (static_cast<double>(next.weight) <
+          opt_.rho * static_cast<double>(gamma_w)) {
+        break;  // first violation: keep Γ_r
+      }
+      gamma = next.members;
+      gamma_w = next.weight;
+      rbar = r + 1;
+    }
+    stats_.max_rbar = std::max(stats_.max_rbar, rbar);
+
+    X.insert(X.end(), gamma.begin(), gamma.end());
+    for (const int u : gamma) committed.push(u);
+
+    // Remove N(v)^{r̄+1}; guarantees feasibility of the union across picks.
+    for (const int u :
+         graph::kHopNeighborhoodAlive(*graph_, v, rbar + 1, alive)) {
+      alive[static_cast<std::size_t>(u)] = 0;
+    }
+  }
+
+  std::sort(X.begin(), X.end());
+  return {X, sys.weight(X)};
+}
+
+}  // namespace rfid::sched

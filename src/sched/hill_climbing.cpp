@@ -1,0 +1,40 @@
+#include "sched/hill_climbing.h"
+
+#include <algorithm>
+
+#include "core/weight.h"
+
+namespace rfid::sched {
+
+OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
+  const int n = sys.numReaders();
+  core::WeightEvaluator eval(sys);
+  std::vector<char> blocked(static_cast<std::size_t>(n), 0);  // conflicts with chosen
+
+  while (true) {
+    int best = -1;
+    int best_delta = 0;  // require strictly positive progress
+    for (int v = 0; v < n; ++v) {
+      if (blocked[static_cast<std::size_t>(v)] != 0) continue;
+      const int delta = eval.peekDelta(v);
+      if (delta > best_delta) {
+        best_delta = delta;
+        best = v;
+      }
+    }
+    if (best < 0) break;  // incremental weight would be <= 0 everywhere
+    eval.push(best);
+    blocked[static_cast<std::size_t>(best)] = 1;
+    for (int v = 0; v < n; ++v) {
+      if (blocked[static_cast<std::size_t>(v)] == 0 && !sys.independent(best, v)) {
+        blocked[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+
+  std::vector<int> members(eval.members().begin(), eval.members().end());
+  std::sort(members.begin(), members.end());
+  return {members, eval.weight()};
+}
+
+}  // namespace rfid::sched

@@ -1,0 +1,24 @@
+// hill_climbing.h — Greedy Hill-Climbing baseline (GHC, paper §VI).
+//
+// "At each step, we select a reader to add to the current active reader
+//  set, in order to maximize the incremental weight together with other
+//  active readers at this time-slot.  Then we keep adding the reader to the
+//  active set one by one recursively until the weight starts to decrease
+//  (the incremental weight becomes negative) due to various collisions."
+//
+// Additions are restricted to readers independent of the current set: an
+// interfering addition creates RTc and can only lose weight, so GHC would
+// never take it anyway; excluding it keeps the produced set feasible.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace rfid::sched {
+
+class HillClimbingScheduler final : public OneShotScheduler {
+ public:
+  std::string name() const override { return "GHC"; }
+  OneShotResult schedule(const core::System& sys) override;
+};
+
+}  // namespace rfid::sched

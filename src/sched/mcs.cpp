@@ -1,0 +1,33 @@
+#include "sched/mcs.h"
+
+namespace rfid::sched {
+
+McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
+                              const McsOptions& opt) {
+  McsResult res;
+  res.uncoverable = sys.unreadCount() - sys.unreadCoverableCount();
+
+  int stall = 0;
+  while (sys.unreadCoverableCount() > 0 && res.slots < opt.max_slots) {
+    const OneShotResult one = scheduler.schedule(sys);
+    const std::vector<int> served = sys.wellCoveredTags(one.readers);
+    sys.markRead(served);
+
+    SlotRecord rec;
+    rec.active = one.readers;
+    rec.tags_read = static_cast<int>(served.size());
+    res.schedule.push_back(std::move(rec));
+    ++res.slots;
+    res.tags_read += static_cast<int>(served.size());
+
+    if (served.empty()) {
+      if (++stall >= opt.max_stall) break;
+    } else {
+      stall = 0;
+    }
+  }
+  res.completed = sys.unreadCoverableCount() == 0;
+  return res;
+}
+
+}  // namespace rfid::sched

@@ -1,0 +1,57 @@
+// mcs.h — the Minimum Covering Schedule greedy driver (paper §III).
+//
+// "At the q-th time-slot, choose a feasible scheduling set with maximum
+//  weight and let them be active; terminate when there are no unread tags
+//  remained."  (Theorem 1: with an exact per-slot MWFS this is a log n
+//  approximation of the minimum covering schedule.)
+//
+// The driver iterates any OneShotScheduler, marks the well-covered tags of
+// each slot as read (the tag goes passive, Definition 4), and records the
+// full schedule.  It is the referee: whatever set a scheduler proposes is
+// re-evaluated with the Definition 1 semantics — infeasible proposals (e.g.
+// a not-yet-converged Colorwave class) simply serve fewer tags, exactly as
+// the physics would dictate.
+#pragma once
+
+#include <vector>
+
+#include "core/system.h"
+#include "sched/scheduler.h"
+
+namespace rfid::sched {
+
+struct McsOptions {
+  /// Absolute slot cap (guards against pathological schedulers).
+  int max_slots = 100000;
+  /// Abort after this many consecutive zero-progress slots.  A stalled
+  /// randomized baseline (Colorwave before convergence) may waste slots;
+  /// a *persistently* stalled one would loop forever.
+  int max_stall = 500;
+};
+
+/// One executed time-slot.
+struct SlotRecord {
+  std::vector<int> active;   // the set the scheduler proposed
+  int tags_read = 0;         // well-covered tags actually served
+};
+
+struct McsResult {
+  /// The size of the covering schedule: total slots consumed, including
+  /// zero-progress slots (they cost real time on air).
+  int slots = 0;
+  int tags_read = 0;
+  /// Unread tags that no reader covers (can never be served — excluded
+  /// from the covering requirement, Definition 4 covers only the monitored
+  /// region M).
+  int uncoverable = 0;
+  /// True iff every coverable tag was served within the slot caps.
+  bool completed = false;
+  std::vector<SlotRecord> schedule;
+};
+
+/// Runs the greedy covering-schedule loop, mutating `sys`'s read-state.
+/// Call sys.resetReads() first if the system was used before.
+McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
+                              const McsOptions& opt = {});
+
+}  // namespace rfid::sched

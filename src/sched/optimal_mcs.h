@@ -1,0 +1,35 @@
+// optimal_mcs.h — exact Minimum Covering Schedule on small instances.
+//
+// MCS is NP-hard (§III reduces from geometric set cover), but tiny
+// instances admit an exact answer: breadth-first search over the lattice of
+// unread-tag sets, where one transition activates any feasible scheduling
+// set and retires its well-covered tags.  The exact size is what Theorem 1
+// ("the greedy MWFS loop is a log n approximation") is stated against, so
+// the tests validate the driver's guarantee empirically here.
+//
+// Complexity is O(2^m · F) where m = coverable tags and F = number of
+// *useful* feasible sets, so callers must keep m ≤ ~20.  The search prunes
+// dominated transitions: only maximal well-covered outcomes matter.
+#pragma once
+
+#include <cstdint>
+
+#include "core/system.h"
+
+namespace rfid::sched {
+
+struct OptimalMcsResult {
+  /// Exact minimum number of slots to serve every coverable unread tag;
+  /// -1 if the search exceeded its budget.
+  int slots = -1;
+  /// States expanded by the BFS.
+  std::int64_t states = 0;
+};
+
+/// Computes the exact MCS size for the system's current unread set.
+/// Requires numReaders ≤ 20 and coverable unread tags ≤ 22 (asserted).
+/// `max_states` bounds the BFS frontier work (0 = 4M default).
+OptimalMcsResult optimalCoveringScheduleSize(const core::System& sys,
+                                             std::int64_t max_states = 0);
+
+}  // namespace rfid::sched

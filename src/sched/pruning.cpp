@@ -1,0 +1,47 @@
+#include "sched/pruning.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/weight.h"
+
+namespace rfid::sched {
+
+PruningWrapper::PruningWrapper(std::unique_ptr<OneShotScheduler> inner)
+    : inner_(std::move(inner)) {}
+
+OneShotResult PruningWrapper::schedule(const core::System& sys) {
+  const OneShotResult proposal = inner_->schedule(sys);
+
+  core::WeightEvaluator eval(sys);
+  std::vector<char> blocked(static_cast<std::size_t>(sys.numReaders()), 0);
+  std::vector<int> kept;
+  while (true) {
+    int best = -1;
+    int best_delta = 0;
+    for (const int v : proposal.readers) {
+      if (blocked[static_cast<std::size_t>(v)] != 0) continue;
+      const int d = eval.peekDelta(v);
+      if (d > best_delta) {
+        best_delta = d;
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    eval.push(best);
+    kept.push_back(best);
+    blocked[static_cast<std::size_t>(best)] = 1;
+    // Keep the re-selected subset feasible even if the proposal wasn't:
+    // a pruned overlay cannot fix an interfering proposal, but it must not
+    // make RTc worse by keeping both sides of a conflict.
+    for (const int v : proposal.readers) {
+      if (blocked[static_cast<std::size_t>(v)] == 0 && !sys.independent(best, v)) {
+        blocked[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  return {kept, eval.weight()};
+}
+
+}  // namespace rfid::sched

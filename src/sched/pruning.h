@@ -1,0 +1,39 @@
+// pruning.h — marginal-pruning overlay for weight-blind schedulers.
+//
+// Colorwave and HiQ schedule *air time*: their slot proposals contain
+// readers that contribute nothing (or negatively, through RRc) to the
+// current slot's weight.  This wrapper takes any scheduler's proposal and
+// greedily re-selects within it by positive marginal weight — the cheapest
+// possible injection of Definition-3 awareness, requiring only the tag
+// counts a reader already learns from its own read attempts.
+//
+// The ablation question it answers (bench/baselines_extra): how much of the
+// gap between the paper's algorithms and the baselines is *weight
+// awareness*, and how much is scheduling structure?  Pruning closes part of
+// the first and none of the second.
+#pragma once
+
+#include <memory>
+
+#include "sched/scheduler.h"
+
+namespace rfid::sched {
+
+class PruningWrapper final : public OneShotScheduler {
+ public:
+  /// Takes ownership of the wrapped scheduler.
+  explicit PruningWrapper(std::unique_ptr<OneShotScheduler> inner);
+
+  std::string name() const override { return inner_->name() + "+prune"; }
+
+  /// Asks `inner` for a proposal, then greedily keeps the subset with
+  /// positive marginal weight (largest-gain first, independence preserved
+  /// among kept members).  Never returns a worse set than the best single
+  /// member of the proposal.
+  OneShotResult schedule(const core::System& sys) override;
+
+ private:
+  std::unique_ptr<OneShotScheduler> inner_;
+};
+
+}  // namespace rfid::sched

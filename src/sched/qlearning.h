@@ -1,0 +1,73 @@
+// qlearning.h — HiQ-style Q-learning slot allocation (related work, [14]).
+//
+// Ho, Engels and Sarma's HiQ solves the reader collision problem with a
+// hierarchical Q-learning process that "yields an optimized resource
+// (channel and time slot) allocation scheme after a training period"; the
+// paper cites it as a baseline-family that "does not provide any
+// performance guarantee" (§VII).  This is the flattened, single-tier form:
+//
+//   * each reader keeps Q[s] over the S slots of a TDMA frame;
+//   * per training episode every reader ε-greedily picks a slot, the frame
+//     is simulated, and each reader's reward is the number of tags it
+//     would exclusively serve in its slot (zero when it is an RTc victim);
+//   * Q-values update with learning rate α, ε decays geometrically;
+//   * after training, readers commit to argmax Q and the scheduler rotates
+//     through the frame's slots.
+//
+// Like Colorwave it is weight-blind at schedule time and learns only from
+// collision feedback — which is exactly why the paper's algorithms beat it.
+// Periodic retraining keeps it live inside the MCS loop (rewards follow the
+// shrinking unread population, mirroring HiQ's online adaptation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "workload/rng.h"
+
+namespace rfid::sched {
+
+struct QLearningOptions {
+  /// Slots per TDMA frame (the resource being allocated).
+  int frame_slots = 8;
+  /// Training episodes before the first frame (and after each retrain).
+  int episodes = 300;
+  /// Learning rate α ∈ (0, 1].
+  double alpha = 0.2;
+  /// Initial exploration rate; decays by `epsilon_decay` per episode.
+  double epsilon = 0.5;
+  double epsilon_decay = 0.995;
+  /// Retrain after this many served slots (0 = never retrain).
+  int retrain_every = 16;
+};
+
+class QLearningScheduler final : public OneShotScheduler {
+ public:
+  explicit QLearningScheduler(std::uint64_t seed, QLearningOptions opt = {});
+
+  std::string name() const override { return "HiQ"; }
+  OneShotResult schedule(const core::System& sys) override;
+
+  /// Current slot assignment (argmax Q per reader); empty before training.
+  std::vector<int> assignment() const;
+
+  struct Stats {
+    int trainings = 0;
+    std::int64_t episodes_run = 0;
+    double last_mean_reward = 0.0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void train(const core::System& sys);
+
+  QLearningOptions opt_;
+  workload::Rng rng_;
+  std::vector<std::vector<double>> q_;  // [reader][slot]
+  int slot_counter_ = 0;
+  int slots_since_training_ = -1;  // -1 = never trained
+  Stats stats_;
+};
+
+}  // namespace rfid::sched

@@ -1,0 +1,3 @@
+#include "sched/scheduler.h"
+
+// Interface-only translation unit; keeps the vtable anchored here.

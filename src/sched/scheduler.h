@@ -1,0 +1,47 @@
+// scheduler.h — the one-shot scheduler interface (Definition 6).
+//
+// A OneShotScheduler answers one question: given the current system state
+// (deployment + which tags are still unread), which feasible scheduling set
+// should be activated in the next time-slot?  Every algorithm in the paper
+// and both baselines implement this interface, so the MCS greedy driver
+// (sched/mcs.h) and the figure harnesses treat them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace rfid::sched {
+
+/// Outcome of one one-shot scheduling decision.
+struct OneShotResult {
+  /// The chosen scheduling set (reader indices, ascending).  For all
+  /// algorithms except raw Colorwave classes this is feasible by
+  /// construction; the MCS driver re-checks with the Definition 1 referee
+  /// regardless.
+  std::vector<int> readers;
+  /// w(readers) as evaluated by the System at decision time.
+  int weight = 0;
+};
+
+/// Interface shared by Algorithm 1 (PTAS), Algorithm 2 (growth-bounded),
+/// Algorithm 3 (distributed), Colorwave, GHC, and the exact solver.
+///
+/// schedule() is non-const because several algorithms carry internal state
+/// across slots (Colorwave keeps its coloring; randomized algorithms keep
+/// their RNG stream).  Implementations must not mutate the System.
+class OneShotScheduler {
+ public:
+  virtual ~OneShotScheduler() = default;
+
+  /// Human-readable name used in tables and figure legends.
+  virtual std::string name() const = 0;
+
+  /// Picks the scheduling set for the next slot given the current unread
+  /// set of `sys`.
+  virtual OneShotResult schedule(const core::System& sys) = 0;
+};
+
+}  // namespace rfid::sched

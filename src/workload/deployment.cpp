@@ -1,0 +1,120 @@
+#include "workload/deployment.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "workload/distributions.h"
+
+namespace rfid::workload {
+
+namespace {
+
+std::pair<double, double> drawRadii(const DeploymentConfig& cfg, Rng& rng) {
+  switch (cfg.radius_mode) {
+    case RadiusMode::kPoissonPair:
+      return radiusPair(rng, cfg.lambda_R, cfg.lambda_r);
+    case RadiusMode::kBetaScaled:
+      return radiusPairBeta(rng, cfg.lambda_R, cfg.beta);
+  }
+  return {1.0, 1.0};  // unreachable
+}
+
+geom::Vec2 clampToRegion(geom::Vec2 p, double side) {
+  return {std::clamp(p.x, 0.0, side), std::clamp(p.y, 0.0, side)};
+}
+
+}  // namespace
+
+std::vector<core::Reader> uniformReaders(const DeploymentConfig& cfg, Rng rng) {
+  std::vector<core::Reader> readers;
+  readers.reserve(static_cast<std::size_t>(cfg.num_readers));
+  for (int i = 0; i < cfg.num_readers; ++i) {
+    core::Reader r;
+    r.id = i;
+    r.pos = {rng.uniform(0.0, cfg.region_side), rng.uniform(0.0, cfg.region_side)};
+    const auto [R, gamma] = drawRadii(cfg, rng);
+    r.interference_radius = R;
+    r.interrogation_radius = gamma;
+    readers.push_back(r);
+  }
+  return readers;
+}
+
+std::vector<core::Tag> uniformTags(const DeploymentConfig& cfg, Rng rng) {
+  std::vector<core::Tag> tags;
+  tags.reserve(static_cast<std::size_t>(cfg.num_tags));
+  for (int i = 0; i < cfg.num_tags; ++i) {
+    core::Tag t;
+    t.id = i;
+    t.epc = static_cast<std::uint64_t>(i);
+    t.pos = {rng.uniform(0.0, cfg.region_side), rng.uniform(0.0, cfg.region_side)};
+    tags.push_back(t);
+  }
+  return tags;
+}
+
+std::vector<core::Tag> clusteredTags(const DeploymentConfig& cfg, Rng rng,
+                                     int num_clusters, double cluster_sigma) {
+  assert(num_clusters > 0);
+  std::vector<geom::Vec2> centers;
+  centers.reserve(static_cast<std::size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) {
+    centers.push_back({rng.uniform(0.0, cfg.region_side),
+                       rng.uniform(0.0, cfg.region_side)});
+  }
+  std::vector<core::Tag> tags;
+  tags.reserve(static_cast<std::size_t>(cfg.num_tags));
+  for (int i = 0; i < cfg.num_tags; ++i) {
+    const geom::Vec2 c = centers[static_cast<std::size_t>(rng.uniformInt(0, num_clusters - 1))];
+    core::Tag t;
+    t.id = i;
+    t.epc = static_cast<std::uint64_t>(i);
+    t.pos = clampToRegion({c.x + rng.gaussian(0.0, cluster_sigma),
+                           c.y + rng.gaussian(0.0, cluster_sigma)},
+                          cfg.region_side);
+    tags.push_back(t);
+  }
+  return tags;
+}
+
+std::vector<core::Tag> aisleTags(const DeploymentConfig& cfg, Rng rng,
+                                 int num_aisles, double jitter) {
+  assert(num_aisles > 0);
+  std::vector<core::Tag> tags;
+  tags.reserve(static_cast<std::size_t>(cfg.num_tags));
+  const double spacing = cfg.region_side / (num_aisles + 1);
+  for (int i = 0; i < cfg.num_tags; ++i) {
+    const int aisle = rng.uniformInt(1, num_aisles);
+    core::Tag t;
+    t.id = i;
+    t.epc = static_cast<std::uint64_t>(i);
+    t.pos = clampToRegion({rng.uniform(0.0, cfg.region_side),
+                           aisle * spacing + rng.gaussian(0.0, jitter)},
+                          cfg.region_side);
+    tags.push_back(t);
+  }
+  return tags;
+}
+
+std::vector<core::Reader> gridReaders(const DeploymentConfig& cfg, Rng rng,
+                                      int grid_cols, int grid_rows) {
+  assert(grid_cols * grid_rows >= cfg.num_readers);
+  std::vector<core::Reader> readers;
+  readers.reserve(static_cast<std::size_t>(cfg.num_readers));
+  const double dx = cfg.region_side / grid_cols;
+  const double dy = cfg.region_side / grid_rows;
+  for (int i = 0; i < cfg.num_readers; ++i) {
+    const int col = i % grid_cols;
+    const int row = i / grid_cols;
+    core::Reader r;
+    r.id = i;
+    r.pos = {(col + 0.5) * dx, (row + 0.5) * dy};
+    const auto [R, gamma] = drawRadii(cfg, rng);
+    r.interference_radius = R;
+    r.interrogation_radius = gamma;
+    readers.push_back(r);
+  }
+  return readers;
+}
+
+}  // namespace rfid::workload

@@ -1,0 +1,60 @@
+// deployment.h — deployment generators: where readers and tags go.
+//
+// The paper's evaluation deploys both readers and tags uniformly at random
+// in a square.  Real installations the introduction motivates (supermarkets,
+// post offices, warehouses) are not uniform, so the library also ships
+// clustered and aisle generators used by the examples and the robustness
+// tests — same model, different spatial processes.
+#pragma once
+
+#include <vector>
+
+#include "core/reader.h"
+#include "core/tag.h"
+#include "workload/rng.h"
+
+namespace rfid::workload {
+
+/// How interrogation radii relate to interference radii.
+enum class RadiusMode {
+  /// Independent Poisson draws with R ≥ r repair (paper §VI).
+  kPoissonPair,
+  /// r = β·R (paper §II's constant-β model); `beta` must be set.
+  kBetaScaled,
+};
+
+struct DeploymentConfig {
+  int num_readers = 50;      // paper §VI
+  int num_tags = 1200;       // paper §VI
+  double region_side = 100;  // paper §VI
+  double lambda_R = 10.0;    // interference-radius mean
+  double lambda_r = 4.0;     // interrogation-radius mean
+  RadiusMode radius_mode = RadiusMode::kPoissonPair;
+  double beta = 0.4;         // only used by kBetaScaled
+};
+
+/// Uniform random deployment (the paper's setting).
+/// Reader and tag positions are i.i.d. uniform over the square; radii are
+/// drawn per `radius_mode`.  Deterministic in (config, seed).
+std::vector<core::Reader> uniformReaders(const DeploymentConfig& cfg, Rng rng);
+std::vector<core::Tag> uniformTags(const DeploymentConfig& cfg, Rng rng);
+
+/// Tags clumped around `num_clusters` Gaussian hot-spots (e.g. pallets):
+/// cluster centers uniform, spread = cluster_sigma.  Points falling outside
+/// the region are clamped to it.
+std::vector<core::Tag> clusteredTags(const DeploymentConfig& cfg, Rng rng,
+                                     int num_clusters, double cluster_sigma);
+
+/// Warehouse aisles: tags placed along `num_aisles` evenly spaced horizontal
+/// lines with small vertical jitter — the dense-shelf layout that makes RRc
+/// overlap losses visible.
+std::vector<core::Tag> aisleTags(const DeploymentConfig& cfg, Rng rng,
+                                 int num_aisles, double jitter);
+
+/// Readers on a regular ceiling grid (planned installation), radii per
+/// `radius_mode`.  grid_cols × grid_rows must be ≥ cfg.num_readers; the
+/// first num_readers cells are used row-major.
+std::vector<core::Reader> gridReaders(const DeploymentConfig& cfg, Rng rng,
+                                      int grid_cols, int grid_rows);
+
+}  // namespace rfid::workload

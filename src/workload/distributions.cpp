@@ -1,0 +1,28 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfid::workload {
+
+double poissonRadius(Rng& rng, double mean) {
+  assert(mean > 0.0);
+  return std::max(1, rng.poisson(mean));
+}
+
+std::pair<double, double> radiusPair(Rng& rng, double lambda_R,
+                                     double lambda_r) {
+  double R = poissonRadius(rng, lambda_R);
+  double r = poissonRadius(rng, lambda_r);
+  if (R < r) std::swap(R, r);
+  return {R, r};
+}
+
+std::pair<double, double> radiusPairBeta(Rng& rng, double lambda_R,
+                                         double beta) {
+  assert(beta > 0.0 && beta < 1.0);
+  const double R = poissonRadius(rng, lambda_R);
+  return {R, beta * R};
+}
+
+}  // namespace rfid::workload

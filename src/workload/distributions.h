@@ -1,0 +1,32 @@
+// distributions.h — radius distributions used by the paper's evaluation.
+//
+// Paper §VI: "we randomly assign different interference range and
+// interrogation range to each reader following Poisson distribution with
+// parameter (mean) λ_R and λ_r respectively.  We may need to modify some
+// assignments to ensure R_i ≥ r_i."
+//
+// Poisson is a discrete distribution, so a raw draw can be 0 — useless as a
+// radius.  We keep the paper's stated sampler but clamp draws to ≥ 1 length
+// unit (documented substitution in DESIGN.md), and repair R < r violations
+// by swapping the pair, which preserves both marginals' large-sample means.
+#pragma once
+
+#include <utility>
+
+#include "workload/rng.h"
+
+namespace rfid::workload {
+
+/// A radius draw: max(1, Poisson(mean)).
+double poissonRadius(Rng& rng, double mean);
+
+/// Draws one (R, r) pair with R ~ Poisson(λ_R), r ~ Poisson(λ_r), repaired
+/// so that R ≥ r ≥ 1 (swap if violated, as the paper's "modify some
+/// assignments" rule).
+std::pair<double, double> radiusPair(Rng& rng, double lambda_R, double lambda_r);
+
+/// Fixed-β mode of §II: r = β·R with 0 < β < 1, R ~ Poisson(λ_R) clamped.
+/// Used by the ablation over β (RRc pressure).
+std::pair<double, double> radiusPairBeta(Rng& rng, double lambda_R, double beta);
+
+}  // namespace rfid::workload

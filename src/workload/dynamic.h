@@ -1,0 +1,64 @@
+// dynamic.h — dynamic tag arrivals (extension).
+//
+// The paper criticizes Zhou et al. for assuming "the distribution of the
+// tags [is] static and no new tags will appear in the system dynamically"
+// (§VII) — but evaluates statically itself.  This module closes that loop:
+// tags arrive over time (per-slot Poisson process at uniform positions) and
+// a one-shot scheduler runs every slot against the *currently present*
+// unread population.  Metrics are throughput, service latency (arrival slot
+// to read slot), and backlog.
+//
+// Mechanically, all tags of the horizon are pre-generated into the System
+// (positions, coverage) and parked as "read" — invisible to schedulers —
+// then un-read at their arrival slot.  This keeps core::System immutable in
+// structure while its read-state does what it always does: gate weight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+#include "sched/scheduler.h"
+#include "workload/deployment.h"
+#include "workload/rng.h"
+
+namespace rfid::workload {
+
+struct DynamicConfig {
+  /// Mean new tags per slot (Poisson).
+  double arrival_rate = 30.0;
+  /// Slots during which arrivals occur.
+  int arrival_slots = 40;
+  /// Additional drain slots after arrivals stop.
+  int drain_slots = 200;
+  /// Reader-side deployment (tag count is derived from the arrivals).
+  DeploymentConfig deploy;
+};
+
+struct DynamicResult {
+  int arrived = 0;           // tags that entered the field
+  int arrived_coverable = 0; // of which some reader could ever serve
+  int served = 0;
+  double mean_latency = 0.0; // slots from arrival to service (served only)
+  int max_backlog = 0;       // peak unread coverable tags present
+  int slots_run = 0;
+  /// Unread coverable backlog after each slot (length slots_run).
+  std::vector<int> backlog;
+  bool drained = false;      // all coverable arrivals served by the end
+};
+
+/// Builds a System pre-loaded with every future arrival, plus the arrival
+/// slot per tag.  Deterministic in (cfg, seed).
+struct DynamicInstance {
+  core::System system;
+  std::vector<int> arrival_slot;  // per tag index
+};
+DynamicInstance makeDynamicInstance(const DynamicConfig& cfg,
+                                    std::uint64_t seed);
+
+/// Runs the arrival/service loop with `scheduler` deciding each slot.
+DynamicResult runDynamicSimulation(DynamicInstance& instance,
+                                   sched::OneShotScheduler& scheduler,
+                                   const DynamicConfig& cfg);
+
+}  // namespace rfid::workload

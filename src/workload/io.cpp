@@ -1,0 +1,105 @@
+#include "workload/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rfid::workload {
+
+void saveDeployment(std::ostream& os, const core::System& sys) {
+  os << "# rfidsched deployment v1\n";
+  os.precision(17);  // round-trip doubles exactly
+  for (const core::Reader& r : sys.readers()) {
+    os << "reader," << r.id << ',' << r.pos.x << ',' << r.pos.y << ','
+       << r.interference_radius << ',' << r.interrogation_radius << '\n';
+  }
+  for (const core::Tag& t : sys.tags()) {
+    os << "tag," << t.id << ',' << t.pos.x << ',' << t.pos.y << ',' << t.epc
+       << '\n';
+  }
+}
+
+bool saveDeploymentFile(const std::string& path, const core::System& sys) {
+  std::ofstream os(path);
+  if (!os) return false;
+  saveDeployment(os, sys);
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+/// Splits a CSV line; no quoting (the format never needs it).
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+bool parseDouble(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parseInt(const std::string& s, int& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoi(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::optional<core::System> loadDeployment(std::istream& is) {
+  std::vector<core::Reader> readers;
+  std::vector<core::Tag> tags;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto f = split(line);
+    if (f[0] == "reader" && f.size() == 6) {
+      core::Reader r;
+      double x = 0, y = 0;
+      if (!parseInt(f[1], r.id) || !parseDouble(f[2], x) ||
+          !parseDouble(f[3], y) || !parseDouble(f[4], r.interference_radius) ||
+          !parseDouble(f[5], r.interrogation_radius)) {
+        return std::nullopt;
+      }
+      r.pos = {x, y};
+      if (!r.valid()) return std::nullopt;
+      readers.push_back(r);
+    } else if (f[0] == "tag" && f.size() == 5) {
+      core::Tag t;
+      double x = 0, y = 0;
+      int epc = 0;
+      if (!parseInt(f[1], t.id) || !parseDouble(f[2], x) ||
+          !parseDouble(f[3], y) || !parseInt(f[4], epc)) {
+        return std::nullopt;
+      }
+      t.pos = {x, y};
+      t.epc = static_cast<std::uint64_t>(epc);
+      tags.push_back(t);
+    } else {
+      return std::nullopt;  // fail closed on anything unrecognized
+    }
+  }
+  if (readers.empty()) return std::nullopt;
+  return core::System(std::move(readers), std::move(tags));
+}
+
+std::optional<core::System> loadDeploymentFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return loadDeployment(is);
+}
+
+}  // namespace rfid::workload

@@ -1,0 +1,35 @@
+// io.h — deployment serialization.
+//
+// Experiments must be shareable: a deployment written by one run (or by an
+// actual site survey) can be reloaded bit-exactly by another, independent
+// of RNG or library version.  The format is a minimal line-based CSV:
+//
+//   # rfidsched deployment v1
+//   reader,<id>,<x>,<y>,<interference_radius>,<interrogation_radius>
+//   tag,<id>,<x>,<y>,<epc>
+//
+// Unknown lines are rejected (fail closed), `#` lines are comments.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/system.h"
+
+namespace rfid::workload {
+
+/// Writes the deployment (not the read-state) to `os`.
+void saveDeployment(std::ostream& os, const core::System& sys);
+
+/// Convenience file form; returns false on I/O failure.
+bool saveDeploymentFile(const std::string& path, const core::System& sys);
+
+/// Parses a deployment.  Returns std::nullopt on any malformed line,
+/// invalid radii (γ > R or γ ≤ 0), or an empty reader set.
+std::optional<core::System> loadDeployment(std::istream& is);
+
+/// Convenience file form.
+std::optional<core::System> loadDeploymentFile(const std::string& path);
+
+}  // namespace rfid::workload

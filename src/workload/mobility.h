@@ -1,0 +1,80 @@
+// mobility.h — mobile readers and stale site surveys (extension, §I).
+//
+// The paper's introduction motivates dropping the known-locations
+// assumption because "the position of each reader is often highly dynamic
+// and we can not expect that their exact geometry location can always be
+// obtained".  This module makes that concrete: readers move (random
+// waypoint), and the scheduler plans on the *last site survey* — a snapshot
+// of positions taken every `survey_period` slots — while the referee scores
+// each slot against the readers' TRUE current positions.  The gap between
+// the two is precisely the cost of stale location knowledge, swept in
+// bench/mobility_staleness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/system.h"
+#include "graph/interference_graph.h"
+#include "sched/scheduler.h"
+#include "workload/deployment.h"
+#include "workload/rng.h"
+
+namespace rfid::workload {
+
+struct MobilityConfig {
+  DeploymentConfig deploy;
+  /// Distance a reader covers per slot while moving.
+  double speed = 2.0;
+  /// Slots a reader rests at each waypoint.
+  int pause_slots = 2;
+  /// Simulation length in slots.
+  int slots = 60;
+  /// A fresh site survey (positions + interference graph + scheduler
+  /// rebuild) happens every this many slots; 1 = always current.
+  int survey_period = 1;
+};
+
+/// Builds the scheduler for a (possibly stale) survey snapshot.  Called at
+/// every survey; graph-based schedulers are reconstructed from the fresh
+/// interference graph, exactly like re-running the paper's RF site survey.
+using SchedulerFactory = std::function<std::unique_ptr<sched::OneShotScheduler>(
+    const core::System& snapshot, const graph::InterferenceGraph& graph)>;
+
+struct MobilityResult {
+  int slots_run = 0;
+  int tags_read = 0;
+  /// Tags served per slot.
+  std::vector<int> served_series;
+  /// Slots in which the (stale-survey) decision served zero tags.
+  int empty_slots = 0;
+};
+
+/// Random-waypoint fleet over a fixed tag field.
+class MobilitySimulation {
+ public:
+  MobilitySimulation(const MobilityConfig& cfg, std::uint64_t seed);
+
+  /// Runs the slot loop with surveys every cfg.survey_period slots.
+  MobilityResult run(const SchedulerFactory& factory);
+
+  /// Current true reader positions (after the last run() slot).
+  const std::vector<geom::Vec2>& positions() const { return pos_; }
+
+ private:
+  void step();  // advance every reader by one slot of movement
+  core::System snapshot(std::span<const geom::Vec2> positions) const;
+
+  MobilityConfig cfg_;
+  Rng rng_;
+  std::vector<core::Reader> readers_;  // radii + ids (positions overridden)
+  std::vector<core::Tag> tags_;
+  std::vector<geom::Vec2> pos_;
+  std::vector<geom::Vec2> target_;
+  std::vector<int> pause_left_;
+  std::vector<char> read_;  // persistent tag state across snapshots
+};
+
+}  // namespace rfid::workload

@@ -1,0 +1,21 @@
+#include "workload/rng.h"
+
+namespace rfid::workload {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t deriveSeed(std::uint64_t seed, std::string_view label,
+                         std::uint64_t index) {
+  std::uint64_t h = splitmix64(seed);
+  for (const char c : label) {
+    h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return splitmix64(h ^ index);
+}
+
+}  // namespace rfid::workload

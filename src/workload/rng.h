@@ -1,0 +1,66 @@
+// rng.h — deterministic, splittable random number generation.
+//
+// Every stochastic piece of the library (deployments, Colorwave's random
+// colors, ALOHA slot picks) draws from an Rng seeded explicitly, so every
+// experiment is reproducible bit-for-bit from its seed.  Sub-streams are
+// derived by hashing (seed, label, index), which keeps parallel sweeps
+// independent of iteration order — an HPC-reproducibility idiom: results
+// must not depend on how work was scheduled.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace rfid::workload {
+
+/// SplitMix64 — tiny, high-quality mixer used for seed derivation.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Derives an independent child seed from (seed, label, index).
+std::uint64_t deriveSeed(std::uint64_t seed, std::string_view label,
+                         std::uint64_t index = 0);
+
+/// Thin deterministic wrapper around mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Child generator for an independent sub-stream; deterministic in
+  /// (this->seed, label, index) and unaffected by draws made so far.
+  Rng split(std::string_view label, std::uint64_t index = 0) const {
+    return Rng(deriveSeed(seed_, label, index));
+  }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  int uniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  std::uint64_t next() { return engine_(); }
+
+  /// Poisson draw with the given mean (paper §VI samples radii this way).
+  int poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rfid::workload

@@ -1,0 +1,49 @@
+#include "workload/scenario.h"
+
+namespace rfid::workload {
+
+Scenario paperScenario(double lambda_R, double lambda_r) {
+  Scenario sc;
+  sc.name = "paper";
+  sc.deploy.num_readers = 50;
+  sc.deploy.num_tags = 1200;
+  sc.deploy.region_side = 100.0;
+  sc.deploy.lambda_R = lambda_R;
+  sc.deploy.lambda_r = lambda_r;
+  sc.deploy.radius_mode = RadiusMode::kPoissonPair;
+  sc.layout = Layout::kUniform;
+  return sc;
+}
+
+core::System makeSystem(const Scenario& sc, std::uint64_t seed) {
+  const Rng root(seed);
+  const Rng reader_rng = root.split("readers");
+  const Rng tag_rng = root.split("tags");
+
+  std::vector<core::Reader> readers;
+  switch (sc.layout) {
+    case Layout::kGridReaders:
+      readers = gridReaders(sc.deploy, reader_rng, sc.grid_cols, sc.grid_rows);
+      break;
+    default:
+      readers = uniformReaders(sc.deploy, reader_rng);
+      break;
+  }
+
+  std::vector<core::Tag> tags;
+  switch (sc.layout) {
+    case Layout::kClusteredTags:
+      tags = clusteredTags(sc.deploy, tag_rng, sc.num_clusters, sc.cluster_sigma);
+      break;
+    case Layout::kAisles:
+      tags = aisleTags(sc.deploy, tag_rng, sc.num_aisles, sc.aisle_jitter);
+      break;
+    default:
+      tags = uniformTags(sc.deploy, tag_rng);
+      break;
+  }
+
+  return core::System(std::move(readers), std::move(tags));
+}
+
+}  // namespace rfid::workload

@@ -1,0 +1,42 @@
+// scenario.h — named, ready-to-run experiment scenarios.
+//
+// A Scenario bundles a DeploymentConfig with a spatial process and builds a
+// complete core::System from a seed.  The paper preset reproduces §VI's
+// setup exactly (50 readers, 1200 tags, 100×100 region, Poisson radii);
+// the others back the examples and robustness tests.
+#pragma once
+
+#include <string>
+
+#include "core/system.h"
+#include "workload/deployment.h"
+
+namespace rfid::workload {
+
+enum class Layout {
+  kUniform,          // paper §VI
+  kClusteredTags,    // pallet hot-spots
+  kAisles,           // warehouse shelves
+  kGridReaders,      // planned ceiling installation, uniform tags
+};
+
+struct Scenario {
+  std::string name = "paper";
+  DeploymentConfig deploy;
+  Layout layout = Layout::kUniform;
+  // Layout knobs (ignored when not applicable).
+  int num_clusters = 8;
+  double cluster_sigma = 5.0;
+  int num_aisles = 10;
+  double aisle_jitter = 1.0;
+  int grid_cols = 10;
+  int grid_rows = 5;
+};
+
+/// The paper's §VI setting with the given radius means.
+Scenario paperScenario(double lambda_R = 10.0, double lambda_r = 4.0);
+
+/// Builds the System for a scenario, deterministic in (scenario, seed).
+core::System makeSystem(const Scenario& sc, std::uint64_t seed);
+
+}  // namespace rfid::workload

@@ -1,0 +1,134 @@
+// Adversarial instances: constructions where the baselines' failure modes
+// are not sampling noise but structural — the sharpened version of the
+// paper's Figure-2 motivation, plus the pruning overlay's behavior.
+#include <gtest/gtest.h>
+
+#include "sched/exact.h"
+#include "sched/hill_climbing.h"
+#include "sched/pruning.h"
+#include "sched/ptas.h"
+#include "test_helpers.h"
+
+namespace rfid::sched {
+namespace {
+
+/// A "GHC trap" triple at x-offset `ox`: readers A, B, C in a row, pairwise
+/// independent, with m tags in each of the A∩B and B∩C interrogation
+/// overlaps, one tag exclusive to B, and p exclusive tags for each of A, C.
+/// With p < m+1, GHC picks B first (weight 2m+1) and then finds A and C
+/// worth p − m < 0 marginal, stopping at 2m+1; the optimum {A, C} nets
+/// 2(m+p).  At m = 10, p = 10 the per-triple ratio is 21/40.
+void addTrap(std::vector<core::Reader>& readers, std::vector<core::Tag>& tags,
+             double ox, int m, int p) {
+  const double R = 10.0, gamma = 6.0;
+  readers.push_back(test::makeReader(ox, 0.0, R, gamma));         // A
+  readers.push_back(test::makeReader(ox + 10.5, 0.0, R, gamma));  // B
+  readers.push_back(test::makeReader(ox + 21.0, 0.0, R, gamma));  // C
+  for (int i = 0; i < m; ++i) {
+    const double dy = 0.02 * i;
+    tags.push_back(test::makeTag(ox + 5.25, dy));   // A∩B
+    tags.push_back(test::makeTag(ox + 15.75, dy));  // B∩C
+  }
+  tags.push_back(test::makeTag(ox + 10.5, 3.0));  // exclusive to B
+  for (int i = 0; i < p; ++i) {
+    tags.push_back(test::makeTag(ox - 4.0, 0.02 * i));   // exclusive to A
+    tags.push_back(test::makeTag(ox + 25.0, 0.02 * i));  // exclusive to C
+  }
+}
+
+core::System trapChain(int triples, int m = 10, int p = 10) {
+  std::vector<core::Reader> readers;
+  std::vector<core::Tag> tags;
+  for (int i = 0; i < triples; ++i) {
+    // 60 units apart: triples are mutually independent and overlap-free.
+    addTrap(readers, tags, i * 60.0, m, p);
+  }
+  return core::System(std::move(readers), std::move(tags));
+}
+
+TEST(Adversarial, SingleTrapRatios) {
+  const core::System sys = trapChain(1);
+  HillClimbingScheduler ghc;
+  ExactScheduler exact;
+  const int ghc_w = ghc.schedule(sys).weight;
+  const int opt_w = exact.schedule(sys).weight;
+  EXPECT_EQ(ghc_w, 21);  // B alone: 2m+1
+  EXPECT_EQ(opt_w, 40);  // {A, C}: 2(m+p)
+}
+
+TEST(Adversarial, PtasEscapesTheTrap) {
+  const core::System sys = trapChain(1);
+  PtasOptions opt;
+  opt.k = 3;  // a shift keeping all three disks exists (cf. Figure-2 tests)
+  PtasScheduler ptas(opt);
+  EXPECT_EQ(ptas.schedule(sys).weight, 40);
+}
+
+TEST(Adversarial, TrapChainScalesTheGap) {
+  const core::System sys = trapChain(4);
+  HillClimbingScheduler ghc;
+  ExactScheduler exact;
+  const int ghc_w = ghc.schedule(sys).weight;
+  const int opt_w = exact.schedule(sys).weight;
+  EXPECT_EQ(ghc_w, 4 * 21);
+  EXPECT_EQ(opt_w, 4 * 40);
+  // The structural ratio: 52.5% of the optimum, far below anything random
+  // deployments show — this is what "no performance guarantee" means.
+  EXPECT_NEAR(static_cast<double>(ghc_w) / opt_w, 0.525, 1e-9);
+}
+
+TEST(Adversarial, DeeperTrapsApproachHalf) {
+  // m → ∞ with p = m drives GHC/OPT → (2m+1)/(4m) → 1/2.
+  const core::System sys = trapChain(1, 40, 40);
+  HillClimbingScheduler ghc;
+  ExactScheduler exact;
+  const double ratio = static_cast<double>(ghc.schedule(sys).weight) /
+                       exact.schedule(sys).weight;
+  EXPECT_LT(ratio, 0.52);
+  EXPECT_GT(ratio, 0.50);
+}
+
+TEST(Adversarial, PruningCannotFixStructure) {
+  // Pruning GHC's own proposal changes nothing here (its pick is already
+  // marginal-positive); the trap is structural, not noise.
+  const core::System sys = trapChain(2);
+  PruningWrapper pruned(std::make_unique<HillClimbingScheduler>());
+  HillClimbingScheduler plain;
+  EXPECT_EQ(pruned.schedule(sys).weight, plain.schedule(sys).weight);
+}
+
+TEST(Pruning, KeepsOnlyPositiveMarginals) {
+  // A proposal with a useless reader: pruning drops it.
+  const core::System sys = test::figure2System();
+  // Inner scheduler proposing everything:
+  class All final : public OneShotScheduler {
+   public:
+    std::string name() const override { return "All"; }
+    OneShotResult schedule(const core::System& s) override {
+      std::vector<int> x;
+      for (int v = 0; v < s.numReaders(); ++v) x.push_back(v);
+      return {x, s.weight(x)};
+    }
+  };
+  PruningWrapper pruned(std::make_unique<All>());
+  const OneShotResult res = pruned.schedule(sys);
+  // Greedy within {A,B,C} picks B (3), then A and C are zero-marginal.
+  EXPECT_EQ(res.readers, (std::vector<int>{1}));
+  EXPECT_EQ(res.weight, 3);
+  EXPECT_EQ(pruned.name(), "All+prune");
+}
+
+TEST(Pruning, NeverWorseThanInnerOnBatch) {
+  double inner_total = 0, pruned_total = 0;
+  for (const std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+    const core::System sys = test::smallRandomSystem(seed, 20, 130, 50.0);
+    HillClimbingScheduler plain;
+    PruningWrapper pruned(std::make_unique<HillClimbingScheduler>());
+    inner_total += plain.schedule(sys).weight;
+    pruned_total += pruned.schedule(sys).weight;
+  }
+  EXPECT_GE(pruned_total, inner_total * 0.999);
+}
+
+}  // namespace
+}  // namespace rfid::sched

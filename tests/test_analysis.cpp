@@ -1,0 +1,124 @@
+// Analysis kit tests: Welford statistics, merge, series accumulation, and
+// the table/CSV renderers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/series.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+
+namespace rfid::analysis {
+namespace {
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2);
+}
+
+TEST(RunningStat, CiShrinksWithSamples) {
+  RunningStat few, many;
+  for (int i = 0; i < 4; ++i) few.add(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 400; ++i) many.add(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(few.ci95(), many.ci95());
+}
+
+TEST(SeriesSet, AccumulatesByKeyAndX) {
+  SeriesSet set;
+  set.add("Alg1", 4.0, 10.0);
+  set.add("Alg1", 4.0, 12.0);
+  set.add("Alg1", 6.0, 20.0);
+  set.add("GHC", 4.0, 5.0);
+  EXPECT_EQ(set.seriesNames(), (std::vector<std::string>{"Alg1", "GHC"}));
+  EXPECT_EQ(set.xValues(), (std::vector<double>{4.0, 6.0}));
+  ASSERT_NE(set.at("Alg1", 4.0), nullptr);
+  EXPECT_DOUBLE_EQ(set.at("Alg1", 4.0)->mean(), 11.0);
+  EXPECT_EQ(set.at("Alg1", 5.0), nullptr);
+  EXPECT_EQ(set.at("nope", 4.0), nullptr);
+}
+
+TEST(Table, PrintsAllSeriesAndRows) {
+  SeriesSet set;
+  set.add("A", 1.0, 3.0);
+  set.add("A", 2.0, 4.0);
+  set.add("B", 1.0, 7.0);
+  std::ostringstream os;
+  printTable(os, set, "lambda");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("lambda"), std::string::npos);
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("B"), std::string::npos);
+  EXPECT_NE(out.find("3.00"), std::string::npos);
+  EXPECT_NE(out.find("7.00"), std::string::npos);
+  // B has no sample at x=2 → dash.
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(Csv, RoundTrippableHeaderAndRows) {
+  SeriesSet set;
+  set.add("Alg1", 4.0, 10.0);
+  set.add("Alg1", 4.0, 14.0);
+  std::ostringstream os;
+  writeCsv(os, set, "lambda_r");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("lambda_r,Alg1_mean,Alg1_ci95"), std::string::npos);
+  EXPECT_NE(out.find("4,12,"), std::string::npos);
+}
+
+TEST(Csv, FileWriterCreatesDirectories) {
+  const std::string path = "test_output_dir/nested/result.csv";
+  SeriesSet set;
+  set.add("X", 1.0, 1.0);
+  EXPECT_TRUE(writeCsvFile(path, set, "x"));
+  std::ifstream check(path);
+  EXPECT_TRUE(check.good());
+  std::filesystem::remove_all("test_output_dir");
+}
+
+}  // namespace
+}  // namespace rfid::analysis

@@ -1,0 +1,108 @@
+// Empirical validation of the paper's approximation theorems across a
+// parameterized instance sweep: Theorem 2 (PTAS), Theorem 4 (Algorithm 2),
+// Theorem 6 (Algorithm 3), all against the exact optimum.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/exact.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/ptas.h"
+#include "test_helpers.h"
+
+namespace rfid::sched {
+namespace {
+
+// (seed, num_readers, num_tags)
+using InstanceParam = std::tuple<std::uint64_t, int, int>;
+
+class ApproximationSweep : public ::testing::TestWithParam<InstanceParam> {
+ protected:
+  core::System makeInstance() const {
+    const auto& [seed, n, m] = GetParam();
+    return test::smallRandomSystem(seed, n, m);
+  }
+};
+
+TEST_P(ApproximationSweep, PtasWithinTheorem2Band) {
+  const core::System sys = makeInstance();
+  ExactScheduler exact;
+  const int opt = exact.schedule(sys).weight;
+  PtasOptions po;
+  po.k = 3;  // worst-case guarantee (1−1/3)² ≈ 0.44
+  PtasScheduler ptas(po);
+  const OneShotResult res = ptas.schedule(sys);
+  EXPECT_TRUE(sys.isFeasible(res.readers));
+  EXPECT_GE(static_cast<double>(res.weight) + 1e-9,
+            (1.0 - 1.0 / po.k) * (1.0 - 1.0 / po.k) * opt);
+}
+
+TEST_P(ApproximationSweep, GrowthWithinTheorem4Band) {
+  const core::System sys = makeInstance();
+  const graph::InterferenceGraph g(sys);
+  ExactScheduler exact;
+  const int opt = exact.schedule(sys).weight;
+  GrowthOptions go;
+  go.rho = 1.3;
+  GrowthScheduler alg2(g, go);
+  const OneShotResult res = alg2.schedule(sys);
+  EXPECT_TRUE(sys.isFeasible(res.readers));
+  EXPECT_GE(static_cast<double>(res.weight) + 1e-9, opt / go.rho);
+}
+
+TEST_P(ApproximationSweep, DistributedWithinTheorem6Band) {
+  const core::System sys = makeInstance();
+  const graph::InterferenceGraph g(sys);
+  ExactScheduler exact;
+  const int opt = exact.schedule(sys).weight;
+  dist::DistributedGrowthOptions d_opt;
+  d_opt.rho = 1.3;
+  dist::GrowthDistributedScheduler alg3(g, d_opt);
+  const OneShotResult res = alg3.schedule(sys);
+  EXPECT_TRUE(sys.isFeasible(res.readers));
+  EXPECT_GE(static_cast<double>(res.weight) + 1e-9, opt / d_opt.rho);
+}
+
+// GHC carries no guarantee, but on these instances it must stay within a
+// sane band and produce feasible sets — the baseline sanity check.
+TEST_P(ApproximationSweep, GhcFeasibleAndBounded) {
+  const core::System sys = makeInstance();
+  ExactScheduler exact;
+  const int opt = exact.schedule(sys).weight;
+  HillClimbingScheduler ghc;
+  const OneShotResult res = ghc.schedule(sys);
+  EXPECT_TRUE(sys.isFeasible(res.readers));
+  EXPECT_LE(res.weight, opt);
+  EXPECT_GT(res.weight, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, ApproximationSweep,
+    ::testing::Values(InstanceParam{401, 8, 60}, InstanceParam{402, 10, 80},
+                      InstanceParam{403, 12, 90}, InstanceParam{404, 12, 120},
+                      InstanceParam{405, 14, 100}, InstanceParam{406, 9, 50},
+                      InstanceParam{407, 11, 70}, InstanceParam{408, 13, 110}));
+
+// Scheduler outputs never exceed the exact optimum (they are feasible sets
+// scored by the same referee) — an absolute invariant, not a bound.
+TEST_P(ApproximationSweep, NobodyBeatsExact) {
+  const core::System sys = makeInstance();
+  const graph::InterferenceGraph g(sys);
+  ExactScheduler exact;
+  const int opt = exact.schedule(sys).weight;
+
+  PtasScheduler ptas;
+  GrowthScheduler alg2(g);
+  dist::GrowthDistributedScheduler alg3(g);
+  HillClimbingScheduler ghc;
+  EXPECT_LE(ptas.schedule(sys).weight, opt);
+  EXPECT_LE(alg2.schedule(sys).weight, opt);
+  EXPECT_LE(alg3.schedule(sys).weight, opt);
+  EXPECT_LE(ghc.schedule(sys).weight, opt);
+}
+
+}  // namespace
+}  // namespace rfid::sched

@@ -1,0 +1,123 @@
+// Multi-channel scheduling tests (§VII extension): channel feasibility,
+// the channel-aware referee, and monotonicity in the channel count.
+#include <gtest/gtest.h>
+
+#include "sched/channels.h"
+#include "sched/hill_climbing.h"
+#include "test_helpers.h"
+
+namespace rfid::sched {
+namespace {
+
+using test::makeReader;
+using test::makeTag;
+
+TEST(Channels, FeasibilityRequiresIndependenceOnlyWithinChannel) {
+  std::vector<core::Reader> readers = {makeReader(0, 0, 10.0, 4.0),
+                                       makeReader(5, 0, 10.0, 4.0)};
+  const core::System sys(std::move(readers), {makeTag(1, 0)});
+  const std::vector<int> both = {0, 1};
+  EXPECT_FALSE(isChannelFeasible(sys, both, std::vector<int>{0, 0}));
+  EXPECT_TRUE(isChannelFeasible(sys, both, std::vector<int>{0, 1}));
+}
+
+TEST(Channels, RefereeRemovesRtcOnlyWithinChannel) {
+  // Two mutually interfering readers, each with an exclusive tag.
+  std::vector<core::Reader> readers = {makeReader(0, 0, 10.0, 3.0),
+                                       makeReader(5, 0, 10.0, 3.0)};
+  std::vector<core::Tag> tags = {makeTag(-2, 0), makeTag(7, 0)};
+  const core::System sys(std::move(readers), std::move(tags));
+  const std::vector<int> both = {0, 1};
+  // Same channel: mutual RTc, nothing read (matches System::weight).
+  EXPECT_TRUE(wellCoveredTagsChanneled(sys, both, std::vector<int>{0, 0}).empty());
+  EXPECT_EQ(sys.weight(both), 0);
+  // Different channels: both read their exclusive tag.
+  EXPECT_EQ(wellCoveredTagsChanneled(sys, both, std::vector<int>{0, 1}),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(Channels, RrcPersistsAcrossChannels) {
+  // Independent-but-overlapping interrogation regions: the shared tag is
+  // lost no matter the channels (the tag cannot separate the signals).
+  const core::System sys = test::figure2System();
+  const std::vector<int> ab = {0, 1};  // A and B share Tag2
+  const auto served = wellCoveredTagsChanneled(sys, ab, std::vector<int>{0, 1});
+  EXPECT_TRUE(std::find(served.begin(), served.end(), 1) == served.end());
+}
+
+TEST(Channels, SingleChannelMatchesSystemReferee) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const core::System sys = test::smallRandomSystem(seed, 15, 100, 50.0);
+    workload::Rng rng(seed);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<int> x;
+      for (int v = 0; v < sys.numReaders(); ++v) {
+        if (rng.bernoulli(0.25)) x.push_back(v);
+      }
+      const std::vector<int> chan(x.size(), 0);
+      EXPECT_EQ(wellCoveredTagsChanneled(sys, x, chan), sys.wellCoveredTags(x));
+    }
+  }
+}
+
+TEST(Channels, SchedulerAssignmentsAreChannelFeasible) {
+  for (const std::uint64_t seed : {4u, 8u, 12u}) {
+    const core::System sys = test::smallRandomSystem(seed, 20, 120, 50.0);
+    MultiChannelScheduler mc(ChannelOptions{3});
+    const ChanneledResult res = mc.scheduleChanneled(sys);
+    EXPECT_TRUE(isChannelFeasible(sys, res.readers, res.channel));
+    for (const int c : res.channel) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 3);
+    }
+    EXPECT_GT(res.weight, 0);
+  }
+}
+
+TEST(Channels, OneChannelEqualsGhc) {
+  for (const std::uint64_t seed : {5u, 10u}) {
+    const core::System sys = test::smallRandomSystem(seed, 18, 110, 50.0);
+    MultiChannelScheduler mc(ChannelOptions{1});
+    HillClimbingScheduler ghc;
+    EXPECT_EQ(mc.schedule(sys).weight, ghc.schedule(sys).weight);
+  }
+}
+
+TEST(Channels, MoreChannelsNeverHurtOnBatch) {
+  double w1 = 0, w2 = 0, w4 = 0;
+  for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const core::System sys = test::smallRandomSystem(seed, 20, 120, 40.0);
+    MultiChannelScheduler a(ChannelOptions{1}), b(ChannelOptions{2}),
+        c(ChannelOptions{4});
+    w1 += a.schedule(sys).weight;
+    w2 += b.schedule(sys).weight;
+    w4 += c.schedule(sys).weight;
+  }
+  EXPECT_GE(w2, w1);
+  EXPECT_GE(w4, w2 * 0.98);  // saturation allowed, regression not
+}
+
+TEST(Channels, ChanneledMcsCompletes) {
+  core::System sys = test::smallRandomSystem(30, 18, 120, 45.0);
+  MultiChannelScheduler mc(ChannelOptions{2});
+  const ChanneledMcsResult res = runChanneledCoveringSchedule(sys, mc);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(sys.unreadCoverableCount(), 0);
+  EXPECT_GT(res.tags_read, 0);
+}
+
+TEST(Channels, MoreChannelsShrinkSchedulesOnBatch) {
+  double s1 = 0, s4 = 0;
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    core::System sys = test::smallRandomSystem(seed, 20, 120, 40.0);
+    MultiChannelScheduler a(ChannelOptions{1});
+    s1 += runChanneledCoveringSchedule(sys, a).slots;
+    sys.resetReads();
+    MultiChannelScheduler b(ChannelOptions{4});
+    s4 += runChanneledCoveringSchedule(sys, b).slots;
+  }
+  EXPECT_LE(s4, s1);
+}
+
+}  // namespace
+}  // namespace rfid::sched

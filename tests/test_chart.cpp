@@ -1,0 +1,82 @@
+// Line-chart renderer tests: structure, series presence, CI whiskers,
+// axis behavior, and file output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/chart.h"
+
+namespace rfid::analysis {
+namespace {
+
+SeriesSet sampleSet() {
+  SeriesSet set;
+  for (const double x : {1.0, 2.0, 3.0}) {
+    set.add("Alg1", x, 10.0 * x);
+    set.add("Alg1", x, 10.0 * x + 2.0);  // two samples → nonzero CI
+    set.add("CA", x, 4.0 * x);
+    set.add("CA", x, 4.0 * x + 1.0);
+  }
+  return set;
+}
+
+int count(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (auto p = hay.find(needle); p != std::string::npos;
+       p = hay.find(needle, p + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Chart, StructureAndSeries) {
+  ChartOptions opt;
+  opt.title = "Figure X";
+  opt.x_label = "lambda";
+  opt.y_label = "tags";
+  const std::string svg = renderLineChart(sampleSet(), opt);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Figure X"), std::string::npos);
+  EXPECT_NE(svg.find("lambda"), std::string::npos);
+  EXPECT_NE(svg.find("tags"), std::string::npos);
+  // Two series → two polylines and two legend labels.
+  EXPECT_EQ(count(svg, "<polyline"), 2);
+  EXPECT_NE(svg.find(">Alg1</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">CA</text>"), std::string::npos);
+  // 3 points × 2 series markers.
+  EXPECT_EQ(count(svg, "<circle"), 6);
+}
+
+TEST(Chart, CiWhiskersDrawnWhenPresent) {
+  const std::string with_ci = renderLineChart(sampleSet(), {});
+  EXPECT_GT(count(with_ci, "stroke-opacity='0.45'"), 0);
+
+  SeriesSet no_ci;  // single samples → ci 0 → no whiskers
+  no_ci.add("A", 1.0, 5.0);
+  no_ci.add("A", 2.0, 6.0);
+  const std::string without = renderLineChart(no_ci, {});
+  EXPECT_EQ(count(without, "stroke-opacity='0.45'"), 0);
+}
+
+TEST(Chart, DegenerateInputsDoNotCrash) {
+  SeriesSet empty;
+  EXPECT_NE(renderLineChart(empty, {}).find("</svg>"), std::string::npos);
+
+  SeriesSet one_point;
+  one_point.add("A", 2.0, 3.0);
+  const std::string svg = renderLineChart(one_point, {});
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+}
+
+TEST(Chart, FileOutput) {
+  const std::string path = "chart_test_dir/fig.svg";
+  EXPECT_TRUE(writeChartSvgFile(path, sampleSet(), {}));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::filesystem::remove_all("chart_test_dir");
+}
+
+}  // namespace
+}  // namespace rfid::analysis

@@ -1,0 +1,99 @@
+// Colorwave baseline tests: convergence to a proper coloring, feasible
+// color classes, maxColors adaptation, and scheduler behavior.
+#include <gtest/gtest.h>
+
+#include "distributed/colorwave.h"
+#include "graph/coloring.h"
+#include "test_helpers.h"
+
+namespace rfid::dist {
+namespace {
+
+TEST(Colorwave, ConvergesOnRandomInterferenceGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const core::System sys = test::smallRandomSystem(seed, 30, 10, 50.0);
+    const graph::InterferenceGraph g(sys);
+    ColorwaveScheduler cw(g, seed);
+    (void)cw.schedule(sys);  // triggers the settle phase
+    EXPECT_TRUE(cw.converged()) << "seed " << seed;
+  }
+}
+
+TEST(Colorwave, ProperClassesAreFeasible) {
+  const core::System sys = test::smallRandomSystem(4, 30, 50, 50.0);
+  const graph::InterferenceGraph g(sys);
+  ColorwaveScheduler cw(g, 4);
+  (void)cw.schedule(sys);
+  ASSERT_TRUE(cw.converged());
+  const auto colors = cw.colors();
+  for (int c = 0; c < graph::numColors(colors); ++c) {
+    const auto cls = graph::colorClass(colors, c);
+    if (cls.empty()) continue;
+    EXPECT_TRUE(sys.isFeasible(cls));
+  }
+}
+
+TEST(Colorwave, SchedulerRotatesThroughClasses) {
+  const core::System sys = test::smallRandomSystem(5, 20, 60, 50.0);
+  const graph::InterferenceGraph g(sys);
+  ColorwaveScheduler cw(g, 5);
+  // Over enough slots every reader must appear at least once (its color
+  // class comes up in the rotation).
+  std::vector<char> appeared(static_cast<std::size_t>(sys.numReaders()), 0);
+  for (int slot = 0; slot < 80; ++slot) {
+    for (const int v : cw.schedule(sys).readers) appeared[static_cast<std::size_t>(v)] = 1;
+  }
+  for (int v = 0; v < sys.numReaders(); ++v) {
+    EXPECT_TRUE(appeared[static_cast<std::size_t>(v)]) << "reader " << v;
+  }
+}
+
+TEST(Colorwave, DeterministicInSeed) {
+  const core::System sys = test::smallRandomSystem(6, 20, 60, 50.0);
+  const graph::InterferenceGraph g(sys);
+  ColorwaveScheduler a(g, 99), b(g, 99);
+  for (int slot = 0; slot < 5; ++slot) {
+    EXPECT_EQ(a.schedule(sys).readers, b.schedule(sys).readers) << slot;
+  }
+}
+
+TEST(Colorwave, AdaptsColorsUpUnderPressure) {
+  // A clique of 8 readers with initial 2 colors cannot properly color —
+  // adaptation must push maxColors up until a proper coloring exists.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) edges.emplace_back(i, j);
+  }
+  const graph::InterferenceGraph g(8, edges);
+  // Build a dummy system of 8 far-apart readers (geometry irrelevant for
+  // the protocol itself; schedule() only needs matching reader count).
+  std::vector<core::Reader> readers;
+  for (int i = 0; i < 8; ++i) readers.push_back(test::makeReader(i * 100.0, 0, 5.0));
+  const core::System sys(std::move(readers), {});
+
+  ColorwaveOptions opt;
+  opt.initial_max_colors = 2;
+  opt.settle_rounds = 3000;
+  ColorwaveScheduler cw(g, 7, opt);
+  (void)cw.schedule(sys);
+  EXPECT_TRUE(cw.converged());
+  // A proper coloring of K8 needs 8 distinct colors.
+  auto colors = cw.colors();
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  EXPECT_EQ(colors.size(), 8u);
+}
+
+TEST(Colorwave, StatsAccumulateAcrossSlots) {
+  const core::System sys = test::smallRandomSystem(8, 15, 40, 50.0);
+  const graph::InterferenceGraph g(sys);
+  ColorwaveScheduler cw(g, 8);
+  (void)cw.schedule(sys);
+  const auto after_one = cw.stats().protocol_rounds;
+  (void)cw.schedule(sys);
+  EXPECT_GT(cw.stats().protocol_rounds, after_one);
+  EXPECT_GT(cw.stats().messages, 0);
+}
+
+}  // namespace
+}  // namespace rfid::dist

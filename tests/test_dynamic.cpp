@@ -1,0 +1,103 @@
+// Dynamic tag arrival tests: instance generation, conservation laws of the
+// simulation, latency accounting, and drain behavior.
+#include <gtest/gtest.h>
+
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "workload/dynamic.h"
+
+namespace rfid::workload {
+namespace {
+
+DynamicConfig smallConfig() {
+  DynamicConfig cfg;
+  cfg.arrival_rate = 8.0;
+  cfg.arrival_slots = 10;
+  cfg.drain_slots = 200;
+  cfg.deploy.num_readers = 15;
+  cfg.deploy.region_side = 50.0;
+  cfg.deploy.lambda_R = 9.0;
+  cfg.deploy.lambda_r = 5.0;
+  return cfg;
+}
+
+TEST(Dynamic, InstanceIsDeterministicAndParked) {
+  const DynamicConfig cfg = smallConfig();
+  DynamicInstance a = makeDynamicInstance(cfg, 11);
+  DynamicInstance b = makeDynamicInstance(cfg, 11);
+  ASSERT_EQ(a.system.numTags(), b.system.numTags());
+  for (int t = 0; t < a.system.numTags(); ++t) {
+    EXPECT_EQ(a.arrival_slot[static_cast<std::size_t>(t)],
+              b.arrival_slot[static_cast<std::size_t>(t)]);
+    EXPECT_TRUE(a.system.isRead(t)) << "tags start parked";
+  }
+  EXPECT_EQ(static_cast<int>(a.arrival_slot.size()), a.system.numTags());
+}
+
+TEST(Dynamic, ArrivalSlotsWithinWindow) {
+  const DynamicConfig cfg = smallConfig();
+  const DynamicInstance inst = makeDynamicInstance(cfg, 12);
+  for (const int s : inst.arrival_slot) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, cfg.arrival_slots);
+  }
+  // Poisson(8) over 10 slots: expect ~80 tags, loosely banded.
+  EXPECT_GT(inst.system.numTags(), 40);
+  EXPECT_LT(inst.system.numTags(), 140);
+}
+
+TEST(Dynamic, SimulationConservesTags) {
+  const DynamicConfig cfg = smallConfig();
+  DynamicInstance inst = makeDynamicInstance(cfg, 13);
+  sched::HillClimbingScheduler ghc;
+  const DynamicResult res = runDynamicSimulation(inst, ghc, cfg);
+  EXPECT_EQ(res.arrived, inst.system.numTags());
+  EXPECT_LE(res.served, res.arrived_coverable);
+  EXPECT_TRUE(res.drained);
+  EXPECT_EQ(res.served, res.arrived_coverable);  // drained = all served
+  EXPECT_EQ(static_cast<int>(res.backlog.size()), res.slots_run);
+}
+
+TEST(Dynamic, LatencyIsNonNegativeAndBounded) {
+  const DynamicConfig cfg = smallConfig();
+  DynamicInstance inst = makeDynamicInstance(cfg, 14);
+  sched::HillClimbingScheduler ghc;
+  const DynamicResult res = runDynamicSimulation(inst, ghc, cfg);
+  EXPECT_GE(res.mean_latency, 0.0);
+  EXPECT_LT(res.mean_latency, res.slots_run);
+}
+
+TEST(Dynamic, BacklogNeverExceedsPresentTags) {
+  const DynamicConfig cfg = smallConfig();
+  DynamicInstance inst = makeDynamicInstance(cfg, 15);
+  sched::HillClimbingScheduler ghc;
+  const DynamicResult res = runDynamicSimulation(inst, ghc, cfg);
+  EXPECT_LE(res.max_backlog, res.arrived);
+  EXPECT_GT(res.max_backlog, 0);
+}
+
+TEST(Dynamic, HigherRateMeansMoreBacklog) {
+  DynamicConfig low = smallConfig();
+  DynamicConfig high = smallConfig();
+  high.arrival_rate = 40.0;
+  DynamicInstance a = makeDynamicInstance(low, 16);
+  DynamicInstance b = makeDynamicInstance(high, 16);
+  sched::HillClimbingScheduler ghc1, ghc2;
+  const DynamicResult ra = runDynamicSimulation(a, ghc1, low);
+  const DynamicResult rb = runDynamicSimulation(b, ghc2, high);
+  EXPECT_GT(rb.max_backlog, ra.max_backlog);
+}
+
+TEST(Dynamic, WorksWithGraphBasedScheduler) {
+  const DynamicConfig cfg = smallConfig();
+  DynamicInstance inst = makeDynamicInstance(cfg, 17);
+  const graph::InterferenceGraph g(inst.system);
+  sched::GrowthScheduler alg2(g);
+  const DynamicResult res = runDynamicSimulation(inst, alg2, cfg);
+  EXPECT_TRUE(res.drained);
+  EXPECT_EQ(res.served, res.arrived_coverable);
+}
+
+}  // namespace
+}  // namespace rfid::workload

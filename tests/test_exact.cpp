@@ -1,0 +1,210 @@
+// Exact solver tests: branch & bound vs exhaustive enumeration on small
+// random instances, LocalProblem semantics, and budget behavior.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/exact.h"
+#include "test_helpers.h"
+#include "workload/rng.h"
+
+namespace rfid::sched {
+namespace {
+
+/// Exhaustive reference: best weight over all feasible subsets.
+int bruteForceBest(const core::System& sys) {
+  const int n = sys.numReaders();
+  int best = 0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    std::vector<int> x;
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1u << v)) x.push_back(v);
+    }
+    if (!sys.isFeasible(x)) continue;
+    best = std::max(best, sys.weight(x));
+  }
+  return best;
+}
+
+TEST(ExactSolver, Figure2Optimum) {
+  const core::System sys = test::figure2System();
+  ExactScheduler solver;
+  const OneShotResult res = solver.schedule(sys);
+  EXPECT_EQ(res.weight, 4);
+  EXPECT_EQ(res.readers, (std::vector<int>{0, 2}));  // {A, C}, not {A,B,C}
+}
+
+TEST(ExactSolver, EmptySystem) {
+  const core::System sys({}, {});
+  ExactScheduler solver;
+  const OneShotResult res = solver.schedule(sys);
+  EXPECT_TRUE(res.readers.empty());
+  EXPECT_EQ(res.weight, 0);
+}
+
+TEST(ExactSolver, RespectsReadState) {
+  core::System sys = test::figure2System();
+  // Serve tags 1 and 2 (A's whole coverage): A becomes worthless.
+  sys.markRead(std::vector<int>{0, 1});
+  ExactScheduler solver;
+  const OneShotResult res = solver.schedule(sys);
+  // Remaining unread: idx2 (B∩C), idx3 (C only), idx4 (B only) — every
+  // feasible set nets at most 2 (the B∩C tag is lost whenever both run).
+  EXPECT_EQ(res.weight, 2);
+  EXPECT_EQ(res.weight, bruteForceBest(sys));
+}
+
+class ExactVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBruteForce, AgreesOnRandomInstances) {
+  const core::System sys = test::smallRandomSystem(GetParam(), 12, 80);
+  ExactScheduler solver;
+  const OneShotResult res = solver.schedule(sys);
+  EXPECT_TRUE(sys.isFeasible(res.readers));
+  EXPECT_EQ(sys.weight(res.readers), res.weight);
+  EXPECT_EQ(res.weight, bruteForceBest(sys));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteForce,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+TEST(SolveLocal, SharedTagIdsModelRrc) {
+  // Two conflict-free candidates sharing one tag: selecting both loses the
+  // shared tag, so the optimum picks the pair anyway (2+2-2=2 vs single 2)…
+  // make the overlap decisive: each has 1 exclusive + 1 shared.
+  LocalProblem p;
+  p.adj = {{}, {}};
+  p.coverage = {{1, 2}, {2, 3}};
+  const BnbResult both = solveLocal(p);
+  // {0,1}: tags 1 and 3 exclusive, tag 2 lost → weight 2; singles weigh 2.
+  EXPECT_EQ(both.weight, 2);
+  EXPECT_TRUE(both.optimal);
+}
+
+TEST(SolveLocal, OverlapMakesFewerBetter) {
+  // Figure 2 in LocalProblem form: A{1,2} B{2,3,5} C{3,4}, no conflicts.
+  LocalProblem p;
+  p.adj = {{}, {}, {}};
+  p.coverage = {{1, 2}, {2, 3, 5}, {3, 4}};
+  const BnbResult res = solveLocal(p);
+  EXPECT_EQ(res.weight, 4);
+  EXPECT_EQ(res.members, (std::vector<int>{0, 2}));
+}
+
+TEST(SolveLocal, ConflictsForbidCoselection) {
+  LocalProblem p;
+  p.adj = {{1}, {0}};
+  p.coverage = {{1, 2, 3}, {4, 5}};
+  const BnbResult res = solveLocal(p);
+  EXPECT_EQ(res.weight, 3);
+  EXPECT_EQ(res.members, (std::vector<int>{0}));
+}
+
+TEST(SolveLocal, EmptyProblem) {
+  const BnbResult res = solveLocal(LocalProblem{});
+  EXPECT_TRUE(res.members.empty());
+  EXPECT_EQ(res.weight, 0);
+  EXPECT_TRUE(res.optimal);
+}
+
+TEST(SolveLocal, NodeBudgetReportsNonOptimal) {
+  // A big clique-free instance with a 1-node budget cannot finish.
+  LocalProblem p;
+  const int n = 20;
+  p.adj.resize(n);
+  p.coverage.resize(n);
+  for (int i = 0; i < n; ++i) p.coverage[static_cast<std::size_t>(i)] = {i};
+  const BnbResult res = solveLocal(p, 1);
+  EXPECT_FALSE(res.optimal);
+  // Unlimited budget solves it: all candidates independent, all tags
+  // distinct → take everything.
+  const BnbResult full = solveLocal(p, 0);
+  EXPECT_TRUE(full.optimal);
+  EXPECT_EQ(full.weight, n);
+  EXPECT_EQ(static_cast<int>(full.members.size()), n);
+}
+
+TEST(MaxWeightFeasibleSubset, RestrictsToCandidates) {
+  const core::System sys = test::figure2System();
+  const std::vector<int> candidates = {1};  // only B allowed
+  const BnbResult res = maxWeightFeasibleSubset(sys, candidates);
+  EXPECT_EQ(res.members, (std::vector<int>{1}));
+  EXPECT_EQ(res.weight, 3);
+}
+
+TEST(MaxWeightFeasibleSubset, EmptyCandidates) {
+  const core::System sys = test::figure2System();
+  const BnbResult res = maxWeightFeasibleSubset(sys, std::vector<int>{});
+  EXPECT_TRUE(res.members.empty());
+  EXPECT_EQ(res.weight, 0);
+}
+
+}  // namespace
+}  // namespace rfid::sched
+namespace rfid::sched {
+namespace {
+
+TEST(SolveLocalPreload, CoveringClaimedTagScoresNegative) {
+  LocalProblem p;
+  p.adj = {{}};
+  p.coverage = {{7}};
+  p.preload = {7};  // tag 7 already exclusively covered outside
+  const BnbResult res = solveLocal(p);
+  // Selecting the candidate would turn tag 7 double-covered: marginal −1.
+  EXPECT_TRUE(res.members.empty());
+  EXPECT_EQ(res.weight, 0);
+}
+
+TEST(SolveLocalPreload, DoublyClaimedTagIsNeutral) {
+  LocalProblem p;
+  p.adj = {{}};
+  p.coverage = {{7, 8}};
+  p.preload = {7, 7};  // tag 7 already lost to RRc outside; 8 is fresh
+  const BnbResult res = solveLocal(p);
+  EXPECT_EQ(res.members, (std::vector<int>{0}));
+  EXPECT_EQ(res.weight, 1);  // +1 for tag 8, 0 for tag 7
+}
+
+TEST(SolveLocalPreload, TradesClaimedForFresh) {
+  LocalProblem p;
+  p.adj = {{}};
+  p.coverage = {{1, 2, 3}};  // two fresh tags + one claimed
+  p.preload = {3};
+  const BnbResult res = solveLocal(p);
+  EXPECT_EQ(res.members, (std::vector<int>{0}));
+  EXPECT_EQ(res.weight, 1);  // +2 fresh − 1 cancelled
+}
+
+TEST(SolveLocalPreload, IrrelevantPreloadIgnored) {
+  LocalProblem p;
+  p.adj = {{}};
+  p.coverage = {{1}};
+  p.preload = {99, 98, 97};  // tags no candidate covers
+  const BnbResult res = solveLocal(p);
+  EXPECT_EQ(res.weight, 1);
+}
+
+TEST(MaxWeightFeasibleSubset, CommittedReadersShapeTheMarginal) {
+  // Figure 2 again: commit B, then ask for the best extension among {A, C}.
+  const core::System sys = test::figure2System();
+  const std::vector<int> candidates = {0, 2};
+  const std::vector<int> committed = {1};
+  const BnbResult res = maxWeightFeasibleSubset(sys, candidates, 0, committed);
+  // A adds Tag1 (+1) but cancels Tag2 (−1): 0.  C adds Tag4 (+1) and
+  // cancels Tag3 (−1): 0.  Nothing strictly improves on committed {B}.
+  EXPECT_EQ(res.weight, 0);
+  EXPECT_TRUE(res.members.empty());
+}
+
+TEST(MaxWeightFeasibleSubset, CommittedRespectsReadState) {
+  core::System sys = test::figure2System();
+  sys.markRead(1);  // Tag2 served: A no longer cancels anything of B's
+  const std::vector<int> candidates = {0};
+  const std::vector<int> committed = {1};
+  const BnbResult res = maxWeightFeasibleSubset(sys, candidates, 0, committed);
+  EXPECT_EQ(res.members, (std::vector<int>{0}));
+  EXPECT_EQ(res.weight, 1);  // Tag1 fresh
+}
+
+}  // namespace
+}  // namespace rfid::sched

@@ -1,0 +1,124 @@
+// Algorithm 2 tests: growth-bounded centralized scheduling without
+// locations — feasibility, the ρ stop rule, removal semantics, Theorem 4.
+#include <gtest/gtest.h>
+
+#include "graph/interference_graph.h"
+#include "sched/exact.h"
+#include "sched/growth.h"
+#include "test_helpers.h"
+
+namespace rfid::sched {
+namespace {
+
+TEST(Growth, Figure2ShowsLocationFreeBlindSpot) {
+  const core::System sys = test::figure2System();
+  const graph::InterferenceGraph g(sys);
+  // Figure 2's readers are pairwise independent → the interference graph is
+  // empty → every neighborhood is a singleton, so Algorithm 2 cannot weigh
+  // A, B, C jointly.  It picks B (weight 3); A and C then have zero
+  // *marginal* value (each gains one exclusive tag but cancels one of B's
+  // through RRc), so it stops at {B} with weight 3 — one short of the
+  // PTAS's 4.  The price of dropping location information (Figures 8/9).
+  GrowthScheduler alg2(g);
+  const OneShotResult res = alg2.schedule(sys);
+  EXPECT_TRUE(sys.isFeasible(res.readers));
+  EXPECT_EQ(res.readers, (std::vector<int>{1}));
+  EXPECT_EQ(res.weight, 3);
+}
+
+TEST(Growth, FeasibleOnRandomInstances) {
+  for (const std::uint64_t seed : {2u, 6u, 10u, 14u, 18u}) {
+    const core::System sys = test::smallRandomSystem(seed, 25, 150, 70.0);
+    const graph::InterferenceGraph g(sys);
+    GrowthScheduler alg2(g);
+    const OneShotResult res = alg2.schedule(sys);
+    EXPECT_TRUE(sys.isFeasible(res.readers)) << "seed " << seed;
+    EXPECT_EQ(sys.weight(res.readers), res.weight);
+    EXPECT_GT(res.weight, 0);
+  }
+}
+
+// Theorem 4: w(X) ≥ w(OPT)/ρ.  Verified exactly on small instances.
+class GrowthApproximation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GrowthApproximation, MeetsTheorem4Bound) {
+  const core::System sys = test::smallRandomSystem(GetParam(), 12, 90);
+  const graph::InterferenceGraph g(sys);
+  GrowthOptions opt;
+  opt.rho = 1.5;
+  GrowthScheduler alg2(g, opt);
+  ExactScheduler exact;
+  const int got = alg2.schedule(sys).weight;
+  const int best = exact.schedule(sys).weight;
+  EXPECT_GE(static_cast<double>(got) + 1e-9,
+            static_cast<double>(best) / opt.rho)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrowthApproximation,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
+TEST(Growth, TighterRhoImprovesOrEquals) {
+  double loose_total = 0.0, tight_total = 0.0;
+  for (const std::uint64_t seed : {51u, 53u, 55u, 57u}) {
+    const core::System sys = test::smallRandomSystem(seed, 20, 120);
+    const graph::InterferenceGraph g(sys);
+    GrowthOptions loose, tight;
+    loose.rho = 2.0;
+    tight.rho = 1.05;
+    GrowthScheduler a(g, loose), b(g, tight);
+    loose_total += a.schedule(sys).weight;
+    tight_total += b.schedule(sys).weight;
+  }
+  // Smaller ρ grows neighborhoods further → at least as good on average.
+  EXPECT_GE(tight_total, loose_total * 0.95);
+}
+
+TEST(Growth, StatsTrackPicksAndRadius) {
+  const core::System sys = test::smallRandomSystem(77, 30, 200, 60.0);
+  const graph::InterferenceGraph g(sys);
+  GrowthScheduler alg2(g);
+  (void)alg2.schedule(sys);
+  const auto& st = alg2.lastStats();
+  EXPECT_GT(st.picks, 0);
+  EXPECT_GE(st.max_rbar, 0);
+  EXPECT_LE(st.max_rbar, GrowthOptions{}.hop_cap);
+}
+
+TEST(Growth, StopsWhenNoTagRemains) {
+  core::System sys = test::figure2System();
+  for (int t = 0; t < sys.numTags(); ++t) sys.markRead(t);
+  const graph::InterferenceGraph g(sys);
+  GrowthScheduler alg2(g);
+  const OneShotResult res = alg2.schedule(sys);
+  EXPECT_TRUE(res.readers.empty());
+  EXPECT_EQ(res.weight, 0);
+}
+
+TEST(Growth, HopCapLimitsNeighborhoodGrowth) {
+  const core::System sys = test::smallRandomSystem(88, 40, 150, 50.0);
+  const graph::InterferenceGraph g(sys);
+  GrowthOptions opt;
+  opt.hop_cap = 1;
+  GrowthScheduler alg2(g, opt);
+  (void)alg2.schedule(sys);
+  EXPECT_LE(alg2.lastStats().max_rbar, 1);
+}
+
+// The ρ stop rule is scale-free: with an enormous ρ the algorithm reduces
+// to independent singleton picks (Γ stays {v} whenever the 1-hop MWFS fails
+// to beat ρ·w(v)).
+TEST(Growth, HugeRhoDegeneratesToSingletons) {
+  const core::System sys = test::smallRandomSystem(99, 20, 120);
+  const graph::InterferenceGraph g(sys);
+  GrowthOptions opt;
+  opt.rho = 1e9;
+  GrowthScheduler alg2(g, opt);
+  const OneShotResult res = alg2.schedule(sys);
+  EXPECT_TRUE(sys.isFeasible(res.readers));
+  EXPECT_EQ(alg2.lastStats().max_rbar, 0);
+  EXPECT_GT(res.weight, 0);
+}
+
+}  // namespace
+}  // namespace rfid::sched

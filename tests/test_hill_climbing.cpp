@@ -1,0 +1,70 @@
+// GHC baseline tests: greedy semantics, feasibility, and the Figure 2 trap
+// it is designed to fall into less gracefully than the exact solver.
+#include <gtest/gtest.h>
+
+#include "sched/hill_climbing.h"
+#include "test_helpers.h"
+
+namespace rfid::sched {
+namespace {
+
+TEST(HillClimbing, PicksGreedyOrderOnFigure2) {
+  const core::System sys = test::figure2System();
+  HillClimbingScheduler ghc;
+  const OneShotResult res = ghc.schedule(sys);
+  // First pick is B (weight 3).  Adding A: delta = +1 (Tag1) − 1 (Tag2) = 0,
+  // not strictly positive; same for C.  GHC stops at {B} with weight 3 —
+  // one short of the optimum 4, exactly the local-maximum failure mode the
+  // paper's evaluation banks on.
+  EXPECT_EQ(res.readers, (std::vector<int>{1}));
+  EXPECT_EQ(res.weight, 3);
+}
+
+TEST(HillClimbing, StopsWhenIncrementTurnsNonPositive) {
+  // Two far-apart readers with one tag each: both get added.
+  std::vector<core::Reader> readers = {test::makeReader(0, 0, 5.0, 3.0),
+                                       test::makeReader(50, 0, 5.0, 3.0)};
+  std::vector<core::Tag> tags = {test::makeTag(1, 0), test::makeTag(51, 0)};
+  const core::System sys(std::move(readers), std::move(tags));
+  HillClimbingScheduler ghc;
+  const OneShotResult res = ghc.schedule(sys);
+  EXPECT_EQ(res.readers, (std::vector<int>{0, 1}));
+  EXPECT_EQ(res.weight, 2);
+}
+
+TEST(HillClimbing, NeverPicksInterferingReaders) {
+  for (const std::uint64_t seed : {1u, 5u, 9u, 13u}) {
+    const core::System sys = test::smallRandomSystem(seed, 20, 120, 60.0);
+    HillClimbingScheduler ghc;
+    const OneShotResult res = ghc.schedule(sys);
+    EXPECT_TRUE(sys.isFeasible(res.readers)) << "seed " << seed;
+    EXPECT_EQ(sys.weight(res.readers), res.weight);
+    EXPECT_GT(res.weight, 0);
+  }
+}
+
+TEST(HillClimbing, AtLeastBestSingleReader) {
+  for (const std::uint64_t seed : {2u, 4u, 6u}) {
+    const core::System sys = test::smallRandomSystem(seed, 15, 100);
+    int best_single = 0;
+    for (int v = 0; v < sys.numReaders(); ++v) {
+      best_single = std::max(best_single, sys.singleWeight(v));
+    }
+    HillClimbingScheduler ghc;
+    // The first greedy pick is exactly the best single reader, and later
+    // additions only happen with strictly positive increments.
+    EXPECT_GE(ghc.schedule(sys).weight, best_single);
+  }
+}
+
+TEST(HillClimbing, EmptyWhenNothingToRead) {
+  core::System sys = test::figure2System();
+  for (int t = 0; t < sys.numTags(); ++t) sys.markRead(t);
+  HillClimbingScheduler ghc;
+  const OneShotResult res = ghc.schedule(sys);
+  EXPECT_TRUE(res.readers.empty());
+  EXPECT_EQ(res.weight, 0);
+}
+
+}  // namespace
+}  // namespace rfid::sched

@@ -1,0 +1,158 @@
+// Integration tests: the full paper pipeline at reduced scale — deployment
+// generation → interference graph → all five schedulers → MCS loop — with
+// the qualitative orderings of §VI asserted on batch averages.
+#include <gtest/gtest.h>
+
+#include "distributed/colorwave.h"
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/mcs.h"
+#include "sched/ptas.h"
+#include "workload/scenario.h"
+
+namespace rfid {
+namespace {
+
+/// Reduced paper scenario: 25 readers, 300 tags, 70×70 — small enough for
+/// fast CI, dense enough for real interference.
+workload::Scenario reducedScenario() {
+  workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+  sc.deploy.num_readers = 25;
+  sc.deploy.num_tags = 300;
+  sc.deploy.region_side = 70.0;
+  return sc;
+}
+
+TEST(Integration, AllSchedulersCompleteTheCoveringSchedule) {
+  const workload::Scenario sc = reducedScenario();
+  for (const std::uint64_t seed : {501u, 502u}) {
+    core::System sys = workload::makeSystem(sc, seed);
+    const graph::InterferenceGraph g(sys);
+
+    sched::PtasScheduler ptas;
+    sched::GrowthScheduler alg2(g);
+    dist::GrowthDistributedScheduler alg3(g);
+    sched::HillClimbingScheduler ghc;
+    dist::ColorwaveScheduler cw(sys, seed);
+
+    for (sched::OneShotScheduler* s :
+         std::vector<sched::OneShotScheduler*>{&ptas, &alg2, &alg3, &ghc, &cw}) {
+      sys.resetReads();
+      const sched::McsResult res = sched::runCoveringSchedule(sys, *s);
+      EXPECT_TRUE(res.completed) << s->name() << " seed " << seed;
+      EXPECT_EQ(sys.unreadCoverableCount(), 0) << s->name();
+      // Every proposed set of our algorithms must be feasible; Colorwave's
+      // may be infeasible pre-convergence, which the referee tolerates.
+      if (s->name() != "CA") {
+        for (const auto& slot : res.schedule) {
+          EXPECT_TRUE(sys.isFeasible(slot.active)) << s->name();
+        }
+      }
+    }
+  }
+}
+
+// Figure 6/7 ordering on batch average: Alg1 ≤ Alg2 ≤ CA and Alg1 ≤ GHC.
+// (Alg3 lands between Alg2 and the baselines with more variance; asserted
+// only against CA to keep the test robust to seed noise.)
+TEST(Integration, McsScheduleSizeOrdering) {
+  const workload::Scenario sc = reducedScenario();
+  double slots_ptas = 0, slots_alg2 = 0, slots_alg3 = 0, slots_ghc = 0,
+         slots_cw = 0;
+  const std::vector<std::uint64_t> seeds = {601, 602, 603};
+  for (const std::uint64_t seed : seeds) {
+    core::System sys = workload::makeSystem(sc, seed);
+    const graph::InterferenceGraph g(sys);
+
+    sched::PtasScheduler ptas;
+    sys.resetReads();
+    slots_ptas += sched::runCoveringSchedule(sys, ptas).slots;
+
+    sched::GrowthScheduler alg2(g);
+    sys.resetReads();
+    slots_alg2 += sched::runCoveringSchedule(sys, alg2).slots;
+
+    dist::GrowthDistributedScheduler alg3(g);
+    sys.resetReads();
+    slots_alg3 += sched::runCoveringSchedule(sys, alg3).slots;
+
+    sched::HillClimbingScheduler ghc;
+    sys.resetReads();
+    slots_ghc += sched::runCoveringSchedule(sys, ghc).slots;
+
+    dist::ColorwaveScheduler cw(sys, seed);
+    sys.resetReads();
+    slots_cw += sched::runCoveringSchedule(sys, cw).slots;
+  }
+  // The paper's qualitative ranking, with slack for small batches.
+  EXPECT_LE(slots_ptas, slots_alg2 * 1.15 + 1.0);
+  EXPECT_LE(slots_alg2, slots_cw);
+  EXPECT_LE(slots_alg3, slots_cw);
+  EXPECT_LE(slots_ptas, slots_ghc * 1.05 + 1.0);
+  EXPECT_LE(slots_ptas, slots_cw);
+}
+
+// Figure 8/9 ordering: one-shot weight Alg1 ≥ Alg2, and our algorithms
+// beat both baselines on batch average.
+TEST(Integration, OneShotWeightOrdering) {
+  const workload::Scenario sc = reducedScenario();
+  double w_ptas = 0, w_alg2 = 0, w_alg3 = 0, w_ghc = 0, w_cw = 0;
+  const std::vector<std::uint64_t> seeds = {701, 702, 703, 704};
+  for (const std::uint64_t seed : seeds) {
+    const core::System sys = workload::makeSystem(sc, seed);
+    const graph::InterferenceGraph g(sys);
+
+    sched::PtasScheduler ptas;
+    sched::GrowthScheduler alg2(g);
+    dist::GrowthDistributedScheduler alg3(g);
+    sched::HillClimbingScheduler ghc;
+    dist::ColorwaveScheduler cw(sys, seed);
+
+    w_ptas += ptas.schedule(sys).weight;
+    w_alg2 += alg2.schedule(sys).weight;
+    w_alg3 += alg3.schedule(sys).weight;
+    w_ghc += ghc.schedule(sys).weight;
+    // CA's one-shot weight: best class it would activate over one rotation
+    // is generous; use its next slot as-is (the paper does the same).
+    w_cw += cw.schedule(sys).weight;
+  }
+  EXPECT_GE(w_ptas, w_alg2 * 0.95);
+  EXPECT_GE(w_alg2, w_cw);
+  EXPECT_GE(w_alg3, w_cw);
+  EXPECT_GE(w_ptas, w_ghc * 0.95);
+  EXPECT_GE(w_ptas, w_cw);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  const workload::Scenario sc = reducedScenario();
+  auto run = [&sc]() {
+    core::System sys = workload::makeSystem(sc, 801);
+    const graph::InterferenceGraph g(sys);
+    sched::GrowthScheduler alg2(g);
+    return sched::runCoveringSchedule(sys, alg2);
+  };
+  const sched::McsResult a = run();
+  const sched::McsResult b = run();
+  ASSERT_EQ(a.slots, b.slots);
+  for (int s = 0; s < a.slots; ++s) {
+    EXPECT_EQ(a.schedule[static_cast<std::size_t>(s)].active,
+              b.schedule[static_cast<std::size_t>(s)].active);
+  }
+}
+
+TEST(Integration, PaperScaleSmokeRun) {
+  // Full §VI scale (50 readers, 1200 tags) through the cheapest scheduler:
+  // proves the pipeline holds at paper size without blowing the test budget.
+  core::System sys = workload::makeSystem(workload::paperScenario(10.0, 4.0), 901);
+  ASSERT_EQ(sys.numReaders(), 50);
+  ASSERT_EQ(sys.numTags(), 1200);
+  sched::HillClimbingScheduler ghc;
+  const sched::McsResult res = sched::runCoveringSchedule(sys, ghc);
+  EXPECT_TRUE(res.completed);
+  EXPECT_GT(res.tags_read, 0);
+}
+
+}  // namespace
+}  // namespace rfid

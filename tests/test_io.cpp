@@ -1,0 +1,86 @@
+// Deployment serialization tests: exact round-trips and fail-closed
+// parsing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "test_helpers.h"
+#include "workload/io.h"
+
+namespace rfid::workload {
+namespace {
+
+TEST(Io, RoundTripPreservesEverything) {
+  const core::System original = test::smallRandomSystem(42, 20, 150, 60.0);
+  std::stringstream ss;
+  saveDeployment(ss, original);
+  const auto loaded = loadDeployment(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->numReaders(), original.numReaders());
+  ASSERT_EQ(loaded->numTags(), original.numTags());
+  for (int v = 0; v < original.numReaders(); ++v) {
+    EXPECT_EQ(loaded->reader(v).pos, original.reader(v).pos);
+    EXPECT_EQ(loaded->reader(v).interference_radius,
+              original.reader(v).interference_radius);
+    EXPECT_EQ(loaded->reader(v).interrogation_radius,
+              original.reader(v).interrogation_radius);
+  }
+  for (int t = 0; t < original.numTags(); ++t) {
+    EXPECT_EQ(loaded->tag(t).pos, original.tag(t).pos);
+    EXPECT_EQ(loaded->tag(t).epc, original.tag(t).epc);
+  }
+  // Derived structures must agree too — the real test of exactness.
+  for (int v = 0; v < original.numReaders(); ++v) {
+    EXPECT_EQ(test::toVec(loaded->coverage(v)), test::toVec(original.coverage(v)));
+  }
+}
+
+TEST(Io, FileRoundTrip) {
+  const core::System sys = test::figure2System();
+  const std::string path = "io_test_deployment.csv";
+  ASSERT_TRUE(saveDeploymentFile(path, sys));
+  const auto loaded = loadDeploymentFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->numReaders(), 3);
+  EXPECT_EQ(loaded->numTags(), 5);
+  EXPECT_EQ(loaded->weight(std::vector<int>{0, 2}), 4);  // Figure 2 intact
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# comment\n\nreader,0,1.0,2.0,5.0,3.0\n# more\ntag,0,1.5,2.0,7\n";
+  const auto loaded = loadDeployment(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->numReaders(), 1);
+  EXPECT_EQ(loaded->tag(0).epc, 7u);
+}
+
+TEST(Io, FailsClosedOnGarbage) {
+  for (const std::string bad : {
+           "reader,0,1.0,2.0,5.0\n",          // missing field
+           "reader,0,1.0,2.0,5.0,3.0,9\n",    // extra field
+           "reader,x,1.0,2.0,5.0,3.0\n",      // non-numeric id
+           "reader,0,1.0,2.0,3.0,5.0\n",      // gamma > R
+           "reader,0,1.0,2.0,5.0,0.0\n",      // gamma = 0
+           "widget,0,1,2\n",                  // unknown record
+           "tag,0,1.0,2.0\n",                 // short tag
+           "\x01garbage\n",                   // binary noise
+       }) {
+    std::stringstream ss(bad);
+    EXPECT_FALSE(loadDeployment(ss).has_value()) << bad;
+  }
+}
+
+TEST(Io, EmptyInputIsRejected) {
+  std::stringstream ss("# only a comment\n");
+  EXPECT_FALSE(loadDeployment(ss).has_value());
+}
+
+TEST(Io, MissingFileIsRejected) {
+  EXPECT_FALSE(loadDeploymentFile("/nonexistent/path.csv").has_value());
+}
+
+}  // namespace
+}  // namespace rfid::workload

@@ -1,0 +1,161 @@
+// Network simulator tests: delivery discipline, latency, flood propagation,
+// quiescence, and accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "distributed/network.h"
+
+namespace rfid::dist {
+namespace {
+
+graph::InterferenceGraph pathGraph(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return graph::InterferenceGraph(n, edges);
+}
+
+/// Floods a token with a TTL; records the round it first arrived.
+class FloodNode final : public NodeProgram {
+ public:
+  explicit FloodNode(bool origin, int ttl) : origin_(origin), ttl_(ttl) {}
+
+  void init(Context& ctx) override {
+    if (origin_) {
+      received_round_ = -1;  // origin "has" it before round 0
+      ctx.broadcast(1, {ttl_});
+    }
+  }
+
+  void onRound(Context& ctx, std::span<const Message> inbox) override {
+    for (const Message& m : inbox) {
+      if (seen_) continue;
+      seen_ = true;
+      received_round_ = ctx.round();
+      if (m.data[0] > 1) ctx.broadcast(1, {m.data[0] - 1});
+    }
+  }
+
+  bool isDone() const override { return true; }  // passive after relaying
+
+  int receivedRound() const { return received_round_; }
+
+ private:
+  bool origin_;
+  int ttl_;
+  bool seen_ = false;
+  int received_round_ = -1000;
+};
+
+TEST(Network, FloodReachesExactlyTtlHops) {
+  const auto g = pathGraph(8);
+  const int ttl = 3;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (int v = 0; v < 8; ++v) {
+    programs.push_back(std::make_unique<FloodNode>(v == 0, ttl));
+  }
+  Network net(g, std::move(programs));
+  const auto stats = net.run(100);
+  EXPECT_TRUE(stats.all_done);
+  // Node at distance d receives in round d−1; beyond ttl: never.
+  for (int v = 1; v <= ttl; ++v) {
+    EXPECT_EQ(static_cast<const FloodNode&>(net.program(v)).receivedRound(),
+              v - 1)
+        << "node " << v;
+  }
+  for (int v = ttl + 1; v < 8; ++v) {
+    EXPECT_EQ(static_cast<const FloodNode&>(net.program(v)).receivedRound(),
+              -1000)
+        << "node " << v;
+  }
+}
+
+TEST(Network, CountsMessagesAndPayload) {
+  const auto g = pathGraph(3);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (int v = 0; v < 3; ++v) {
+    programs.push_back(std::make_unique<FloodNode>(v == 0, 1));
+  }
+  Network net(g, std::move(programs));
+  const auto stats = net.run(100);
+  // init: node 0 broadcasts to its single neighbor → 1 message of 1 word.
+  // Node 1 receives with ttl 1 → does not relay.
+  EXPECT_EQ(stats.messages, 1);
+  EXPECT_EQ(stats.payload_words, 1);
+}
+
+/// Sends one message per round forever — exercises the round cap.
+class ChattyNode final : public NodeProgram {
+ public:
+  void init(Context&) override {}
+  void onRound(Context& ctx, std::span<const Message>) override {
+    if (!ctx.neighbors().empty()) ctx.send(ctx.neighbors()[0], 7, {});
+    ++rounds_;
+  }
+  bool isDone() const override { return false; }
+  int rounds() const { return rounds_; }
+
+ private:
+  int rounds_ = 0;
+};
+
+TEST(Network, RoundCapStopsNonQuiescentRuns) {
+  const auto g = pathGraph(2);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<ChattyNode>());
+  programs.push_back(std::make_unique<ChattyNode>());
+  Network net(g, std::move(programs));
+  const auto stats = net.run(25);
+  EXPECT_FALSE(stats.all_done);
+  EXPECT_EQ(stats.rounds, 25);
+  EXPECT_EQ(static_cast<const ChattyNode&>(net.program(0)).rounds(), 25);
+}
+
+/// Records every sender it hears from.
+class ListenerNode final : public NodeProgram {
+ public:
+  void init(Context& ctx) override { ctx.broadcast(1, {ctx.self()}); }
+  void onRound(Context&, std::span<const Message> inbox) override {
+    for (const Message& m : inbox) heard_.push_back(m.from);
+  }
+  bool isDone() const override { return true; }
+  const std::vector<int>& heard() const { return heard_; }
+
+ private:
+  std::vector<int> heard_;
+};
+
+TEST(Network, MessagesOnlyTravelAlongEdges) {
+  // Star: 0 is the hub.  Leaves only ever hear the hub.
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {0, 2}, {0, 3}};
+  const graph::InterferenceGraph g(4, edges);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (int v = 0; v < 4; ++v) programs.push_back(std::make_unique<ListenerNode>());
+  Network net(g, std::move(programs));
+  (void)net.run(10);
+  for (int leaf = 1; leaf < 4; ++leaf) {
+    for (const int from : static_cast<const ListenerNode&>(net.program(leaf)).heard()) {
+      EXPECT_EQ(from, 0);
+    }
+  }
+  // The hub heard every leaf exactly once.
+  auto hub_heard = static_cast<const ListenerNode&>(net.program(0)).heard();
+  std::sort(hub_heard.begin(), hub_heard.end());
+  EXPECT_EQ(hub_heard, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Network, QuiescenceNeedsEmptyInFlight) {
+  // A done node that sent one last message: the network must process the
+  // delivery round before declaring quiescence.
+  const auto g = pathGraph(2);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<FloodNode>(true, 5));
+  programs.push_back(std::make_unique<FloodNode>(false, 5));
+  Network net(g, std::move(programs));
+  const auto stats = net.run(100);
+  EXPECT_TRUE(stats.all_done);
+  EXPECT_GE(stats.rounds, 2);  // round 0 delivers, round 1 drains the relay
+}
+
+}  // namespace
+}  // namespace rfid::dist

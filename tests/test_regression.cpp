@@ -1,0 +1,63 @@
+// Golden-value regression tests: pin exact outputs for fixed seeds so any
+// silent behavior change in the model, the RNG plumbing, or a scheduler is
+// caught immediately.  If a change is *intentional* (e.g. a scheduler
+// improvement), re-derive the constants with the snippet in each test and
+// say so in the commit message.
+#include <gtest/gtest.h>
+
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/mcs.h"
+#include "sched/ptas.h"
+#include "workload/scenario.h"
+
+namespace rfid {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 20260704;
+
+core::System goldenSystem() {
+  return workload::makeSystem(workload::paperScenario(10.0, 4.0), kGoldenSeed);
+}
+
+TEST(Regression, DeploymentShape) {
+  const core::System sys = goldenSystem();
+  const graph::InterferenceGraph g(sys);
+  EXPECT_EQ(sys.numReaders(), 50);
+  EXPECT_EQ(sys.numTags(), 1200);
+  EXPECT_EQ(g.numEdges(), 58);
+  EXPECT_EQ(sys.unreadCoverableCount(), 298);
+}
+
+TEST(Regression, OneShotWeights) {
+  const core::System sys = goldenSystem();
+  const graph::InterferenceGraph g(sys);
+
+  sched::PtasScheduler alg1;
+  EXPECT_EQ(alg1.schedule(sys).weight, 231);
+
+  sched::GrowthScheduler alg2(g);
+  EXPECT_EQ(alg2.schedule(sys).weight, 231);
+
+  dist::GrowthDistributedScheduler alg3(g);
+  EXPECT_EQ(alg3.schedule(sys).weight, 231);
+  EXPECT_EQ(alg3.lastStats().heads, 26);
+
+  sched::HillClimbingScheduler ghc;
+  EXPECT_EQ(ghc.schedule(sys).weight, 228);
+}
+
+TEST(Regression, CoveringSchedule) {
+  core::System sys = goldenSystem();
+  const graph::InterferenceGraph g(sys);
+  sched::GrowthScheduler alg2(g);
+  const sched::McsResult res = sched::runCoveringSchedule(sys, alg2);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.slots, 3);
+  EXPECT_EQ(res.tags_read, 298);
+}
+
+}  // namespace
+}  // namespace rfid

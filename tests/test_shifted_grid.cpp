@@ -1,0 +1,171 @@
+// Shifted hierarchical grid tests: the structural properties §IV's DP
+// relies on (level assignment, line hierarchy, square nesting, survive).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/shifted_grid.h"
+#include "workload/rng.h"
+
+namespace rfid::geom {
+namespace {
+
+TEST(ShiftedGrid, LevelOfBoundaries) {
+  const ShiftedGrid g(2, 0, 0);  // k = 2, so levels scale by 3
+  // Level j holds radii with 1/3^{j+1} < 2R ≤ 1/3^j.
+  EXPECT_EQ(g.levelOf(0.5), 0);        // 2R = 1 = 3^0 (inclusive upper edge)
+  EXPECT_EQ(g.levelOf(0.2), 0);        // 1/3 < 0.4 ≤ 1
+  EXPECT_EQ(g.levelOf(0.18), 0);       // 1/3 < 0.36 ≤ 1
+  EXPECT_EQ(g.levelOf(0.16), 1);       // 1/9 < 0.32 ≤ 1/3
+  EXPECT_EQ(g.levelOf(0.1), 1);        // 1/9 < 0.2 ≤ 1/3
+  EXPECT_EQ(g.levelOf(0.05), 2);       // 2R = 0.1 ∈ (1/27, 1/9]
+  EXPECT_EQ(g.levelOf(0.01), 3);       // 2R = 0.02 ∈ (1/81, 1/27]
+}
+
+TEST(ShiftedGrid, LevelOfUpperEdgeIsExactlyInclusive) {
+  const ShiftedGrid g(3, 0, 0);  // k+1 = 4
+  // 2R = 4^{-1} exactly → level 1 (the ≤ side of the band).
+  EXPECT_EQ(g.levelOf(1.0 / 8.0), 1);
+  EXPECT_EQ(g.levelOf(1.0 / 8.0 + 1e-9), 0);
+}
+
+TEST(ShiftedGrid, LineSpacingAndSquareSide) {
+  const ShiftedGrid g(2, 0, 0);
+  EXPECT_DOUBLE_EQ(g.lineSpacing(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.lineSpacing(2), 1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(g.squareSide(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.squareSide(1), 2.0 / 3.0);
+}
+
+TEST(ShiftedGrid, ContainingSquareAlignsToShift) {
+  const ShiftedGrid g(3, 1, 2);
+  const SquareKey s = g.containingSquare({0.45, 0.45}, 0);
+  // Corner index must be ≡ shift (mod k).
+  EXPECT_EQ(((s.ix % 3) + 3) % 3, 1);
+  EXPECT_EQ(((s.iy % 3) + 3) % 3, 2);
+  const Aabb box = g.squareBox(s);
+  EXPECT_TRUE(box.contains({0.45, 0.45}));
+}
+
+TEST(ShiftedGrid, ContainingSquareNegativeCoordinates) {
+  const ShiftedGrid g(2, 0, 0);
+  const Vec2 p{-0.75, -1.3};
+  const SquareKey s = g.containingSquare(p, 1);
+  EXPECT_TRUE(g.squareBox(s).contains(p));
+  EXPECT_EQ(((s.ix % 2) + 2) % 2, 0);
+}
+
+// The line-hierarchy property from [3]: a kept line at level j is a kept
+// line at level j+1 — equivalently, each j-square is tiled by its (k+1)²
+// children and children's corners stay ≡ shift (mod k).
+TEST(ShiftedGrid, ChildrenTileParentExactly) {
+  for (const int k : {2, 3, 4}) {
+    const ShiftedGrid g(k, k - 1, 1 % k);
+    const SquareKey parent = g.containingSquare({0.37, 0.81}, 1);
+    const auto kids = g.children(parent);
+    ASSERT_EQ(static_cast<int>(kids.size()), (k + 1) * (k + 1));
+    const Aabb pbox = g.squareBox(parent);
+    double kid_area = 0.0;
+    for (const SquareKey& kid : kids) {
+      const Aabb kbox = g.squareBox(kid);
+      // Child box inside parent box.
+      EXPECT_GE(kbox.lo.x, pbox.lo.x - 1e-12);
+      EXPECT_LE(kbox.hi.x, pbox.hi.x + 1e-12);
+      EXPECT_GE(kbox.lo.y, pbox.lo.y - 1e-12);
+      EXPECT_LE(kbox.hi.y, pbox.hi.y + 1e-12);
+      // Corner alignment.
+      EXPECT_EQ(((kid.ix % k) + k) % k, ((parent.ix % k) + k) % k);
+      kid_area += kbox.width() * kbox.height();
+    }
+    EXPECT_NEAR(kid_area, pbox.width() * pbox.height(), 1e-9)
+        << "children must tile the parent, k=" << k;
+  }
+}
+
+TEST(ShiftedGrid, ParentInvertsChildren) {
+  const ShiftedGrid g(2, 1, 0);
+  const SquareKey s = g.containingSquare({0.2, 0.9}, 2);
+  for (const SquareKey& kid : g.children(s)) {
+    EXPECT_EQ(g.parent(kid), s);
+  }
+}
+
+TEST(ShiftedGrid, ParentChainReachesLevelZero) {
+  const ShiftedGrid g(3, 0, 0);
+  SquareKey s = g.containingSquare({0.123, 0.456}, 4);
+  const Vec2 probe{0.123, 0.456};
+  while (s.level > 0) {
+    const SquareKey p = g.parent(s);
+    EXPECT_EQ(p.level, s.level - 1);
+    // Nesting: the child's box is inside the parent's box.
+    const Aabb cb = g.squareBox(s);
+    const Aabb pb = g.squareBox(p);
+    EXPECT_GE(cb.lo.x, pb.lo.x - 1e-12);
+    EXPECT_LE(cb.hi.x, pb.hi.x + 1e-12);
+    EXPECT_TRUE(pb.contains(probe));
+    s = p;
+  }
+}
+
+TEST(ShiftedGrid, IsAncestorReflexiveAndTransitive) {
+  const ShiftedGrid g(2, 0, 0);
+  const SquareKey lvl0 = g.containingSquare({0.5, 0.5}, 0);
+  const SquareKey lvl2 = g.containingSquare({0.5, 0.5}, 2);
+  EXPECT_TRUE(g.isAncestor(lvl0, lvl0));
+  EXPECT_TRUE(g.isAncestor(lvl0, lvl2));
+  EXPECT_FALSE(g.isAncestor(lvl2, lvl0));
+}
+
+TEST(ShiftedGrid, SurviveRequiresStrictClearance) {
+  const ShiftedGrid g(2, 0, 0);
+  // Level-0 squares have side 2 and corners at even indices.  A disk well
+  // inside [0,2]² survives; one crossing x = 2 does not.
+  EXPECT_TRUE(g.survives({{1.0, 1.0}, 0.4}, 0));
+  EXPECT_FALSE(g.survives({{1.9, 1.0}, 0.4}, 0));
+  // Touching the boundary exactly also fails (strict clearance).
+  EXPECT_FALSE(g.survives({{1.5, 1.0}, 0.5}, 0));
+}
+
+// A disk of level j has diameter ≤ line spacing at level j, so it can cross
+// at most one vertical and one horizontal line — hence it survives at least
+// (k−1)² of the k² shifts.
+TEST(ShiftedGrid, EveryDiskSurvivesMostShifts) {
+  workload::Rng rng(777);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int k = 2 + trial % 3;
+    const double radius = rng.uniform(0.005, 0.5);
+    const Disk d{{rng.uniform(0.0, 3.0), rng.uniform(0.0, 3.0)}, radius};
+    int surviving_shifts = 0;
+    int level = -1;
+    for (int r = 0; r < k; ++r) {
+      for (int s = 0; s < k; ++s) {
+        const ShiftedGrid g(k, r, s);
+        if (level < 0) level = g.levelOf(radius);
+        if (g.survives(d, level)) ++surviving_shifts;
+      }
+    }
+    EXPECT_GE(surviving_shifts, (k - 1) * (k - 1))
+        << "k=" << k << " R=" << radius;
+  }
+}
+
+// Survivors are strictly inside their home square — the decomposition
+// property the DP depends on.
+TEST(ShiftedGrid, SurvivorStrictlyInsideHomeSquare) {
+  workload::Rng rng(4242);
+  const ShiftedGrid g(3, 1, 2);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double radius = rng.uniform(0.003, 0.5);
+    const Disk d{{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)}, radius};
+    const int level = g.levelOf(radius);
+    if (!g.survives(d, level)) continue;
+    ++checked;
+    const SquareKey home = g.containingSquare(d.center, level);
+    EXPECT_TRUE(d.strictlyInside(g.squareBox(home)));
+  }
+  EXPECT_GT(checked, 20) << "sampling should produce plenty of survivors";
+}
+
+}  // namespace
+}  // namespace rfid::geom

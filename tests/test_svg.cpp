@@ -1,0 +1,69 @@
+// SVG renderer tests: structural validity and color semantics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/svg.h"
+#include "test_helpers.h"
+
+namespace rfid::analysis {
+namespace {
+
+int countOccurrences(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Svg, ContainsAllEntities) {
+  const core::System sys = test::figure2System();
+  const std::string svg = renderSvg(sys, std::vector<int>{});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 3 readers → 3 interference + 3 interrogation circles + 3 squares;
+  // 5 tags → 5 dots.
+  EXPECT_EQ(countOccurrences(svg, "<circle"), 3 + 3 + 5);
+  EXPECT_EQ(countOccurrences(svg, "<rect"), 1 + 3);  // background + readers
+}
+
+TEST(Svg, ActiveReadersHighlighted) {
+  const core::System sys = test::figure2System();
+  const std::string idle = renderSvg(sys, std::vector<int>{});
+  const std::string active = renderSvg(sys, std::vector<int>{0, 2});
+  // Active render uses the green highlight; idle render doesn't.
+  EXPECT_EQ(countOccurrences(idle, "#2e7d32'"), 0);
+  EXPECT_GT(countOccurrences(active, "#2e7d32'"), 0);
+}
+
+TEST(Svg, ServedTagsGreenReadTagsGray) {
+  core::System sys = test::figure2System();
+  sys.markRead(4);  // Tag5 pre-read → gray
+  const std::string svg = renderSvg(sys, std::vector<int>{0, 2});
+  // {A,C} well-covers tags 0..3 → 4 green tag dots.
+  EXPECT_EQ(countOccurrences(svg, "r='1.6' fill='#2e7d32'"), 4);
+  EXPECT_EQ(countOccurrences(svg, "fill='#cccccc'"), 1);
+}
+
+TEST(Svg, OptionsSuppressLayers) {
+  const core::System sys = test::figure2System();
+  SvgOptions opt;
+  opt.draw_interference = false;
+  const std::string svg = renderSvg(sys, std::vector<int>{}, opt);
+  EXPECT_EQ(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(Svg, WritesFileWithDirectories) {
+  const core::System sys = test::figure2System();
+  const std::string path = "svg_test_dir/deep/fig.svg";
+  EXPECT_TRUE(writeSvgFile(path, sys, std::vector<int>{1}));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::filesystem::remove_all("svg_test_dir");
+}
+
+}  // namespace
+}  // namespace rfid::analysis

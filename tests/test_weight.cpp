@@ -1,0 +1,114 @@
+// WeightEvaluator tests: incremental push/pop must agree exactly with the
+// System referee on feasible sets, under random instances and read-state.
+#include <gtest/gtest.h>
+
+#include "core/weight.h"
+#include "test_helpers.h"
+#include "workload/rng.h"
+
+namespace rfid::core {
+namespace {
+
+TEST(WeightEvaluator, MatchesReferenceOnFigure2) {
+  const System sys = test::figure2System();
+  WeightEvaluator eval(sys);
+  EXPECT_EQ(eval.weight(), 0);
+  EXPECT_EQ(eval.push(0), 2);  // A: tags 1, 2 exclusive
+  EXPECT_EQ(eval.weight(), 2);
+  EXPECT_EQ(eval.push(2), 2);  // C: tags 3, 4
+  EXPECT_EQ(eval.weight(), 4);
+  // B overlaps both: gains Tag5, loses Tag2 and Tag3 → delta = 1 − 2 = −1.
+  EXPECT_EQ(eval.peekDelta(1), -1);
+  EXPECT_EQ(eval.push(1), -1);
+  EXPECT_EQ(eval.weight(), 3);
+  EXPECT_EQ(eval.weight(), sys.weight(eval.members()));
+  EXPECT_EQ(eval.pop(), 1);  // removing B restores 4
+  EXPECT_EQ(eval.weight(), 4);
+}
+
+TEST(WeightEvaluator, PeekDoesNotMutate) {
+  const System sys = test::figure2System();
+  WeightEvaluator eval(sys);
+  eval.push(0);
+  const int w = eval.weight();
+  (void)eval.peekDelta(1);
+  (void)eval.peekDelta(2);
+  EXPECT_EQ(eval.weight(), w);
+  EXPECT_EQ(eval.size(), 1);
+}
+
+TEST(WeightEvaluator, ClearEmptiesAndBalances) {
+  const System sys = test::figure2System();
+  WeightEvaluator eval(sys);
+  eval.push(0);
+  eval.push(2);
+  eval.clear();
+  EXPECT_EQ(eval.weight(), 0);
+  EXPECT_EQ(eval.size(), 0);
+}
+
+TEST(WeightEvaluator, RespectsReadState) {
+  System sys = test::figure2System();
+  sys.markRead(0);  // Tag1 gone
+  WeightEvaluator eval(sys);
+  EXPECT_EQ(eval.push(0), 1);  // only Tag2 remains for A
+  EXPECT_EQ(eval.weight(), sys.weight(eval.members()));
+}
+
+// Property: arbitrary push/pop walks agree with System::weight at every
+// step, on random feasible sequences across random instances.
+class WeightEvaluatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightEvaluatorProperty, AgreesWithRefereeUnderRandomWalk) {
+  System sys = test::smallRandomSystem(GetParam(), 14, 80);
+  // Randomly mark some tags read to exercise the unread filter.
+  workload::Rng rng(GetParam() ^ 0xabcdef);
+  for (int t = 0; t < sys.numTags(); ++t) {
+    if (rng.bernoulli(0.3)) sys.markRead(t);
+  }
+  WeightEvaluator eval(sys);
+  std::vector<int> members;
+  for (int step = 0; step < 200; ++step) {
+    const bool do_push = members.empty() || rng.bernoulli(0.6);
+    if (do_push) {
+      // Pick a random reader independent of all current members.
+      const int v = rng.uniformInt(0, sys.numReaders() - 1);
+      bool ok = true;
+      for (const int u : members) {
+        if (u == v || !sys.independent(u, v)) { ok = false; break; }
+      }
+      if (!ok) continue;
+      eval.push(v);
+      members.push_back(v);
+    } else {
+      eval.pop();
+      members.pop_back();
+    }
+    ASSERT_EQ(eval.weight(), sys.weight(members)) << "step " << step;
+    ASSERT_EQ(eval.size(), static_cast<int>(members.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightEvaluatorProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(WeightEvaluator, PushPopAreExactInverses) {
+  const System sys = test::smallRandomSystem(99, 12, 70);
+  WeightEvaluator eval(sys);
+  for (int v = 0; v < sys.numReaders(); ++v) {
+    const int before = eval.weight();
+    bool independent_of_all = true;
+    for (const int u : eval.members()) {
+      if (!sys.independent(u, v)) { independent_of_all = false; break; }
+    }
+    if (!independent_of_all) continue;
+    const int d = eval.push(v);
+    const int d2 = eval.pop();
+    EXPECT_EQ(d, -d2);
+    EXPECT_EQ(eval.weight(), before);
+    eval.push(v);  // keep it for the next iteration's interplay
+  }
+}
+
+}  // namespace
+}  // namespace rfid::core

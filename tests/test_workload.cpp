@@ -1,0 +1,200 @@
+// Workload tests: deterministic RNG splitting, the paper's radius
+// distributions with the R ≥ r repair, and the deployment layouts.
+#include <gtest/gtest.h>
+
+#include "workload/deployment.h"
+#include "workload/distributions.h"
+#include "workload/rng.h"
+#include "workload/scenario.h"
+
+namespace rfid::workload {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42), b(43);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitIsOrderIndependent) {
+  const Rng root(7);
+  Rng s1 = root.split("alpha", 3);
+  // Draw from the root's engine-independent property: splitting again after
+  // the parent was used must give the same child stream.
+  Rng root2(7);
+  (void)root2.next();
+  Rng s2 = root2.split("alpha", 3);
+  EXPECT_EQ(s1.next(), s2.next());
+  // Different labels/indices give different streams.
+  Rng s3 = root.split("alpha", 4);
+  Rng s4 = root.split("beta", 3);
+  Rng s5 = root.split("alpha", 3);
+  const auto v5 = s5.next();
+  EXPECT_NE(s3.next(), v5);
+  EXPECT_NE(s4.next(), v5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Distributions, PoissonRadiusClampsToOne) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(poissonRadius(rng, 0.1), 1.0);  // tiny mean draws many zeros
+  }
+}
+
+TEST(Distributions, PoissonRadiusMeanTracksLambda) {
+  Rng rng(6);
+  const double lambda = 10.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += poissonRadius(rng, lambda);
+  EXPECT_NEAR(sum / n, lambda, 0.15);  // clamp at 1 is negligible at λ=10
+}
+
+TEST(Distributions, RadiusPairEnforcesOrder) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    // λ_r > λ_R provokes frequent violations → exercises the swap repair.
+    const auto [R, r] = radiusPair(rng, 3.0, 6.0);
+    EXPECT_GE(R, r);
+    EXPECT_GE(r, 1.0);
+  }
+}
+
+TEST(Distributions, BetaScaledKeepsRatio) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const auto [R, r] = radiusPairBeta(rng, 10.0, 0.4);
+    EXPECT_DOUBLE_EQ(r, 0.4 * R);
+    EXPECT_GE(R, 1.0);
+  }
+}
+
+TEST(Deployment, UniformInBoundsAndValid) {
+  DeploymentConfig cfg;
+  cfg.num_readers = 40;
+  cfg.num_tags = 300;
+  const auto readers = uniformReaders(cfg, Rng(1));
+  const auto tags = uniformTags(cfg, Rng(2));
+  ASSERT_EQ(readers.size(), 40u);
+  ASSERT_EQ(tags.size(), 300u);
+  for (const auto& r : readers) {
+    EXPECT_TRUE(r.valid());
+    EXPECT_GE(r.pos.x, 0.0);
+    EXPECT_LE(r.pos.x, cfg.region_side);
+    EXPECT_GE(r.pos.y, 0.0);
+    EXPECT_LE(r.pos.y, cfg.region_side);
+  }
+  for (const auto& t : tags) {
+    EXPECT_GE(t.pos.x, 0.0);
+    EXPECT_LE(t.pos.x, cfg.region_side);
+  }
+}
+
+TEST(Deployment, DeterministicInSeed) {
+  DeploymentConfig cfg;
+  const auto a = uniformReaders(cfg, Rng(9));
+  const auto b = uniformReaders(cfg, Rng(9));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    EXPECT_EQ(a[i].interference_radius, b[i].interference_radius);
+  }
+}
+
+TEST(Deployment, ClusteredTagsStayInRegion) {
+  DeploymentConfig cfg;
+  cfg.num_tags = 500;
+  const auto tags = clusteredTags(cfg, Rng(3), 5, 8.0);
+  ASSERT_EQ(tags.size(), 500u);
+  for (const auto& t : tags) {
+    EXPECT_GE(t.pos.x, 0.0);
+    EXPECT_LE(t.pos.x, cfg.region_side);
+    EXPECT_GE(t.pos.y, 0.0);
+    EXPECT_LE(t.pos.y, cfg.region_side);
+  }
+}
+
+TEST(Deployment, AisleTagsConcentrateOnAisles) {
+  DeploymentConfig cfg;
+  cfg.num_tags = 1000;
+  const int aisles = 4;
+  const auto tags = aisleTags(cfg, Rng(4), aisles, 0.5);
+  const double spacing = cfg.region_side / (aisles + 1);
+  int near_aisle = 0;
+  for (const auto& t : tags) {
+    for (int a = 1; a <= aisles; ++a) {
+      if (std::abs(t.pos.y - a * spacing) < 2.0) {
+        ++near_aisle;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near_aisle, 990);  // ~4σ of jitter
+}
+
+TEST(Deployment, GridReadersRegularPlacement) {
+  DeploymentConfig cfg;
+  cfg.num_readers = 12;
+  const auto readers = gridReaders(cfg, Rng(5), 4, 3);
+  ASSERT_EQ(readers.size(), 12u);
+  EXPECT_EQ(readers[0].pos, (geom::Vec2{12.5, 100.0 / 6.0}));
+  EXPECT_EQ(readers[5].pos.x, readers[1].pos.x);  // same column
+}
+
+TEST(Scenario, PaperPresetMatchesSectionVI) {
+  const Scenario sc = paperScenario(12.0, 5.0);
+  EXPECT_EQ(sc.deploy.num_readers, 50);
+  EXPECT_EQ(sc.deploy.num_tags, 1200);
+  EXPECT_DOUBLE_EQ(sc.deploy.region_side, 100.0);
+  EXPECT_DOUBLE_EQ(sc.deploy.lambda_R, 12.0);
+  EXPECT_DOUBLE_EQ(sc.deploy.lambda_r, 5.0);
+}
+
+TEST(Scenario, MakeSystemDeterministicAndValid) {
+  const Scenario sc = paperScenario();
+  const core::System a = makeSystem(sc, 123);
+  const core::System b = makeSystem(sc, 123);
+  ASSERT_EQ(a.numReaders(), 50);
+  ASSERT_EQ(a.numTags(), 1200);
+  for (int v = 0; v < a.numReaders(); ++v) {
+    EXPECT_EQ(a.reader(v).pos, b.reader(v).pos);
+    EXPECT_TRUE(a.reader(v).valid());
+  }
+  const core::System c = makeSystem(sc, 124);
+  bool any_differs = false;
+  for (int v = 0; v < a.numReaders(); ++v) {
+    if (!(a.reader(v).pos == c.reader(v).pos)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Scenario, LayoutsProduceWorkingSystems) {
+  for (const Layout layout : {Layout::kUniform, Layout::kClusteredTags,
+                              Layout::kAisles, Layout::kGridReaders}) {
+    Scenario sc = paperScenario();
+    sc.layout = layout;
+    sc.deploy.num_readers = 20;
+    sc.deploy.num_tags = 100;
+    const core::System sys = makeSystem(sc, 55);
+    EXPECT_EQ(sys.numReaders(), 20);
+    EXPECT_EQ(sys.numTags(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace rfid::workload

@@ -1,0 +1,199 @@
+// rfidsched_cli — run any scenario × algorithm from the command line.
+//
+//   rfidsched_cli [--algo alg1|alg2|alg3|ghc|ca|exact|mc]
+//                 [--mode oneshot|mcs] [--readers N] [--tags M]
+//                 [--side S] [--lambda-R X] [--lambda-r Y] [--seed S]
+//                 [--layout uniform|clusters|aisles|grid]
+//                 [--channels C] [--rho R] [--k K] [--svg PATH]
+//
+// Prints a human-readable report; --svg additionally renders the (first)
+// slot decision.  Exit code 0 on success, 2 on bad usage.
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/svg.h"
+#include "distributed/colorwave.h"
+#include "distributed/growth_distributed.h"
+#include "graph/interference_graph.h"
+#include "sched/channels.h"
+#include "sched/exact.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/mcs.h"
+#include "sched/ptas.h"
+#include "workload/io.h"
+#include "workload/scenario.h"
+
+namespace {
+
+struct Cli {
+  std::string algo = "alg2";
+  std::string mode = "mcs";
+  std::string layout = "uniform";
+  std::string svg_path;
+  std::string save_path;  // write the generated deployment and exit paths
+  std::string load_path;  // run on a saved deployment instead of generating
+  int readers = 50;
+  int tags = 1200;
+  double side = 100.0;
+  double lambda_R = 10.0;
+  double lambda_r = 4.0;
+  std::uint64_t seed = 1;
+  int channels = 2;
+  double rho = 1.25;
+  int k = 4;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: rfidsched_cli [--algo alg1|alg2|alg3|ghc|ca|exact|mc]\n"
+      "                     [--mode oneshot|mcs] [--readers N] [--tags M]\n"
+      "                     [--side S] [--lambda-R X] [--lambda-r Y]\n"
+      "                     [--seed S] [--layout uniform|clusters|aisles|grid]\n"
+      "                     [--channels C] [--rho R] [--k K] [--svg PATH]\n"
+      "                     [--save PATH] [--load PATH]\n";
+}
+
+bool parse(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--algo" && (v = next())) cli.algo = v;
+    else if (a == "--mode" && (v = next())) cli.mode = v;
+    else if (a == "--layout" && (v = next())) cli.layout = v;
+    else if (a == "--svg" && (v = next())) cli.svg_path = v;
+    else if (a == "--save" && (v = next())) cli.save_path = v;
+    else if (a == "--load" && (v = next())) cli.load_path = v;
+    else if (a == "--readers" && (v = next())) cli.readers = std::atoi(v);
+    else if (a == "--tags" && (v = next())) cli.tags = std::atoi(v);
+    else if (a == "--side" && (v = next())) cli.side = std::atof(v);
+    else if (a == "--lambda-R" && (v = next())) cli.lambda_R = std::atof(v);
+    else if (a == "--lambda-r" && (v = next())) cli.lambda_r = std::atof(v);
+    else if (a == "--seed" && (v = next())) cli.seed = std::strtoull(v, nullptr, 10);
+    else if (a == "--channels" && (v = next())) cli.channels = std::atoi(v);
+    else if (a == "--rho" && (v = next())) cli.rho = std::atof(v);
+    else if (a == "--k" && (v = next())) cli.k = std::atoi(v);
+    else {
+      std::cerr << "unknown or incomplete option: " << a << "\n";
+      return false;
+    }
+  }
+  return cli.readers > 0 && cli.tags >= 0 && cli.side > 0 &&
+         cli.lambda_R >= 1 && cli.lambda_r >= 1 && cli.k >= 2 &&
+         cli.rho > 1.0 && cli.channels >= 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  Cli cli;
+  if (!parse(argc, argv, cli)) {
+    usage();
+    return 2;
+  }
+
+  workload::Scenario sc = workload::paperScenario(cli.lambda_R, cli.lambda_r);
+  sc.deploy.num_readers = cli.readers;
+  sc.deploy.num_tags = cli.tags;
+  sc.deploy.region_side = cli.side;
+  if (cli.layout == "clusters") sc.layout = workload::Layout::kClusteredTags;
+  else if (cli.layout == "aisles") sc.layout = workload::Layout::kAisles;
+  else if (cli.layout == "grid") sc.layout = workload::Layout::kGridReaders;
+  else if (cli.layout != "uniform") { usage(); return 2; }
+
+  core::System sys = [&]() -> core::System {
+    if (!cli.load_path.empty()) {
+      auto loaded = workload::loadDeploymentFile(cli.load_path);
+      if (!loaded) {
+        std::cerr << "failed to load deployment from " << cli.load_path << "\n";
+        std::exit(2);
+      }
+      return std::move(*loaded);
+    }
+    return workload::makeSystem(sc, cli.seed);
+  }();
+  if (!cli.save_path.empty()) {
+    if (!workload::saveDeploymentFile(cli.save_path, sys)) {
+      std::cerr << "failed to save deployment to " << cli.save_path << "\n";
+      return 2;
+    }
+    std::cout << "deployment saved to " << cli.save_path << '\n';
+  }
+  const graph::InterferenceGraph g(sys);
+
+  std::unique_ptr<sched::OneShotScheduler> scheduler;
+  if (cli.algo == "alg1") {
+    sched::PtasOptions o;
+    o.k = cli.k;
+    scheduler = std::make_unique<sched::PtasScheduler>(o);
+  } else if (cli.algo == "alg2") {
+    sched::GrowthOptions o;
+    o.rho = cli.rho;
+    scheduler = std::make_unique<sched::GrowthScheduler>(g, o);
+  } else if (cli.algo == "alg3") {
+    dist::DistributedGrowthOptions o;
+    o.rho = cli.rho;
+    scheduler = std::make_unique<dist::GrowthDistributedScheduler>(g, o);
+  } else if (cli.algo == "ghc") {
+    scheduler = std::make_unique<sched::HillClimbingScheduler>();
+  } else if (cli.algo == "ca") {
+    scheduler = std::make_unique<dist::ColorwaveScheduler>(sys, cli.seed);
+  } else if (cli.algo == "exact") {
+    scheduler = std::make_unique<sched::ExactScheduler>();
+  } else if (cli.algo == "mc") {
+    scheduler = std::make_unique<sched::MultiChannelScheduler>(
+        sched::ChannelOptions{cli.channels});
+  } else {
+    usage();
+    return 2;
+  }
+
+  std::cout << "deployment: " << sys.numReaders() << " readers, "
+            << sys.numTags() << " tags (" << sys.unreadCoverableCount()
+            << " coverable), layout " << cli.layout << ", seed " << cli.seed
+            << "\ninterference graph: " << g.numEdges()
+            << " edges, max degree " << g.maxDegree() << "\nalgorithm: "
+            << scheduler->name() << "\n\n";
+
+  if (cli.mode == "oneshot") {
+    const sched::OneShotResult res = scheduler->schedule(sys);
+    std::cout << "one-shot: " << res.readers.size()
+              << " readers active, weight " << res.weight << "\nreaders:";
+    for (const int v : res.readers) std::cout << ' ' << v;
+    std::cout << '\n';
+    if (!cli.svg_path.empty() &&
+        analysis::writeSvgFile(cli.svg_path, sys, res.readers)) {
+      std::cout << "svg written to " << cli.svg_path << '\n';
+    }
+  } else if (cli.mode == "mcs") {
+    if (!cli.svg_path.empty()) {
+      const sched::OneShotResult first = scheduler->schedule(sys);
+      if (analysis::writeSvgFile(cli.svg_path, sys, first.readers)) {
+        std::cout << "first-slot svg written to " << cli.svg_path << '\n';
+      }
+    }
+    const sched::McsResult res = sched::runCoveringSchedule(sys, *scheduler);
+    std::cout << "covering schedule: " << res.slots << " slots, "
+              << res.tags_read << " tags read, " << res.uncoverable
+              << " uncoverable, "
+              << (res.completed ? "completed" : "INCOMPLETE") << '\n';
+    for (std::size_t i = 0; i < res.schedule.size() && i < 25; ++i) {
+      std::cout << "  slot " << i + 1 << ": "
+                << res.schedule[i].active.size() << " readers, "
+                << res.schedule[i].tags_read << " tags\n";
+    }
+    if (res.schedule.size() > 25) {
+      std::cout << "  ... (" << res.schedule.size() - 25 << " more slots)\n";
+    }
+  } else {
+    usage();
+    return 2;
+  }
+  return 0;
+}
