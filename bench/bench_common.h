@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "distributed/colorwave.h"
 #include "distributed/growth_distributed.h"
 #include "graph/interference_graph.h"
+#include "obs/metrics.h"
 #include "sched/growth.h"
 #include "sched/hill_climbing.h"
 #include "sched/mcs.h"
@@ -47,18 +50,30 @@ struct FigureConfig {
 inline constexpr const char* kFigureAlgos[] = {"Alg1", "Alg2", "Alg3", "CA",
                                                "GHC"};
 
+/// Per-algorithm metric totals accumulated across an entire sweep; filled
+/// by runFigure and written as a sidecar JSON by emitFigure.  Non-copyable
+/// (registries hold mutexes), so pass by pointer.
+struct FigureMetrics {
+  obs::MetricsRegistry algo[5];
+};
+
 /// Runs the sweep and returns one curve per algorithm.
 ///
 /// Sweep points × seeds are independent, so they run via
 /// analysis::parallelFor into pre-sized slots; accumulation into the
 /// SeriesSet happens sequentially afterwards, making the output
 /// bit-identical at any thread count (each iteration derives everything
-/// from its own (x, seed) pair).
-inline analysis::SeriesSet runFigure(const FigureConfig& cfg) {
+/// from its own (x, seed) pair).  The same discipline covers metrics: each
+/// iteration records into its own per-(iteration, algorithm) registry, and
+/// the registries are merged into `metrics` sequentially in index order —
+/// so the sidecar JSON is also bit-identical at any thread count.
+inline analysis::SeriesSet runFigure(const FigureConfig& cfg,
+                                     FigureMetrics* metrics = nullptr) {
   const int xs = static_cast<int>(cfg.sweep.size());
   const int total = xs * cfg.seeds;
   struct Sample {
     double value[5] = {0, 0, 0, 0, 0};
+    obs::MetricsRegistry metrics[5];
   };
   std::vector<Sample> samples(static_cast<std::size_t>(total));
 
@@ -83,10 +98,17 @@ inline analysis::SeriesSet runFigure(const FigureConfig& cfg) {
 
     for (int a = 0; a < 5; ++a) {
       sys.resetReads();
+      obs::MetricsRegistry* reg =
+          metrics ? &samples[static_cast<std::size_t>(idx)].metrics[a]
+                  : nullptr;
+      sys.attachMetrics(reg);
+      schedulers[a]->attachMetrics(reg);
       double value = 0.0;
       if (cfg.metric == Metric::kMcsSlots) {
+        sched::McsOptions mcs_opt;
+        mcs_opt.metrics = reg;
         const sched::McsResult res =
-            sched::runCoveringSchedule(sys, *schedulers[a]);
+            sched::runCoveringSchedule(sys, *schedulers[a], mcs_opt);
         value = res.slots;
         if (!res.completed) {
           std::cerr << "warning: " << kFigureAlgos[a] << " did not complete at "
@@ -104,14 +126,42 @@ inline analysis::SeriesSet runFigure(const FigureConfig& cfg) {
     const double x = cfg.sweep[static_cast<std::size_t>(idx / cfg.seeds)];
     for (int a = 0; a < 5; ++a) {
       out.add(kFigureAlgos[a], x, samples[static_cast<std::size_t>(idx)].value[a]);
+      if (metrics) {
+        metrics->algo[a].merge(samples[static_cast<std::size_t>(idx)].metrics[a]);
+      }
     }
   }
   return out;
 }
 
-/// Prints the figure header, the table, and writes results/<stem>.csv.
+/// Writes results/<stem>.metrics.json: one top-level key per algorithm,
+/// each value the registry's deterministic JSON dump.  Counters are totals
+/// over the whole sweep (all points × seeds), making runs with the same
+/// seed count directly diffable.
+inline bool writeFigureMetricsFile(const std::string& path,
+                                   const FigureMetrics& metrics) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n";
+  for (int a = 0; a < 5; ++a) {
+    os << "  \"" << kFigureAlgos[a] << "\":\n";
+    metrics.algo[a].writeJson(os, 2);
+    os << (a + 1 < 5 ? ",\n" : "\n");
+  }
+  os << "}\n";
+  return static_cast<bool>(os);
+}
+
+/// Prints the figure header, the table, and writes results/<stem>.csv plus
+/// (when `metrics` is given) the results/<stem>.metrics.json sidecar.
 inline void emitFigure(const FigureConfig& cfg, const analysis::SeriesSet& set,
-                       const std::string& stem, const std::string& shape_note) {
+                       const std::string& stem, const std::string& shape_note,
+                       const FigureMetrics* metrics = nullptr) {
   std::cout << "# " << cfg.figure << " — "
             << (cfg.metric == Metric::kMcsSlots
                     ? "size of the covering schedule (time-slots)"
@@ -134,6 +184,12 @@ inline void emitFigure(const FigureConfig& cfg, const analysis::SeriesSet& set,
   const std::string svg_path = "results/" + stem + ".svg";
   if (analysis::writeChartSvgFile(svg_path, set, chart)) {
     std::cout << "(chart written to " << svg_path << ")\n";
+  }
+  if (metrics != nullptr) {
+    const std::string metrics_path = "results/" + stem + ".metrics.json";
+    if (writeFigureMetricsFile(metrics_path, *metrics)) {
+      std::cout << "(metrics written to " << metrics_path << ")\n";
+    }
   }
 }
 

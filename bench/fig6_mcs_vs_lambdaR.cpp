@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
   cfg.metric = Metric::kMcsSlots;
   cfg.seeds = seedsFromArgv(argc, argv, 20);
 
-  const auto set = runFigure(cfg);
+  FigureMetrics metrics;
+  const auto set = runFigure(cfg, &metrics);
   emitFigure(cfg, set, "fig6_mcs_vs_lambdaR",
              "Alg1 < Alg2 < Alg3 < {CA, GHC}; schedules grow with lambda_R "
-             "(more interference, fewer concurrent readers)");
+             "(more interference, fewer concurrent readers)",
+             &metrics);
   return 0;
 }

@@ -18,9 +18,11 @@ int main(int argc, char** argv) {
   cfg.metric = Metric::kMcsSlots;
   cfg.seeds = seedsFromArgv(argc, argv, 20);
 
-  const auto set = runFigure(cfg);
+  FigureMetrics metrics;
+  const auto set = runFigure(cfg, &metrics);
   emitFigure(cfg, set, "fig7_mcs_vs_lambdar",
              "Alg1 < Alg2 < Alg3 < {CA, GHC}; all improve as lambda_r grows "
-             "and the gap to the baselines widens");
+             "and the gap to the baselines widens",
+             &metrics);
   return 0;
 }

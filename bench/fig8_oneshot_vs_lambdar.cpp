@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
   cfg.metric = Metric::kOneShotWeight;
   cfg.seeds = seedsFromArgv(argc, argv, 20);
 
-  const auto set = runFigure(cfg);
+  FigureMetrics metrics;
+  const auto set = runFigure(cfg, &metrics);
   emitFigure(cfg, set, "fig8_oneshot_vs_lambdar",
              "Alg1 >= Alg2 >= Alg3 > {CA, GHC}; weights grow with lambda_r "
-             "(larger coverage per reader)");
+             "(larger coverage per reader)",
+             &metrics);
   return 0;
 }

@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
   cfg.metric = Metric::kOneShotWeight;
   cfg.seeds = seedsFromArgv(argc, argv, 20);
 
-  const auto set = runFigure(cfg);
+  FigureMetrics metrics;
+  const auto set = runFigure(cfg, &metrics);
   emitFigure(cfg, set, "fig9_oneshot_vs_lambdaR",
              "Alg1 >= Alg2 >= Alg3 > {CA, GHC}; weights shrink as lambda_R "
-             "grows (interference suppresses concurrency)");
+             "grows (interference suppresses concurrency)",
+             &metrics);
   return 0;
 }

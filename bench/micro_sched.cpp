@@ -1,9 +1,18 @@
 // Microbenchmarks for the one-shot schedulers: cost per scheduling decision
 // as the system scales, and the full MCS loop at paper scale.
+//
+// The BM_OneShot* benchmarks run with NO metrics registry attached — they
+// double as the "obs enabled but unsubscribed" overhead measurement against
+// a -DRFIDSCHED_NO_OBS build (EXPERIMENTS.md).  BM_OneShotInstrumented runs
+// the same decision with a registry attached and reports the work counters
+// (weight evaluations per schedule() call) alongside the timing.
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "distributed/growth_distributed.h"
 #include "graph/interference_graph.h"
+#include "obs/metrics.h"
 #include "sched/growth.h"
 #include "sched/hill_climbing.h"
 #include "sched/mcs.h"
@@ -64,6 +73,41 @@ void BM_OneShotGhc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OneShotGhc)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+// One scheduling decision at paper scale with a MetricsRegistry attached:
+// arg selects the algorithm.  Reports the scheduler's work counters as
+// per-iteration benchmark counters, so algorithms can be compared by how
+// many w(X) evaluations a decision costs, not just wall-clock.
+void BM_OneShotInstrumented(benchmark::State& state) {
+  const core::System sys = workload::makeSystem(scaled(50), 16);
+  const graph::InterferenceGraph g(sys);
+  std::unique_ptr<sched::OneShotScheduler> scheduler;
+  switch (state.range(0)) {
+    case 0: scheduler = std::make_unique<sched::PtasScheduler>(); break;
+    case 1: scheduler = std::make_unique<sched::GrowthScheduler>(g); break;
+    case 2:
+      scheduler = std::make_unique<dist::GrowthDistributedScheduler>(g);
+      break;
+    default: scheduler = std::make_unique<sched::HillClimbingScheduler>(); break;
+  }
+  state.SetLabel(scheduler->name());
+  obs::MetricsRegistry registry;
+  scheduler->attachMetrics(&registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->schedule(sys).weight);
+  }
+  const double calls = static_cast<double>(
+      registry.counter("sched.schedule_calls").value());
+  if (calls > 0) {
+    state.counters["weight_evals_per_call"] = benchmark::Counter(
+        static_cast<double>(registry.counter("sched.weight_evals").value()) /
+        calls);
+    state.counters["candidates_per_call"] = benchmark::Counter(
+        static_cast<double>(registry.counter("sched.candidates").value()) /
+        calls);
+  }
+}
+BENCHMARK(BM_OneShotInstrumented)->DenseRange(0, 3);
 
 void BM_FullMcsPaperScale(benchmark::State& state) {
   const workload::Scenario sc = workload::paperScenario(10.0, 4.0);

@@ -35,6 +35,7 @@ int main() {
   dist::GrowthDistributedScheduler alg3(g);
   sys.resetReads();
   std::int64_t alg3_msgs = 0;
+  std::int64_t alg3_words = 0;
   int alg3_rounds = 0;
   sched::McsResult mcs3;
   {
@@ -44,6 +45,7 @@ int main() {
       const auto served = sys.wellCoveredTags(one.readers);
       sys.markRead(served);
       alg3_msgs += alg3.lastStats().messages;
+      alg3_words += alg3.lastStats().payload_words;
       alg3_rounds += alg3.lastStats().rounds;
       ++mcs3.slots;
       mcs3.tags_read += static_cast<int>(served.size());
@@ -56,7 +58,8 @@ int main() {
     }
   }
   std::cout << "Alg3 total: " << mcs3.tags_read << " tags in " << mcs3.slots
-            << " slots, " << alg3_msgs << " message-hops over " << alg3_rounds
+            << " slots, " << alg3_msgs << " message-hops (" << alg3_words
+            << " payload words) over " << alg3_rounds
             << " protocol rounds\n\n";
 
   // --- Colorwave: distributed TDMA coloring ---
@@ -68,6 +71,13 @@ int main() {
             << " message-hops over " << ca.stats().protocol_rounds
             << " protocol rounds"
             << (ca.converged() ? " (coloring converged)" : "") << '\n';
+
+  // The network's lifetime totals (dist::Network::stats()) include every
+  // payload word carried, which the scheduler-level stats above do not.
+  const dist::Network::RunStats& net = ca.network().stats();
+  std::cout << "Colorwave network bill: " << net.rounds
+            << " simulator rounds, " << net.messages << " messages, "
+            << net.payload_words << " payload words\n";
 
   std::cout << "\nAlg3 used "
             << (mcs_ca.slots > 0

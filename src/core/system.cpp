@@ -27,6 +27,7 @@ System::System(std::vector<Reader> readers, std::vector<Tag> tags)
   for (std::size_t v = 0; v < readers_.size(); ++v) {
     tag_index.queryDisk(readers_[v].pos, readers_[v].interrogation_radius,
                         coverage_[v]);
+    ++grid_queries_;
     for (const int t : coverage_[v]) {
       coverers_[static_cast<std::size_t>(t)].push_back(static_cast<int>(v));
     }
@@ -109,6 +110,7 @@ void System::forEachWellCovered(std::span<const int> X, OnTag&& on_tag) const {
 }
 
 std::vector<int> System::wellCoveredTags(std::span<const int> X) const {
+  if (well_covered_evals_ != nullptr) well_covered_evals_->add(1);
   std::vector<int> out;
   forEachWellCovered(X, [&out](int t) { out.push_back(t); });
   std::sort(out.begin(), out.end());
@@ -116,6 +118,7 @@ std::vector<int> System::wellCoveredTags(std::span<const int> X) const {
 }
 
 int System::weight(std::span<const int> X) const {
+  if (weight_evals_ != nullptr) weight_evals_->add(1);
   int w = 0;
   forEachWellCovered(X, [&w](int) { ++w; });
   return w;
@@ -125,6 +128,18 @@ int System::singleWeight(int v) const {
   int w = 0;
   for (const int t : coverage(v)) w += (read_[static_cast<std::size_t>(t)] == 0);
   return w;
+}
+
+void System::attachMetrics(obs::MetricsRegistry* m) {
+  metrics_ = m;
+  if (m == nullptr) {
+    weight_evals_ = nullptr;
+    well_covered_evals_ = nullptr;
+    return;
+  }
+  weight_evals_ = &m->counter("core.weight_evals");
+  well_covered_evals_ = &m->counter("core.well_covered_evals");
+  m->counter("core.grid_queries").add(grid_queries_);
 }
 
 }  // namespace rfid::core

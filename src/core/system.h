@@ -8,12 +8,14 @@
 // scored by the exact same referee.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/reader.h"
 #include "core/tag.h"
 #include "geometry/spatial_grid.h"
+#include "obs/metrics.h"
 
 namespace rfid::core {
 
@@ -91,6 +93,17 @@ class System {
   /// well-covers all of them).  Thread-safe.
   int singleWeight(int v) const;
 
+  // ---- observability ----
+
+  /// Attaches a metrics registry (nullptr detaches).  Flushes the
+  /// construction-time spatial-grid query count (`core.grid_queries`) once
+  /// per attach and from then on counts every referee evaluation:
+  /// `core.weight_evals` (weight()) and `core.well_covered_evals`
+  /// (wellCoveredTags()).  Counter handles are cached here, so the hot
+  /// paths pay one pointer test when detached.
+  void attachMetrics(obs::MetricsRegistry* m);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   template <typename OnTag>
   void forEachWellCovered(std::span<const int> X, OnTag&& on_tag) const;
@@ -104,6 +117,12 @@ class System {
   // currently evaluated X.  Reset to zero after every evaluation.
   mutable std::vector<int> scratch_count_;
   mutable std::vector<char> scratch_victim_;
+  // Observability (cached handles; counter bumps through a const System are
+  // metric mutations, not model mutations).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* weight_evals_ = nullptr;
+  obs::Counter* well_covered_evals_ = nullptr;
+  std::int64_t grid_queries_ = 0;  // spatial-grid disk queries at build time
 };
 
 }  // namespace rfid::core

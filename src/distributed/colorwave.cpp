@@ -114,6 +114,9 @@ void ColorwaveScheduler::init(std::uint64_t seed) {
 ColorwaveScheduler::~ColorwaveScheduler() = default;
 
 void ColorwaveScheduler::advance(int rounds) {
+  // Forward per-scheduler observability to the long-lived protocol network
+  // (attachments may change between slots, so re-point every advance).
+  net_->attachObs(nullptr, trace_);
   const Network::RunStats s = net_->run(rounds);
   stats_.protocol_rounds += s.rounds;
   stats_.messages += s.messages;
@@ -135,11 +138,17 @@ bool ColorwaveScheduler::converged() const {
 
 sched::OneShotResult ColorwaveScheduler::schedule(const core::System& sys) {
   assert(graph_->numNodes() == sys.numReaders());
+  const Stats before = stats_;
   if (!settled_) {
     advance(opt_.settle_rounds);
     settled_ = true;
   } else {
     advance(opt_.rounds_between_slots);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("net.protocol_rounds")
+        .add(stats_.protocol_rounds - before.protocol_rounds);
+    metrics_->counter("net.messages").add(stats_.messages - before.messages);
   }
 
   // Rotate through the distinct colors currently in use; activate that
@@ -158,6 +167,7 @@ sched::OneShotResult ColorwaveScheduler::schedule(const core::System& sys) {
   for (int v = 0; v < sys.numReaders(); ++v) {
     if (node_colors[static_cast<std::size_t>(v)] == cls) X.push_back(v);
   }
+  recordScheduleMetrics(1, static_cast<std::int64_t>(distinct.size()));
   return {X, sys.weight(X)};
 }
 

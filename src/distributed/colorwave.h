@@ -84,6 +84,11 @@ class ColorwaveScheduler final : public sched::OneShotScheduler {
   };
   const Stats& stats() const { return stats_; }
 
+  /// The long-lived protocol network; `network().stats()` exposes lifetime
+  /// rounds / messages / payload words (examples/distributed_deployment
+  /// reports them as the communication bill).
+  const Network& network() const { return *net_; }
+
  private:
   void init(std::uint64_t seed);
   void advance(int rounds);

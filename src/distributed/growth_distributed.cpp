@@ -71,6 +71,7 @@ class GrowthNode final : public NodeProgram {
   NodeState state() const { return state_; }
   bool wasHead() const { return fired_; }
   int rbar() const { return rbar_; }
+  std::int64_t bnbNodes() const { return bnb_nodes_; }
 
  private:
   int collectRadius() const { return 2 * opt_.c + 2; }
@@ -278,6 +279,7 @@ class GrowthNode final : public NodeProgram {
     }
     for (auto& a : p.adj) std::sort(a.begin(), a.end());
     sched::BnbResult res = sched::solveLocal(p, opt_.node_limit);
+    bnb_nodes_ += res.nodes;
     for (int& m : res.members) m = candidates[static_cast<std::size_t>(m)];
     std::sort(res.members.begin(), res.members.end());
     return res;
@@ -289,6 +291,9 @@ class GrowthNode final : public NodeProgram {
   NodeState state_ = NodeState::kWhite;
   bool fired_ = false;
   int rbar_ = 0;
+  // Branch & bound nodes expanded by this reader's local MWFS solves (the
+  // distributed analogue of sched.weight_evals); accumulated from solveOn.
+  mutable std::int64_t bnb_nodes_ = 0;
   std::unordered_map<int, InfoRecord> info_;
   std::unordered_set<int> removed_;
   std::unordered_set<int> selected_;
@@ -334,6 +339,7 @@ sched::OneShotResult GrowthDistributedScheduler::schedule(
   }
 
   Network net(*comm_, std::move(programs));
+  net.attachObs(metrics_, trace_);
   const Network::RunStats run = net.run(opt_.max_rounds);
   stats_.rounds = run.rounds;
   stats_.messages = run.messages;
@@ -341,14 +347,17 @@ sched::OneShotResult GrowthDistributedScheduler::schedule(
   stats_.quiesced = run.all_done;
 
   std::vector<int> X;
+  std::int64_t bnb_nodes = 0;
   for (int v = 0; v < n; ++v) {
     const auto& node = static_cast<const GrowthNode&>(net.program(v));
     if (node.state() == NodeState::kRed) X.push_back(v);
+    bnb_nodes += node.bnbNodes();
     if (node.wasHead()) {
       ++stats_.heads;
       stats_.max_rbar = std::max(stats_.max_rbar, node.rbar());
     }
   }
+  recordScheduleMetrics(bnb_nodes, stats_.heads);
   return {X, sys.weight(X)};
 }
 

@@ -28,6 +28,11 @@ void Network::enqueue(Message m) {
   in_flight_.push_back(std::move(m));
 }
 
+void Network::attachObs(obs::MetricsRegistry* metrics, obs::TraceSink* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
 Network::RunStats Network::run(int max_rounds) {
   stats_ = {};
   const int n = numNodes();
@@ -44,6 +49,7 @@ Network::RunStats Network::run(int max_rounds) {
     for (auto& box : inbox) box.clear();
     std::vector<Message> deliveries;
     deliveries.swap(in_flight_);
+    const std::size_t delivered = deliveries.size();
     for (Message& m : deliveries) {
       inbox[static_cast<std::size_t>(m.to)].push_back(std::move(m));
     }
@@ -56,10 +62,33 @@ Network::RunStats Network::run(int max_rounds) {
     }
     stats_.rounds = round + 1;
 
+    if (trace_ != nullptr) {
+      trace_->instant(
+          obs::EventKind::kRound, "net.round",
+          {{"round", static_cast<double>(round)},
+           {"delivered", static_cast<double>(delivered)},
+           {"in_flight", static_cast<double>(in_flight_.size())},
+           {"done", all_done && in_flight_.empty() ? 1.0 : 0.0}});
+    }
+
     if (all_done && in_flight_.empty()) {
       stats_.all_done = true;
       break;
     }
+  }
+
+  totals_.rounds += stats_.rounds;
+  totals_.messages += stats_.messages;
+  totals_.payload_words += stats_.payload_words;
+  totals_.all_done = stats_.all_done;
+  if (metrics_ != nullptr) {
+    metrics_->counter("net.rounds").add(stats_.rounds);
+    metrics_->counter("net.messages").add(stats_.messages);
+    metrics_->counter("net.payload_words").add(stats_.payload_words);
+    metrics_->gauge("net.last_run_rounds")
+        .set(static_cast<double>(stats_.rounds));
+    metrics_->gauge("net.converged_round")
+        .set(stats_.all_done ? static_cast<double>(stats_.rounds) : -1.0);
   }
   return stats_;
 }

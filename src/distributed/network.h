@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "graph/interference_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfid::dist {
 
@@ -90,6 +92,18 @@ class Network {
   /// `max_rounds`.
   RunStats run(int max_rounds);
 
+  /// Lifetime totals across every run() on this network (run() returns the
+  /// per-run slice).  `rounds`/`messages`/`payload_words` accumulate;
+  /// `all_done` reflects the most recent run.
+  const RunStats& stats() const { return totals_; }
+
+  /// Observability (nullptrs detach).  With `metrics` each run() adds the
+  /// counters `net.rounds` / `net.messages` / `net.payload_words` and sets
+  /// the gauges `net.last_run_rounds` and `net.converged_round` (-1 while
+  /// not quiescent).  With `trace` every synchronous round emits a kRound
+  /// event carrying delivered/in-flight message counts.
+  void attachObs(obs::MetricsRegistry* metrics, obs::TraceSink* trace);
+
   NodeProgram& program(int v) { return *programs_[static_cast<std::size_t>(v)]; }
   const NodeProgram& program(int v) const { return *programs_[static_cast<std::size_t>(v)]; }
   int numNodes() const { return topology_->numNodes(); }
@@ -102,6 +116,9 @@ class Network {
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<Message> in_flight_;   // sent this round, delivered next
   RunStats stats_;
+  RunStats totals_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace rfid::dist

@@ -1,0 +1,186 @@
+// metrics.h — the rfid::obs metrics registry (counters, gauges, histograms).
+//
+// Observability layer used across the stack: the MCS driver, the one-shot
+// schedulers, the System referee, the network simulator, and the link-layer
+// protocols all report into a MetricsRegistry when one is attached (nullptr
+// = detached, near-zero cost).  Design goals, in order:
+//
+//   1. Cheap enough to leave on.  Handles (Counter&, Gauge&, Histogram&)
+//      are resolved once by name and then bumped without lookups; hot paths
+//      cache the handle and guard with a single pointer test.
+//   2. Deterministic exports.  Entries are stored name-sorted and exported
+//      in that order, so two runs that record the same values byte-compare
+//      equal.  Parallel sweeps follow the repo's discipline: one registry
+//      per iteration, merged sequentially in index order afterwards
+//      (see bench_common.h), which makes the sidecar JSON bit-identical at
+//      any analysis::parallelFor thread count.
+//   3. Fully compiled out under -DRFIDSCHED_NO_OBS: every class degrades to
+//      an empty inline stub so call sites compile unchanged and the
+//      optimizer erases them.
+//
+// Naming convention (docs/observability.md): dot-separated lowercase paths,
+// `<subsystem>.<quantity>`, e.g. "mcs.slots", "sched.weight_evals",
+// "net.messages", "protocol.aloha.frames", "core.grid_queries".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#ifndef RFIDSCHED_NO_OBS
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "analysis/stats.h"
+#endif
+
+namespace rfid::obs {
+
+#ifndef RFIDSCHED_NO_OBS
+
+/// Monotonically increasing integer metric.  Thread-safe (relaxed atomic):
+/// concurrent adds from parallel sweeps produce exact totals.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-value-wins floating-point metric (e.g. "rounds of the latest run").
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<double> v_{0.0};
+};
+
+/// Streaming distribution: analysis::RunningStat (count/min/max/mean) plus
+/// fixed power-of-two log buckets for percentile estimates.  Bucket i covers
+/// (2^(i-1), 2^i] with bucket 0 holding everything <= 1; percentile() does
+/// linear interpolation inside the selected bucket and clamps to the
+/// observed [min, max].  Thread-safe (one small mutex per histogram).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double v);
+  std::int64_t count() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Estimated p-th percentile, p in [0, 100].  0 with no samples.
+  double percentile(double p) const;
+  void merge(const Histogram& o);
+
+ private:
+  friend class MetricsRegistry;
+  static int bucketOf(double v);
+
+  mutable std::mutex mu_;
+  analysis::RunningStat stat_;
+  std::int64_t buckets_[kBuckets] = {};
+};
+
+/// Named metric store.  counter()/gauge()/histogram() create on first use
+/// and return a stable reference; re-registering a name as a different kind
+/// throws std::logic_error (name-collision semantics are strict so a typo
+/// cannot silently fork a metric).  Non-copyable; share by pointer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  bool empty() const;
+
+  /// Adds every counter of `o`, merges histograms, and overwrites gauges
+  /// with `o`'s values (last writer wins — merge in a deterministic order).
+  /// Kind mismatches throw std::logic_error.
+  void merge(const MetricsRegistry& o);
+
+  /// Deterministic JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,min,max,mean,p50,p90,p99}}}, keys sorted.
+  /// `indent` spaces prefix every emitted line (for embedding); no trailing
+  /// newline.
+  void writeJson(std::ostream& os, int indent = 0) const;
+  bool writeJsonFile(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Entry& entry(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  // std::map: stable node addresses (handles survive later insertions) and
+  // name-sorted iteration for deterministic export.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+#else  // RFIDSCHED_NO_OBS — inert stubs, same API, zero cost.
+
+class Counter {
+ public:
+  void add(std::int64_t = 1) {}
+  std::int64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  void record(double) {}
+  std::int64_t count() const { return 0; }
+  double min() const { return 0.0; }
+  double max() const { return 0.0; }
+  double mean() const { return 0.0; }
+  double percentile(double) const { return 0.0; }
+  void merge(const Histogram&) {}
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  bool empty() const { return true; }
+  void merge(const MetricsRegistry&) {}
+  void writeJson(std::ostream& os, int indent = 0) const;  // emits "{}"
+  bool writeJsonFile(const std::string& path) const;
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // RFIDSCHED_NO_OBS
+
+}  // namespace rfid::obs

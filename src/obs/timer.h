@@ -1,0 +1,107 @@
+// timer.h — RAII wall-clock spans feeding histograms and the trace sink.
+//
+// A ScopedTimer measures one span on the steady clock and, at stop() or
+// destruction, records the elapsed microseconds into a named histogram of
+// the attached MetricsRegistry and/or a complete event in the attached
+// TraceSink.  Both attachments are optional; with neither the timer never
+// touches the clock.  arg() annotates the trace span with values that only
+// become known mid-span (e.g. the delivered weight of an MCS slot).
+//
+// Wall-clock histograms are inherently non-deterministic, so deterministic
+// exports (the bench sidecars) pass metrics = nullptr here and keep only
+// count metrics — see docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef RFIDSCHED_NO_OBS
+#include <chrono>
+#endif
+
+namespace rfid::obs {
+
+#ifndef RFIDSCHED_NO_OBS
+
+class ScopedTimer {
+ public:
+  /// `hist_name` names the histogram (microseconds); `span_name` names the
+  /// trace event (defaults to hist_name).  Either sink may be nullptr.
+  ScopedTimer(MetricsRegistry* metrics, std::string_view hist_name,
+              TraceSink* trace = nullptr, std::string_view span_name = {},
+              EventKind kind = EventKind::kSpan)
+      : metrics_(metrics),
+        trace_(trace),
+        hist_(hist_name),
+        span_(span_name.empty() ? hist_name : span_name),
+        kind_(kind) {
+    if (metrics_ != nullptr || trace_ != nullptr) {
+      start_ts_us_ = trace_ != nullptr ? trace_->nowUs() : 0;
+      t0_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Attaches a numeric annotation to the trace span (ignored without a
+  /// trace sink).
+  void arg(std::string_view key, double value) {
+    if (trace_ != nullptr) args_.emplace_back(std::string(key), value);
+  }
+
+  /// Ends the span and records it (idempotent).  Returns elapsed µs.
+  std::int64_t stop() {
+    if (stopped_) return elapsed_us_;
+    stopped_ = true;
+    if (metrics_ == nullptr && trace_ == nullptr) return 0;
+    elapsed_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0_)
+                      .count();
+    if (metrics_ != nullptr) {
+      metrics_->histogram(hist_).record(static_cast<double>(elapsed_us_));
+    }
+    if (trace_ != nullptr) {
+      // Chrome drops ph:"X" events with dur 0; clamp to 1µs so very fast
+      // spans stay visible.
+      trace_->complete(kind_, span_, start_ts_us_,
+                       elapsed_us_ > 0 ? elapsed_us_ : 1, std::move(args_));
+    }
+    return elapsed_us_;
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  TraceSink* trace_;
+  std::string hist_;
+  std::string span_;
+  EventKind kind_;
+  std::vector<TraceArg> args_;
+  std::chrono::steady_clock::time_point t0_{};
+  std::int64_t start_ts_us_ = 0;
+  std::int64_t elapsed_us_ = 0;
+  bool stopped_ = false;
+};
+
+#else  // RFIDSCHED_NO_OBS
+
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry*, std::string_view, TraceSink* = nullptr,
+              std::string_view = {}, EventKind = EventKind::kSpan) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  void arg(std::string_view, double) {}
+  std::int64_t stop() { return 0; }
+};
+
+#endif  // RFIDSCHED_NO_OBS
+
+}  // namespace rfid::obs

@@ -1,0 +1,116 @@
+// trace.h — structured event tracing with JSONL and Chrome trace export.
+//
+// A TraceSink records typed events — slot scheduled, weight evaluated,
+// message sent, round completed, protocol frame resolved, generic span —
+// stamped on the sink's own monotonic clock (microseconds since sink
+// creation).  Two exporters:
+//
+//   * writeJsonl:       one self-describing JSON object per line, the
+//                       machine-diffable form scripts consume.
+//   * writeChromeTrace: the Chrome trace_event JSON object
+//                       ({"traceEvents": [...]}) that loads directly in
+//                       chrome://tracing or https://ui.perfetto.dev; events
+//                       are emitted sorted by (tid, ts) so timestamps are
+//                       monotonically non-decreasing per thread row.
+//
+// Like the metrics registry, the whole class degrades to an inert stub
+// under -DRFIDSCHED_NO_OBS.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef RFIDSCHED_NO_OBS
+#include <chrono>
+#include <mutex>
+#endif
+
+namespace rfid::obs {
+
+/// Event taxonomy (docs/observability.md).  Doubles as the Chrome "cat"
+/// field, so traces can be filtered per category in the viewer.
+enum class EventKind {
+  kSlot,        // one MCS time-slot executed
+  kWeightEval,  // a w(X) referee evaluation
+  kMessage,     // network message traffic
+  kRound,       // one synchronous network round completed
+  kFrame,       // a link-layer protocol frame / walk resolved
+  kSpan,        // generic timed span (ScopedTimer default)
+};
+
+const char* eventKindName(EventKind k);
+
+/// Numeric key/value annotation attached to an event ("args" in both
+/// export formats).
+using TraceArg = std::pair<std::string, double>;
+
+struct TraceEvent {
+  EventKind kind = EventKind::kSpan;
+  std::string name;
+  std::int64_t ts_us = 0;   // microseconds since sink creation
+  std::int64_t dur_us = 0;  // 0 => instant event
+  int tid = 0;
+  std::vector<TraceArg> args;
+};
+
+#ifndef RFIDSCHED_NO_OBS
+
+class TraceSink {
+ public:
+  TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Microseconds since sink creation (steady clock, monotonic).
+  std::int64_t nowUs() const;
+
+  /// Records a timed span [ts_us, ts_us + dur_us).
+  void complete(EventKind kind, std::string name, std::int64_t ts_us,
+                std::int64_t dur_us, std::vector<TraceArg> args = {},
+                int tid = 0);
+
+  /// Records an instantaneous event stamped now.
+  void instant(EventKind kind, std::string name,
+               std::vector<TraceArg> args = {}, int tid = 0);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  void writeJsonl(std::ostream& os) const;
+  bool writeJsonlFile(const std::string& path) const;
+  void writeChromeTrace(std::ostream& os) const;
+  bool writeChromeTraceFile(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+#else  // RFIDSCHED_NO_OBS
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  std::int64_t nowUs() const { return 0; }
+  void complete(EventKind, std::string, std::int64_t, std::int64_t,
+                std::vector<TraceArg> = {}, int = 0) {}
+  void instant(EventKind, std::string, std::vector<TraceArg> = {}, int = 0) {}
+  std::size_t size() const { return 0; }
+  std::vector<TraceEvent> snapshot() const { return {}; }
+  void writeJsonl(std::ostream&) const {}
+  bool writeJsonlFile(const std::string& path) const;
+  void writeChromeTrace(std::ostream& os) const;  // "{"traceEvents": []}"
+  bool writeChromeTraceFile(const std::string& path) const;
+};
+
+#endif  // RFIDSCHED_NO_OBS
+
+}  // namespace rfid::obs

@@ -32,12 +32,31 @@ AlohaResult runAloha(int num_tags, workload::Rng& rng,
     res.micro_slots += frame;
     ++res.frames;
 
+    if (opt.trace != nullptr) {
+      opt.trace->instant(obs::EventKind::kFrame, "aloha.frame",
+                         {{"frame", static_cast<double>(res.frames)},
+                          {"size", static_cast<double>(frame)},
+                          {"singles", static_cast<double>(singles)},
+                          {"collisions", static_cast<double>(collisions)},
+                          {"empties", static_cast<double>(empties)},
+                          {"backlog", static_cast<double>(remaining)}});
+    }
+
     // Vogt's rule of thumb: a collision slot hides ≥ 2 tags on average, so
     // the backlog estimate is 2·collisions; frame size tracks the backlog.
     const int estimate = std::max(remaining > 0 ? 1 : 0, 2 * collisions);
     frame = std::clamp(estimate, opt.min_frame, opt.max_frame);
   }
   res.completed = remaining == 0;
+
+  if (opt.metrics != nullptr) {
+    opt.metrics->counter("protocol.aloha.frames").add(res.frames);
+    opt.metrics->counter("protocol.aloha.micro_slots").add(res.micro_slots);
+    opt.metrics->counter("protocol.aloha.collisions").add(res.collisions);
+    opt.metrics->counter("protocol.aloha.empties").add(res.empties);
+    opt.metrics->counter("protocol.aloha.tags_identified")
+        .add(res.tags_identified);
+  }
   return res;
 }
 

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/rng.h"
 
 namespace rfid::protocol {
@@ -22,6 +24,12 @@ struct AlohaOptions {
   int max_frame = 1024;
   /// Safety cap on simulated frames.
   int max_frames = 100000;
+  /// Observability (optional).  With `metrics` the run adds the counters
+  /// `protocol.aloha.frames` / `.micro_slots` / `.collisions` / `.empties`
+  /// / `.tags_identified`; with `trace` every frame emits a kFrame event
+  /// (frame size, singles, collisions, empties, backlog).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 struct AlohaResult {

@@ -42,13 +42,29 @@ void walk(std::span<const std::uint64_t> ids, int bits_left,
 
 }  // namespace
 
-TreeWalkResult runTreeWalk(std::span<const std::uint64_t> epcs, int id_bits) {
+TreeWalkResult runTreeWalk(std::span<const std::uint64_t> epcs, int id_bits,
+                           obs::MetricsRegistry* metrics,
+                           obs::TraceSink* trace) {
   TreeWalkResult res;
   std::vector<std::uint64_t> sorted(epcs.begin(), epcs.end());
   std::sort(sorted.begin(), sorted.end());
   walk(sorted, id_bits, res);
   // The root probe asked "anyone there?", which is part of the protocol,
   // so probes ≥ 1 even for zero tags.
+  if (metrics != nullptr) {
+    metrics->counter("protocol.treewalk.probes").add(res.probes);
+    metrics->counter("protocol.treewalk.collisions").add(res.collisions);
+    metrics->counter("protocol.treewalk.empties").add(res.empties);
+    metrics->counter("protocol.treewalk.tags_identified")
+        .add(res.tags_identified);
+  }
+  if (trace != nullptr) {
+    trace->instant(obs::EventKind::kFrame, "treewalk.done",
+                   {{"probes", static_cast<double>(res.probes)},
+                    {"collisions", static_cast<double>(res.collisions)},
+                    {"empties", static_cast<double>(res.empties)},
+                    {"identified", static_cast<double>(res.tags_identified)}});
+  }
   return res;
 }
 

@@ -11,6 +11,9 @@
 #include <cstdint>
 #include <span>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rfid::protocol {
 
 struct TreeWalkResult {
@@ -25,7 +28,13 @@ struct TreeWalkResult {
 /// from the most significant bit.  Duplicate EPCs are a physical
 /// impossibility the protocol cannot separate; they are counted once and
 /// the walk still terminates (asserted in debug builds).
+///
+/// Observability (optional): with `metrics` the walk adds the counters
+/// `protocol.treewalk.probes` / `.collisions` / `.empties` /
+/// `.tags_identified`; with `trace` it emits one kFrame summary event.
 TreeWalkResult runTreeWalk(std::span<const std::uint64_t> epcs,
-                           int id_bits = 16);
+                           int id_bits = 16,
+                           obs::MetricsRegistry* metrics = nullptr,
+                           obs::TraceSink* trace = nullptr);
 
 }  // namespace rfid::protocol

@@ -186,6 +186,7 @@ OneShotResult ExactScheduler::schedule(const core::System& sys) {
   std::vector<int> all(static_cast<std::size_t>(sys.numReaders()));
   std::iota(all.begin(), all.end(), 0);
   const BnbResult res = maxWeightFeasibleSubset(sys, all, node_limit_);
+  recordScheduleMetrics(res.nodes, sys.numReaders());
   return {res.members, res.weight};
 }
 

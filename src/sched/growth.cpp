@@ -29,6 +29,10 @@ OneShotResult GrowthScheduler::schedule(const core::System& sys) {
   // paper's weight definition charges but pure local scoring would miss.
   core::WeightEvaluator committed(sys);
 
+  // Work counting only when a registry is attached, so the detached hot
+  // loop is byte-for-byte the uninstrumented one.
+  const bool counting = metrics() != nullptr;
+  std::int64_t peek_evals = 0;
   while (true) {
     // Pick the alive reader with maximum marginal standalone weight.
     int v = -1;
@@ -36,6 +40,7 @@ OneShotResult GrowthScheduler::schedule(const core::System& sys) {
     for (int u = 0; u < n; ++u) {
       if (alive[static_cast<std::size_t>(u)] == 0) continue;
       const int w = committed.peekDelta(u);
+      if (counting) ++peek_evals;
       if (w > vw) {
         vw = w;
         v = u;
@@ -79,6 +84,7 @@ OneShotResult GrowthScheduler::schedule(const core::System& sys) {
   }
 
   std::sort(X.begin(), X.end());
+  recordScheduleMetrics(peek_evals + stats_.bnb_nodes, stats_.picks);
   return {X, sys.weight(X)};
 }
 

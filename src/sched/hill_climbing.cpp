@@ -11,17 +11,24 @@ OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
   core::WeightEvaluator eval(sys);
   std::vector<char> blocked(static_cast<std::size_t>(n), 0);  // conflicts with chosen
 
+  // Work counting only when a registry is attached, so the detached hot
+  // loop is byte-for-byte the uninstrumented one.
+  const bool counting = metrics() != nullptr;
+  std::int64_t peek_evals = 0;
+  std::int64_t steps = 0;
   while (true) {
     int best = -1;
     int best_delta = 0;  // require strictly positive progress
     for (int v = 0; v < n; ++v) {
       if (blocked[static_cast<std::size_t>(v)] != 0) continue;
       const int delta = eval.peekDelta(v);
+      if (counting) ++peek_evals;
       if (delta > best_delta) {
         best_delta = delta;
         best = v;
       }
     }
+    if (counting) ++steps;
     if (best < 0) break;  // incremental weight would be <= 0 everywhere
     eval.push(best);
     blocked[static_cast<std::size_t>(best)] = 1;
@@ -34,6 +41,7 @@ OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
 
   std::vector<int> members(eval.members().begin(), eval.members().end());
   std::sort(members.begin(), members.end());
+  recordScheduleMetrics(peek_evals, steps);
   return {members, eval.weight()};
 }
 

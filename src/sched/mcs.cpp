@@ -1,5 +1,7 @@
 #include "sched/mcs.h"
 
+#include "obs/timer.h"
+
 namespace rfid::sched {
 
 McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
@@ -7,8 +9,27 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
   McsResult res;
   res.uncoverable = sys.unreadCount() - sys.unreadCoverableCount();
 
+  // Resolve counter handles once; the loop then pays one pointer test per
+  // slot when observability is detached.
+  obs::Counter* c_slots = nullptr;
+  obs::Counter* c_tags = nullptr;
+  obs::Counter* c_stalls = nullptr;
+  obs::Histogram* h_proposed = nullptr;
+  obs::Histogram* h_tags = nullptr;
+  if (opt.metrics != nullptr) {
+    c_slots = &opt.metrics->counter("mcs.slots");
+    c_tags = &opt.metrics->counter("mcs.tags_read");
+    c_stalls = &opt.metrics->counter("mcs.stall_slots");
+    h_proposed = &opt.metrics->histogram("mcs.slot_proposed_readers");
+    h_tags = &opt.metrics->histogram("mcs.slot_tags_read");
+  }
+
   int stall = 0;
   while (sys.unreadCoverableCount() > 0 && res.slots < opt.max_slots) {
+    // Wall-clock span only when tracing (see McsOptions doc).
+    obs::ScopedTimer span(opt.trace != nullptr ? opt.metrics : nullptr,
+                          "mcs.slot_us", opt.trace, "mcs.slot",
+                          obs::EventKind::kSlot);
     const OneShotResult one = scheduler.schedule(sys);
     const std::vector<int> served = sys.wellCoveredTags(one.readers);
     sys.markRead(served);
@@ -21,12 +42,36 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     res.tags_read += static_cast<int>(served.size());
 
     if (served.empty()) {
-      if (++stall >= opt.max_stall) break;
+      ++stall;
     } else {
       stall = 0;
     }
+
+    if (c_slots != nullptr) {
+      c_slots->add(1);
+      c_tags->add(static_cast<std::int64_t>(served.size()));
+      if (served.empty()) c_stalls->add(1);
+      h_proposed->record(static_cast<double>(one.readers.size()));
+      h_tags->record(static_cast<double>(served.size()));
+    }
+    if (opt.trace != nullptr) {
+      span.arg("slot", static_cast<double>(res.slots));
+      span.arg("proposed", static_cast<double>(one.readers.size()));
+      span.arg("claimed_weight", static_cast<double>(one.weight));
+      span.arg("delivered", static_cast<double>(served.size()));
+      span.arg("stall", static_cast<double>(stall));
+    }
+
+    if (served.empty() && stall >= opt.max_stall) break;
   }
   res.completed = sys.unreadCoverableCount() == 0;
+
+  if (opt.trace != nullptr) {
+    opt.trace->instant(obs::EventKind::kSpan, "mcs.done",
+                       {{"slots", static_cast<double>(res.slots)},
+                        {"tags_read", static_cast<double>(res.tags_read)},
+                        {"completed", res.completed ? 1.0 : 0.0}});
+  }
   return res;
 }
 

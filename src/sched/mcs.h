@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 
 namespace rfid::sched {
@@ -27,6 +29,16 @@ struct McsOptions {
   /// randomized baseline (Colorwave before convergence) may waste slots;
   /// a *persistently* stalled one would loop forever.
   int max_stall = 500;
+  /// Observability (both optional; nullptr = off, existing call sites
+  /// compile unchanged).  With `metrics` the driver maintains the counters
+  /// `mcs.slots` / `mcs.tags_read` / `mcs.stall_slots` and the
+  /// distributions `mcs.slot_proposed_readers` / `mcs.slot_tags_read`.
+  /// With `trace` it additionally emits one kSlot span per executed slot
+  /// (proposed set size, claimed vs. delivered weight, running stall
+  /// count) plus the wall-clock histogram `mcs.slot_us` — wall-clock data
+  /// rides with tracing only, so metrics-only runs stay deterministic.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 /// One executed time-slot.

@@ -371,6 +371,7 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
     }
   }
   stats_.levels = max_level + 1;
+  recordScheduleMetrics(stats_.weight_evals, stats_.dp_entries);
   return best;
 }
 

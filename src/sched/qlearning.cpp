@@ -93,6 +93,7 @@ OneShotResult QLearningScheduler::schedule(const core::System& sys) {
   for (int v = 0; v < sys.numReaders(); ++v) {
     if (a[static_cast<std::size_t>(v)] == s) active.push_back(v);
   }
+  recordScheduleMetrics(1, opt_.frame_slots);
   return {active, sys.weight(active)};
 }
 

@@ -1,3 +1,13 @@
 #include "sched/scheduler.h"
 
-// Interface-only translation unit; keeps the vtable anchored here.
+namespace rfid::sched {
+
+void OneShotScheduler::recordScheduleMetrics(std::int64_t weight_evals,
+                                             std::int64_t candidates) const {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("sched.schedule_calls").add(1);
+  metrics_->counter("sched.weight_evals").add(weight_evals);
+  metrics_->counter("sched.candidates").add(candidates);
+}
+
+}  // namespace rfid::sched

@@ -7,11 +7,14 @@
 // (sched/mcs.h) and the figure harnesses treat them uniformly.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfid::sched {
 
@@ -42,6 +45,31 @@ class OneShotScheduler {
   /// Picks the scheduling set for the next slot given the current unread
   /// set of `sys`.
   virtual OneShotResult schedule(const core::System& sys) = 0;
+
+  /// Observability: attach a metrics registry (nullptr detaches).  Every
+  /// implementation then reports the shared counters
+  /// `sched.schedule_calls`, `sched.weight_evals` (exact w(X)/marginal
+  /// evaluations, incl. branch & bound nodes) and `sched.candidates`
+  /// (algorithm-specific search breadth: DP states, coordinator picks,
+  /// color classes, …).  Attach one registry per scheduler to keep
+  /// algorithms separable (the bench harness does exactly that).
+  void attachMetrics(obs::MetricsRegistry* m) { metrics_ = m; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Attaches a trace sink (nullptr detaches).  Only schedulers with
+  /// internal structure worth tracing use it — the distributed algorithms
+  /// forward it to their network simulator, which then emits per-round
+  /// kRound events.
+  void attachTrace(obs::TraceSink* t) { trace_ = t; }
+  obs::TraceSink* trace() const { return trace_; }
+
+ protected:
+  /// Bumps the shared per-schedule counters; no-op when detached.
+  void recordScheduleMetrics(std::int64_t weight_evals,
+                             std::int64_t candidates) const;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace rfid::sched

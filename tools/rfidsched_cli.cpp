@@ -5,9 +5,21 @@
 //                 [--side S] [--lambda-R X] [--lambda-r Y] [--seed S]
 //                 [--layout uniform|clusters|aisles|grid]
 //                 [--channels C] [--rho R] [--k K] [--svg PATH]
+//                 [--save PATH] [--load PATH]
+//                 [--metrics PATH] [--trace PATH] [--jsonl PATH]
 //
 // Prints a human-readable report; --svg additionally renders the (first)
-// slot decision.  Exit code 0 on success, 2 on bad usage.
+// slot decision.  --save writes the generated deployment to PATH (CSV) and
+// --load runs on a previously saved deployment instead of generating one,
+// so a site survey can be replayed against every algorithm.
+//
+// Observability: --metrics writes a JSON metrics dump (counters / gauges /
+// histograms from the scheduler, the MCS driver, the System referee, and
+// the network simulator), --trace writes a Chrome trace_event file for
+// chrome://tracing, and --jsonl writes the same events as JSON-lines.  See
+// docs/observability.md.
+//
+// Exit code 0 on success, 2 on bad usage (the offending flag is named).
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -17,6 +29,9 @@
 #include "distributed/colorwave.h"
 #include "distributed/growth_distributed.h"
 #include "graph/interference_graph.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "sched/channels.h"
 #include "sched/exact.h"
 #include "sched/growth.h"
@@ -33,8 +48,11 @@ struct Cli {
   std::string mode = "mcs";
   std::string layout = "uniform";
   std::string svg_path;
-  std::string save_path;  // write the generated deployment and exit paths
-  std::string load_path;  // run on a saved deployment instead of generating
+  std::string save_path;     // write the generated deployment and continue
+  std::string load_path;     // run on a saved deployment instead of generating
+  std::string metrics_path;  // JSON metrics dump
+  std::string trace_path;    // Chrome trace_event JSON
+  std::string jsonl_path;    // JSONL event log
   int readers = 50;
   int tags = 1200;
   double side = 100.0;
@@ -53,7 +71,14 @@ void usage() {
       "                     [--side S] [--lambda-R X] [--lambda-r Y]\n"
       "                     [--seed S] [--layout uniform|clusters|aisles|grid]\n"
       "                     [--channels C] [--rho R] [--k K] [--svg PATH]\n"
-      "                     [--save PATH] [--load PATH]\n";
+      "                     [--save PATH] [--load PATH]\n"
+      "                     [--metrics PATH] [--trace PATH] [--jsonl PATH]\n"
+      "\n"
+      "  --save PATH     write the generated deployment to PATH (CSV), then run\n"
+      "  --load PATH     run on a saved deployment instead of generating one\n"
+      "  --metrics PATH  write scheduler/driver/referee metrics as JSON\n"
+      "  --trace PATH    write a Chrome trace_event file (chrome://tracing)\n"
+      "  --jsonl PATH    write the trace as JSON-lines (one event per line)\n";
 }
 
 bool parse(int argc, char** argv, Cli& cli) {
@@ -62,6 +87,17 @@ bool parse(int argc, char** argv, Cli& cli) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    const auto known = [&a]() {
+      static const char* flags[] = {
+          "--algo", "--mode", "--layout", "--svg",  "--save",
+          "--load", "--metrics", "--trace", "--jsonl", "--readers",
+          "--tags", "--side", "--lambda-R", "--lambda-r", "--seed",
+          "--channels", "--rho", "--k"};
+      for (const char* f : flags) {
+        if (a == f) return true;
+      }
+      return false;
+    };
     const char* v = nullptr;
     if (a == "--algo" && (v = next())) cli.algo = v;
     else if (a == "--mode" && (v = next())) cli.mode = v;
@@ -69,6 +105,9 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--svg" && (v = next())) cli.svg_path = v;
     else if (a == "--save" && (v = next())) cli.save_path = v;
     else if (a == "--load" && (v = next())) cli.load_path = v;
+    else if (a == "--metrics" && (v = next())) cli.metrics_path = v;
+    else if (a == "--trace" && (v = next())) cli.trace_path = v;
+    else if (a == "--jsonl" && (v = next())) cli.jsonl_path = v;
     else if (a == "--readers" && (v = next())) cli.readers = std::atoi(v);
     else if (a == "--tags" && (v = next())) cli.tags = std::atoi(v);
     else if (a == "--side" && (v = next())) cli.side = std::atof(v);
@@ -78,14 +117,27 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--channels" && (v = next())) cli.channels = std::atoi(v);
     else if (a == "--rho" && (v = next())) cli.rho = std::atof(v);
     else if (a == "--k" && (v = next())) cli.k = std::atoi(v);
-    else {
-      std::cerr << "unknown or incomplete option: " << a << "\n";
+    else if (known()) {
+      std::cerr << "missing value for option: " << a << "\n";
+      return false;
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
       return false;
     }
   }
-  return cli.readers > 0 && cli.tags >= 0 && cli.side > 0 &&
-         cli.lambda_R >= 1 && cli.lambda_r >= 1 && cli.k >= 2 &&
-         cli.rho > 1.0 && cli.channels >= 1;
+  const auto reject = [](const char* flag, const char* why) {
+    std::cerr << "invalid value for " << flag << ": " << why << "\n";
+    return false;
+  };
+  if (cli.readers <= 0) return reject("--readers", "must be > 0");
+  if (cli.tags < 0) return reject("--tags", "must be >= 0");
+  if (cli.side <= 0) return reject("--side", "must be > 0");
+  if (cli.lambda_R < 1) return reject("--lambda-R", "must be >= 1");
+  if (cli.lambda_r < 1) return reject("--lambda-r", "must be >= 1");
+  if (cli.k < 2) return reject("--k", "must be >= 2");
+  if (cli.rho <= 1.0) return reject("--rho", "must be > 1");
+  if (cli.channels < 1) return reject("--channels", "must be >= 1");
+  return true;
 }
 
 }  // namespace
@@ -105,7 +157,19 @@ int main(int argc, char** argv) {
   if (cli.layout == "clusters") sc.layout = workload::Layout::kClusteredTags;
   else if (cli.layout == "aisles") sc.layout = workload::Layout::kAisles;
   else if (cli.layout == "grid") sc.layout = workload::Layout::kGridReaders;
-  else if (cli.layout != "uniform") { usage(); return 2; }
+  else if (cli.layout != "uniform") {
+    std::cerr << "invalid value for --layout: " << cli.layout << "\n";
+    usage();
+    return 2;
+  }
+
+  // Observability sinks live for the whole invocation; attachments below
+  // are nullptr-safe, so runs without --metrics/--trace pay nothing.
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink;
+  obs::MetricsRegistry* metrics = cli.metrics_path.empty() ? nullptr : &registry;
+  obs::TraceSink* trace =
+      cli.trace_path.empty() && cli.jsonl_path.empty() ? nullptr : &sink;
 
   core::System sys = [&]() -> core::System {
     if (!cli.load_path.empty()) {
@@ -118,6 +182,7 @@ int main(int argc, char** argv) {
     }
     return workload::makeSystem(sc, cli.seed);
   }();
+  sys.attachMetrics(metrics);
   if (!cli.save_path.empty()) {
     if (!workload::saveDeploymentFile(cli.save_path, sys)) {
       std::cerr << "failed to save deployment to " << cli.save_path << "\n";
@@ -150,9 +215,12 @@ int main(int argc, char** argv) {
     scheduler = std::make_unique<sched::MultiChannelScheduler>(
         sched::ChannelOptions{cli.channels});
   } else {
+    std::cerr << "invalid value for --algo: " << cli.algo << "\n";
     usage();
     return 2;
   }
+  scheduler->attachMetrics(metrics);
+  scheduler->attachTrace(trace);
 
   std::cout << "deployment: " << sys.numReaders() << " readers, "
             << sys.numTags() << " tags (" << sys.unreadCoverableCount()
@@ -162,7 +230,9 @@ int main(int argc, char** argv) {
             << scheduler->name() << "\n\n";
 
   if (cli.mode == "oneshot") {
+    obs::ScopedTimer run_span(metrics, "cli.run_us", trace, "cli.oneshot");
     const sched::OneShotResult res = scheduler->schedule(sys);
+    run_span.stop();
     std::cout << "one-shot: " << res.readers.size()
               << " readers active, weight " << res.weight << "\nreaders:";
     for (const int v : res.readers) std::cout << ' ' << v;
@@ -178,7 +248,11 @@ int main(int argc, char** argv) {
         std::cout << "first-slot svg written to " << cli.svg_path << '\n';
       }
     }
-    const sched::McsResult res = sched::runCoveringSchedule(sys, *scheduler);
+    sched::McsOptions mcs_opt;
+    mcs_opt.metrics = metrics;
+    mcs_opt.trace = trace;
+    const sched::McsResult res =
+        sched::runCoveringSchedule(sys, *scheduler, mcs_opt);
     std::cout << "covering schedule: " << res.slots << " slots, "
               << res.tags_read << " tags read, " << res.uncoverable
               << " uncoverable, "
@@ -192,8 +266,34 @@ int main(int argc, char** argv) {
       std::cout << "  ... (" << res.schedule.size() - 25 << " more slots)\n";
     }
   } else {
+    std::cerr << "invalid value for --mode: " << cli.mode << "\n";
     usage();
     return 2;
+  }
+
+  if (metrics != nullptr) {
+    if (registry.writeJsonFile(cli.metrics_path)) {
+      std::cout << "metrics written to " << cli.metrics_path << '\n';
+    } else {
+      std::cerr << "failed to write metrics to " << cli.metrics_path << "\n";
+      return 2;
+    }
+  }
+  if (!cli.trace_path.empty()) {
+    if (sink.writeChromeTraceFile(cli.trace_path)) {
+      std::cout << "trace written to " << cli.trace_path << '\n';
+    } else {
+      std::cerr << "failed to write trace to " << cli.trace_path << "\n";
+      return 2;
+    }
+  }
+  if (!cli.jsonl_path.empty()) {
+    if (sink.writeJsonlFile(cli.jsonl_path)) {
+      std::cout << "jsonl events written to " << cli.jsonl_path << '\n';
+    } else {
+      std::cerr << "failed to write jsonl to " << cli.jsonl_path << "\n";
+      return 2;
+    }
   }
   return 0;
 }
