@@ -70,31 +70,45 @@ int System::unreadCoverableCount() const {
 }
 
 template <typename OnTag>
-void System::forEachWellCovered(std::span<const int> X, OnTag&& on_tag) const {
+void System::forEachWellCovered(std::span<const int> X,
+                                std::span<const int> jamming,
+                                OnTag&& on_tag) const {
+  // `jamming` readers radiate like members of X (passes 1 and 2) but never
+  // read (pass 3) — the loud-failure semantics of the fault model.  The
+  // common no-fault call passes an empty span and compiles to the original
+  // three-pass evaluation.
+  //
   // Pass 1: RTc victims — v_i inside some other active v_j's interference
   // disk reads nothing (Definition 1, second condition).  Note the
   // asymmetry: only R_j matters for whether v_i is a victim.
-  for (const int vi : X) {
-    char victim = 0;
+  const auto victimOf = [this, X, jamming](int vi) -> char {
+    const Reader& a = reader(vi);
     for (const int vj : X) {
       if (vi == vj) continue;
-      const Reader& a = reader(vi);
-      const Reader& b = reader(vj);
-      const double rj = b.interference_radius;
-      if (geom::dist2(a.pos, b.pos) <= rj * rj) {
-        victim = 1;
-        break;
-      }
+      const double rj = reader(vj).interference_radius;
+      if (geom::dist2(a.pos, reader(vj).pos) <= rj * rj) return 1;
     }
-    scratch_victim_[static_cast<std::size_t>(vi)] = victim;
+    for (const int vj : jamming) {
+      if (vi == vj) continue;
+      const double rj = reader(vj).interference_radius;
+      if (geom::dist2(a.pos, reader(vj).pos) <= rj * rj) return 1;
+    }
+    return 0;
+  };
+  for (const int vi : X) {
+    scratch_victim_[static_cast<std::size_t>(vi)] = victimOf(vi);
   }
-  // Pass 2: coverage multiplicity among all of X (RRc counts every active
-  // reader's interrogation region, victim or not — a victim still radiates).
+  // Pass 2: coverage multiplicity among all radiating readers (RRc counts
+  // every active interrogation region, victim or not — a victim still
+  // radiates, and so does a loud-failed reader).
   for (const int v : X) {
     for (const int t : coverage(v)) ++scratch_count_[static_cast<std::size_t>(t)];
   }
+  for (const int v : jamming) {
+    for (const int t : coverage(v)) ++scratch_count_[static_cast<std::size_t>(t)];
+  }
   // Pass 3: a tag is well-covered iff it is unread, covered by exactly one
-  // reader of X, and that reader is not an RTc victim.
+  // radiating reader, and that reader is a non-victim member of X.
   for (const int v : X) {
     if (scratch_victim_[static_cast<std::size_t>(v)] != 0) continue;
     for (const int t : coverage(v)) {
@@ -107,12 +121,20 @@ void System::forEachWellCovered(std::span<const int> X, OnTag&& on_tag) const {
   for (const int v : X) {
     for (const int t : coverage(v)) scratch_count_[static_cast<std::size_t>(t)] = 0;
   }
+  for (const int v : jamming) {
+    for (const int t : coverage(v)) scratch_count_[static_cast<std::size_t>(t)] = 0;
+  }
 }
 
 std::vector<int> System::wellCoveredTags(std::span<const int> X) const {
+  return wellCoveredTags(X, {});
+}
+
+std::vector<int> System::wellCoveredTags(std::span<const int> X,
+                                         std::span<const int> jamming) const {
   if (well_covered_evals_ != nullptr) well_covered_evals_->add(1);
   std::vector<int> out;
-  forEachWellCovered(X, [&out](int t) { out.push_back(t); });
+  forEachWellCovered(X, jamming, [&out](int t) { out.push_back(t); });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -120,7 +142,7 @@ std::vector<int> System::wellCoveredTags(std::span<const int> X) const {
 int System::weight(std::span<const int> X) const {
   if (weight_evals_ != nullptr) weight_evals_->add(1);
   int w = 0;
-  forEachWellCovered(X, [&w](int) { ++w; });
+  forEachWellCovered(X, {}, [&w](int) { ++w; });
   return w;
 }
 

@@ -85,6 +85,15 @@ class System {
   /// (not thread-safe across concurrent calls on one System).
   std::vector<int> wellCoveredTags(std::span<const int> X) const;
 
+  /// Fault-mode referee: tags well-covered by the readers of `X` while the
+  /// readers in `jamming` also radiate.  A jamming reader (a loud-failed
+  /// crash, fault::FaultPlan) counts for RRc coverage multiplicity and RTc
+  /// victimization exactly like an active reader, but reads nothing.  `X`
+  /// and `jamming` must be disjoint.  With `jamming` empty this is exactly
+  /// wellCoveredTags(X).  Same scratch-buffer caveat.
+  std::vector<int> wellCoveredTags(std::span<const int> X,
+                                   std::span<const int> jamming) const;
+
   /// w(X) of Definition 3: |wellCoveredTags(X)| without materializing the
   /// list.  Same scratch-buffer caveat.
   int weight(std::span<const int> X) const;
@@ -106,7 +115,8 @@ class System {
 
  private:
   template <typename OnTag>
-  void forEachWellCovered(std::span<const int> X, OnTag&& on_tag) const;
+  void forEachWellCovered(std::span<const int> X, std::span<const int> jamming,
+                          OnTag&& on_tag) const;
 
   std::vector<Reader> readers_;
   std::vector<Tag> tags_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 #include "graph/coloring.h"
 #include "workload/rng.h"
@@ -11,7 +12,9 @@ namespace rfid::dist {
 namespace {
 
 enum MsgType : int { kColor = 1 };
-// COLOR payload: [color, priority]
+// COLOR payload: [color, priority] — or [color, priority, version] on a
+// lossy substrate, where the version word lets receivers discard stale
+// duplicated/delayed copies (fault hardening, docs/faults.md).
 
 class ColorwaveNode final : public NodeProgram {
  public:
@@ -23,10 +26,24 @@ class ColorwaveNode final : public NodeProgram {
   void init(Context& ctx) override { announce(ctx); }
 
   void onRound(Context& ctx, std::span<const Message> inbox) override {
+    ++local_round_;
     bool collided = false;
     bool must_repick = false;
     for (const Message& m : inbox) {
       if (m.type != kColor) continue;
+      if (m.data.size() >= 3) {
+        // Hardened wire format.  A copy whose version is not newer than
+        // the last accepted one from this sender is a duplicate or a
+        // delayed echo of an old color — acting on it would re-pick
+        // against state the neighbor already left (livelock risk).
+        const int version = m.data[2];
+        const auto [it, first_contact] = last_version_.try_emplace(m.from, version);
+        if (!first_contact) {
+          if (version <= it->second) continue;
+          it->second = version;
+        }
+        last_heard_[m.from] = local_round_;
+      }
       const int their_color = m.data[0];
       const int their_pri = m.data[1];
       if (their_color != color_) continue;
@@ -35,6 +52,22 @@ class ColorwaveNode final : public NodeProgram {
       // color; everyone else re-picks.
       if (std::pair(their_pri, m.from) > std::pair(last_priority_, ctx.self())) {
         must_repick = true;
+      }
+    }
+
+    // Silence detection: a neighbor quiet past the timeout is presumed
+    // crashed and evicted; its next announcement re-admits it with a fresh
+    // version baseline (a recovered reader must not be held to pre-crash
+    // staleness bookkeeping).
+    if (ctx.lossy() && opt_.silence_timeout > 0) {
+      for (auto it = last_heard_.begin(); it != last_heard_.end();) {
+        if (local_round_ - it->second > opt_.silence_timeout) {
+          last_version_.erase(it->first);
+          ++evicted_;
+          it = last_heard_.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
 
@@ -66,11 +99,16 @@ class ColorwaveNode final : public NodeProgram {
   bool isDone() const override { return stable_rounds_ >= 20; }
 
   int color() const { return color_; }
+  int evicted() const { return evicted_; }
 
  private:
   void announce(Context& ctx) {
     last_priority_ = static_cast<int>(rng_.next() & 0x7fffffff);
-    ctx.broadcast(kColor, {color_, last_priority_});
+    if (ctx.lossy()) {
+      ctx.broadcast(kColor, {color_, last_priority_, ++version_});
+    } else {
+      ctx.broadcast(kColor, {color_, last_priority_});
+    }
   }
 
   ColorwaveOptions opt_;
@@ -80,6 +118,12 @@ class ColorwaveNode final : public NodeProgram {
   int last_priority_ = 0;
   int stable_rounds_ = 0;
   std::vector<char> window_;
+  // Fault hardening state (touched only on a lossy substrate).
+  int local_round_ = 0;
+  int version_ = 0;
+  int evicted_ = 0;
+  std::unordered_map<int, int> last_version_;
+  std::unordered_map<int, int> last_heard_;
 };
 
 }  // namespace
@@ -120,6 +164,16 @@ void ColorwaveScheduler::advance(int rounds) {
   const Network::RunStats s = net_->run(rounds);
   stats_.protocol_rounds += s.rounds;
   stats_.messages += s.messages;
+  // The network's own metrics hookup stays detached (net.* counters would
+  // double-count against the scheduler's aggregate stats), so the fault
+  // slice is recorded here.  Channel-free runs register nothing and keep
+  // the pre-fault export byte-identical.
+  if (metrics_ != nullptr && net_->channel() != nullptr) {
+    metrics_->counter("fault.net.dropped").add(s.dropped);
+    metrics_->counter("fault.net.duplicated").add(s.duplicated);
+    metrics_->counter("fault.net.delayed").add(s.delayed);
+    metrics_->counter("fault.net.dead_drops").add(s.dead_drops);
+  }
 }
 
 std::vector<int> ColorwaveScheduler::colors() const {
@@ -134,6 +188,34 @@ std::vector<int> ColorwaveScheduler::colors() const {
 bool ColorwaveScheduler::converged() const {
   const auto c = colors();
   return graph::isProperColoring(*graph_, c);
+}
+
+void ColorwaveScheduler::attachChannel(fault::ChannelModel* channel) {
+  net_->attachChannel(channel);
+}
+
+bool ColorwaveScheduler::convergedAmongAlive() const {
+  const fault::ChannelModel* ch = net_->channel();
+  if (ch == nullptr) return converged();
+  const auto c = colors();
+  for (int v = 0; v < graph_->numNodes(); ++v) {
+    if (ch->nodeDown(v)) continue;
+    for (const int u : graph_->neighbors(v)) {
+      if (u <= v || ch->nodeDown(u)) continue;
+      if (c[static_cast<std::size_t>(v)] == c[static_cast<std::size_t>(u)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int ColorwaveScheduler::evictedNeighborLinks() const {
+  int evicted = 0;
+  for (int v = 0; v < net_->numNodes(); ++v) {
+    evicted += static_cast<const ColorwaveNode&>(net_->program(v)).evicted();
+  }
+  return evicted;
 }
 
 sched::OneShotResult ColorwaveScheduler::schedule(const core::System& sys) {

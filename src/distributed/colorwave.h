@@ -46,6 +46,13 @@ struct ColorwaveOptions {
   int settle_rounds = 1000;
   /// Protocol rounds executed between consecutive slots.
   int rounds_between_slots = 10;
+  /// Fault hardening (armed only when a channel model is attached to the
+  /// protocol network): a neighbor silent for this many consecutive rounds
+  /// is presumed crashed and evicted from the collision bookkeeping; its
+  /// next announcement re-admits it (recovery).  Announcements then also
+  /// carry a version word so duplicated or delayed copies of an old color
+  /// cannot trigger spurious re-picks.  0 disables silence detection.
+  int silence_timeout = 64;
 };
 
 class ColorwaveScheduler final : public sched::OneShotScheduler {
@@ -73,10 +80,20 @@ class ColorwaveScheduler final : public sched::OneShotScheduler {
   /// and by the k-coloring channel baseline built on this protocol).
   void runProtocol(int rounds) { advance(rounds); }
 
+  /// Forwards a fault channel model to the long-lived protocol network;
+  /// node programs arm their silence-eviction / stale-filter hardening.
+  void attachChannel(fault::ChannelModel* channel) override;
+
   /// Current color per node (diagnostics / tests).
   std::vector<int> colors() const;
   /// True iff the current coloring is proper on the interference graph.
   bool converged() const;
+  /// Proper on the subgraph of nodes alive in the channel's current slot
+  /// (all nodes when no channel is attached) — the honest convergence
+  /// criterion once readers can crash: dead readers do not transmit.
+  bool convergedAmongAlive() const;
+  /// Total neighbor evictions by silence detection (diagnostics / tests).
+  int evictedNeighborLinks() const;
 
   struct Stats {
     std::int64_t protocol_rounds = 0;

@@ -17,6 +17,12 @@ enum MsgType : int { kInfo = 1, kResult = 2 };
 
 // INFO payload: [origin, weight, ttl, deg, neighbors..., ntags, tags...]
 // RESULT payload: [head, ttl, |gamma|, gamma..., |removed|, removed...]
+//
+// On a lossy substrate (fault channel attached) INFO carries an extra epoch
+// word after ttl: [origin, weight, ttl, epoch, deg, ...].  Epoch 0 is the
+// initial flood; a blocked node re-floods with a bumped epoch, and relays
+// forward any epoch newer than the last one they saw from that origin, so
+// retries re-propagate through nodes that already hold the record.
 
 struct InfoRecord {
   int weight = 0;
@@ -42,8 +48,9 @@ class GrowthNode final : public NodeProgram {
   }
 
   void init(Context& ctx) override {
+    lossy_ = ctx.lossy();
     const InfoRecord& mine = info_.at(self_);
-    ctx.broadcast(kInfo, encodeInfo(self_, weight_, collectRadius(),
+    ctx.broadcast(kInfo, encodeInfo(self_, weight_, collectRadius(), 0,
                                     mine.neighbors, mine.tags));
   }
 
@@ -63,6 +70,13 @@ class GrowthNode final : public NodeProgram {
     if (state_ == NodeState::kWhite && !fired_ &&
         ctx.round() >= collectRadius() + delay) {
       maybeBecomeHead(ctx);
+      // Still White after the check means a rival we cannot hear from holds
+      // headship over us; on a lossy substrate that silence may be a crash
+      // or a dropped RESULT, so the blocked-retry/eviction clock runs.
+      if (lossy_ && opt_.retry_patience > 0 && state_ == NodeState::kWhite &&
+          !fired_) {
+        handleBlocked(ctx);
+      }
     }
   }
 
@@ -72,18 +86,21 @@ class GrowthNode final : public NodeProgram {
   bool wasHead() const { return fired_; }
   int rbar() const { return rbar_; }
   std::int64_t bnbNodes() const { return bnb_nodes_; }
+  int infoRetries() const { return retries_total_; }
+  int evictions() const { return evictions_; }
 
  private:
   int collectRadius() const { return 2 * opt_.c + 2; }
 
-  static std::vector<int> encodeInfo(int origin, int weight, int ttl,
-                                     const std::vector<int>& neighbors,
-                                     const std::vector<int>& tags) {
+  std::vector<int> encodeInfo(int origin, int weight, int ttl, int epoch,
+                              const std::vector<int>& neighbors,
+                              const std::vector<int>& tags) const {
     std::vector<int> d;
-    d.reserve(4 + neighbors.size() + 1 + tags.size());
+    d.reserve(5 + neighbors.size() + 1 + tags.size());
     d.push_back(origin);
     d.push_back(weight);
     d.push_back(ttl);
+    if (lossy_) d.push_back(epoch);
     d.push_back(static_cast<int>(neighbors.size()));
     d.insert(d.end(), neighbors.begin(), neighbors.end());
     d.push_back(static_cast<int>(tags.size()));
@@ -96,7 +113,29 @@ class GrowthNode final : public NodeProgram {
     const int origin = m.data[p++];
     const int w = m.data[p++];
     const int ttl = m.data[p++];
-    if (info_.count(origin) != 0) return;  // already known; drop duplicate
+    const int epoch = lossy_ ? m.data[p++] : 0;
+    if (info_.count(origin) != 0) {
+      if (!lossy_) return;  // already known; drop duplicate
+      // Known origin: a newer epoch is a retry from a live but stuck node.
+      // Forward it (relays already hold the record, so the initial-flood
+      // dedup would otherwise smother the retry), answer it if we are a
+      // fired head (our RESULT may be exactly what the origin lost), and
+      // treat it as proof of life for an evicted rival.
+      auto& last_epoch = info_epoch_[origin];
+      if (epoch <= last_epoch) return;
+      last_epoch = epoch;
+      evicted_.erase(origin);
+      blocked_rounds_ = 0;
+      if (fired_ && origin != self_ && !result_payload_.empty()) {
+        ctx.broadcast(kResult, result_payload_);
+      }
+      if (ttl > 1) {
+        const InfoRecord& rec = info_.at(origin);
+        ctx.broadcast(kInfo, encodeInfo(origin, rec.weight, ttl - 1, epoch,
+                                        rec.neighbors, rec.tags));
+      }
+      return;
+    }
     InfoRecord rec;
     rec.weight = w;
     const int deg = m.data[p++];
@@ -107,8 +146,12 @@ class GrowthNode final : public NodeProgram {
     rec.tags.assign(m.data.begin() + static_cast<std::ptrdiff_t>(p),
                     m.data.begin() + static_cast<std::ptrdiff_t>(p + static_cast<std::size_t>(ntags)));
     info_.emplace(origin, std::move(rec));
+    if (lossy_) {
+      info_epoch_[origin] = epoch;
+      blocked_rounds_ = 0;
+    }
     if (ttl > 1) {
-      ctx.broadcast(kInfo, encodeInfo(origin, w, ttl - 1,
+      ctx.broadcast(kInfo, encodeInfo(origin, w, ttl - 1, epoch,
                                       info_.at(origin).neighbors,
                                       info_.at(origin).tags));
     }
@@ -118,6 +161,7 @@ class GrowthNode final : public NodeProgram {
     std::size_t p = 0;
     const int head = m.data[p++];
     const int ttl = m.data[p++];
+    blocked_rounds_ = 0;  // any RESULT traffic is protocol progress
     if (seen_results_.count(head) != 0) return;
     seen_results_.insert(head);
     const int ng = m.data[p++];
@@ -182,15 +226,55 @@ class GrowthNode final : public NodeProgram {
     // rivals in other interference-graph components — but close enough to
     // RRc-collide — are visible here and serialize instead of firing
     // concurrently.
+    if (blockingRival() >= 0) return;  // a larger White rival exists; defer
+    becomeHead(ctx);
+  }
+
+  /// The strict (weight, id) maximum among known White rivals that outrank
+  /// this node, or -1 when none does (then this node may fire).  Rivals
+  /// evicted by the retry clock are skipped — they are presumed crashed.
+  int blockingRival() const {
+    int best = -1;
+    std::pair<int, int> best_key{weight_, self_};
     for (const auto& [u, rec] : info_) {
       if (u == self_) continue;
-      if (rec.weight == 0) continue;        // idle relay, never a rival
+      if (rec.weight == 0) continue;         // idle relay, never a rival
       if (removed_.count(u) != 0) continue;  // no longer White
-      if (std::pair(rec.weight, u) > std::pair(weight_, self_)) {
-        return;  // a larger White rival exists; defer
+      if (evicted_.count(u) != 0) continue;  // presumed crashed
+      if (std::pair(rec.weight, u) > best_key) {
+        best = u;
+        best_key = {rec.weight, u};
       }
     }
-    becomeHead(ctx);
+    return best;
+  }
+
+  /// Lossy-mode liveness: a White node stuck behind a silent rival re-floods
+  /// its INFO with a bumped epoch (patience doubles per retry); fired heads
+  /// answer such retries by re-flooding their RESULT.  When the retry budget
+  /// is spent the rival is evicted from headship consideration, so the
+  /// strict (weight, id) order over the *live* nodes keeps making progress
+  /// and quiescence cannot deadlock on a crashed coordinator.
+  void handleBlocked(Context& ctx) {
+    ++blocked_rounds_;
+    const int patience = opt_.retry_patience << std::min(retries_, 8);
+    if (blocked_rounds_ < patience) return;
+    blocked_rounds_ = 0;
+    if (retries_ < opt_.max_retries) {
+      ++retries_;
+      ++retries_total_;
+      ++epoch_;
+      const InfoRecord& mine = info_.at(self_);
+      ctx.broadcast(kInfo, encodeInfo(self_, weight_, collectRadius(), epoch_,
+                                      mine.neighbors, mine.tags));
+      return;
+    }
+    const int rival = blockingRival();
+    if (rival >= 0) {
+      evicted_.insert(rival);
+      ++evictions_;
+    }
+    retries_ = 0;  // fresh retry budget against the next blocker, if any
   }
 
   void becomeHead(Context& ctx) {
@@ -246,6 +330,10 @@ class GrowthNode final : public NodeProgram {
     d.insert(d.end(), gamma.begin(), gamma.end());
     d.push_back(static_cast<int>(removed.size()));
     d.insert(d.end(), removed.begin(), removed.end());
+    // Keep the flood payload around on a lossy substrate: an epoch'd INFO
+    // retry from a node our wave never reached gets answered with exactly
+    // this message (targeted recovery instead of a timed rebroadcast).
+    if (lossy_) result_payload_ = d;
     ctx.broadcast(kResult, d);
   }
 
@@ -298,6 +386,16 @@ class GrowthNode final : public NodeProgram {
   std::unordered_set<int> removed_;
   std::unordered_set<int> selected_;
   std::unordered_set<int> seen_results_;
+  // Fault hardening state (touched only on a lossy substrate).
+  bool lossy_ = false;
+  int epoch_ = 0;
+  int blocked_rounds_ = 0;
+  int retries_ = 0;
+  int retries_total_ = 0;
+  int evictions_ = 0;
+  std::vector<int> result_payload_;
+  std::unordered_map<int, int> info_epoch_;
+  std::unordered_set<int> evicted_;
 };
 
 }  // namespace
@@ -340,6 +438,7 @@ sched::OneShotResult GrowthDistributedScheduler::schedule(
 
   Network net(*comm_, std::move(programs));
   net.attachObs(metrics_, trace_);
+  net.attachChannel(channel_);
   const Network::RunStats run = net.run(opt_.max_rounds);
   stats_.rounds = run.rounds;
   stats_.messages = run.messages;
@@ -356,6 +455,12 @@ sched::OneShotResult GrowthDistributedScheduler::schedule(
       ++stats_.heads;
       stats_.max_rbar = std::max(stats_.max_rbar, node.rbar());
     }
+    stats_.info_retries += node.infoRetries();
+    stats_.evicted_rivals += node.evictions();
+  }
+  if (metrics_ != nullptr && channel_ != nullptr) {
+    metrics_->counter("fault.sched.info_retries").add(stats_.info_retries);
+    metrics_->counter("fault.sched.evicted_rivals").add(stats_.evicted_rivals);
   }
   recordScheduleMetrics(bnb_nodes, stats_.heads);
   return {X, sys.weight(X)};

@@ -51,6 +51,16 @@ struct DistributedGrowthOptions {
   /// scheduler advances the salt every slot, which prevents two slots from
   /// deadlocking on the identical simultaneous-coordinator pattern.
   std::uint64_t salt = 0;
+  /// Fault hardening (armed only when a channel model is attached).  A
+  /// White node blocked on a higher-weight rival whose RESULT never
+  /// arrives — crashed mid-protocol, or the flood was dropped — re-floods
+  /// its INFO after `retry_patience` blocked rounds (backoff doubles per
+  /// retry); heads answer retries by re-flooding their RESULT.  After
+  /// `max_retries` unanswered retries the silent rival is evicted from
+  /// headship consideration, so some live node always fires and the
+  /// quiescence detector cannot deadlock.  retry_patience 0 disables.
+  int retry_patience = 16;
+  int max_retries = 3;
 };
 
 class GrowthDistributedScheduler final : public sched::OneShotScheduler {
@@ -62,6 +72,11 @@ class GrowthDistributedScheduler final : public sched::OneShotScheduler {
   std::string name() const override { return "Alg3"; }
   sched::OneShotResult schedule(const core::System& sys) override;
 
+  /// Forwards a fault channel model to the per-slot protocol networks.
+  void attachChannel(fault::ChannelModel* channel) override {
+    channel_ = channel;
+  }
+
   struct Stats {
     int rounds = 0;
     std::int64_t messages = 0;
@@ -69,12 +84,16 @@ class GrowthDistributedScheduler final : public sched::OneShotScheduler {
     int heads = 0;       // coordinators that fired
     int max_rbar = 0;    // largest Γ radius across heads
     bool quiesced = false;
+    // Fault-hardening activity (zero on a clean substrate).
+    int info_retries = 0;    // blocked-node INFO re-floods
+    int evicted_rivals = 0;  // rivals presumed crashed and skipped
   };
   const Stats& lastStats() const { return stats_; }
 
  private:
   const graph::InterferenceGraph* graph_;
   DistributedGrowthOptions opt_;
+  fault::ChannelModel* channel_ = nullptr;
   Stats stats_;
   /// Sensing graph used as the message topology; built lazily from the
   /// first schedule() call's System and reused across slots.

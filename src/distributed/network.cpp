@@ -16,6 +16,8 @@ void Context::broadcast(int type, const std::vector<int>& data) {
   for (const int u : neighbors_) net_->enqueue({self_, u, type, data});
 }
 
+bool Context::lossy() const { return net_->channel_ != nullptr; }
+
 Network::Network(const graph::InterferenceGraph& topology,
                  std::vector<std::unique_ptr<NodeProgram>> programs)
     : topology_(&topology), programs_(std::move(programs)) {
@@ -23,9 +25,30 @@ Network::Network(const graph::InterferenceGraph& topology,
 }
 
 void Network::enqueue(Message m) {
-  stats_.messages += 1;
-  stats_.payload_words += static_cast<std::int64_t>(m.data.size());
-  in_flight_.push_back(std::move(m));
+  if (channel_ == nullptr) {
+    stats_.messages += 1;
+    stats_.payload_words += static_cast<std::int64_t>(m.data.size());
+    in_flight_.push_back(std::move(m));
+    return;
+  }
+  std::vector<int> delays;
+  channel_->onSend(m.from, m.to, delays);
+  if (delays.empty()) {
+    ++stats_.dropped;
+    return;
+  }
+  stats_.messages += static_cast<std::int64_t>(delays.size());
+  stats_.payload_words += static_cast<std::int64_t>(delays.size()) *
+                          static_cast<std::int64_t>(m.data.size());
+  stats_.duplicated += static_cast<std::int64_t>(delays.size()) - 1;
+  for (const int extra : delays) {
+    if (extra <= 0) {
+      in_flight_.push_back(m);
+    } else {
+      ++stats_.delayed;
+      delayed_.push_back({extra, m});
+    }
+  }
 }
 
 void Network::attachObs(obs::MetricsRegistry* metrics, obs::TraceSink* trace) {
@@ -34,28 +57,56 @@ void Network::attachObs(obs::MetricsRegistry* metrics, obs::TraceSink* trace) {
 }
 
 Network::RunStats Network::run(int max_rounds) {
+  // Carry the channel counters' per-run slice cleanly: stats_ resets here,
+  // but in_flight_/delayed_ may hold leftovers from a capped previous run
+  // (long-lived protocol networks call run() repeatedly).
   stats_ = {};
   const int n = numNodes();
 
-  // init(): programs may queue their first broadcasts.
+  // init(): programs may queue their first broadcasts.  Crashed nodes do
+  // not boot.
   for (int v = 0; v < n; ++v) {
+    if (channel_ != nullptr && channel_->nodeDown(v)) continue;
     Context ctx(*this, v, -1, topology_->neighbors(v));
     programs_[static_cast<std::size_t>(v)]->init(ctx);
   }
 
   std::vector<std::vector<Message>> inbox(static_cast<std::size_t>(n));
   for (int round = 0; round < max_rounds; ++round) {
-    // Deliver everything sent last round.
+    // Deliver everything sent last round plus delayed copies now due.
     for (auto& box : inbox) box.clear();
     std::vector<Message> deliveries;
     deliveries.swap(in_flight_);
+    if (!delayed_.empty()) {
+      auto due = delayed_.begin();
+      for (auto it = delayed_.begin(); it != delayed_.end(); ++it) {
+        // A copy with `rounds_left` extra rounds arrives that many rounds
+        // *after* the normal one-round latency: deliver once the counter
+        // goes negative, not when it reaches zero.
+        if (--it->rounds_left < 0) {
+          deliveries.push_back(std::move(it->msg));
+        } else {
+          // Guard the no-op case: self-move-assignment empties the payload.
+          if (due != it) *due = std::move(*it);
+          ++due;
+        }
+      }
+      delayed_.erase(due, delayed_.end());
+    }
     const std::size_t delivered = deliveries.size();
     for (Message& m : deliveries) {
+      if (channel_ != nullptr && channel_->nodeDown(m.to)) {
+        ++stats_.dead_drops;
+        continue;
+      }
       inbox[static_cast<std::size_t>(m.to)].push_back(std::move(m));
     }
 
+    // Crashed nodes neither execute nor block quiescence: a program that
+    // can never act again must not deadlock the rest of the network.
     bool all_done = true;
     for (int v = 0; v < n; ++v) {
+      if (channel_ != nullptr && channel_->nodeDown(v)) continue;
       Context ctx(*this, v, round, topology_->neighbors(v));
       programs_[static_cast<std::size_t>(v)]->onRound(ctx, inbox[static_cast<std::size_t>(v)]);
       all_done = all_done && programs_[static_cast<std::size_t>(v)]->isDone();
@@ -68,10 +119,13 @@ Network::RunStats Network::run(int max_rounds) {
           {{"round", static_cast<double>(round)},
            {"delivered", static_cast<double>(delivered)},
            {"in_flight", static_cast<double>(in_flight_.size())},
-           {"done", all_done && in_flight_.empty() ? 1.0 : 0.0}});
+           {"done", all_done && in_flight_.empty() && delayed_.empty() ? 1.0
+                                                                       : 0.0}});
     }
 
-    if (all_done && in_flight_.empty()) {
+    // Quiescence needs the delayed queue empty too: a duplicated or
+    // delayed copy is still on the wire even when every program is done.
+    if (all_done && in_flight_.empty() && delayed_.empty()) {
       stats_.all_done = true;
       break;
     }
@@ -80,6 +134,10 @@ Network::RunStats Network::run(int max_rounds) {
   totals_.rounds += stats_.rounds;
   totals_.messages += stats_.messages;
   totals_.payload_words += stats_.payload_words;
+  totals_.dropped += stats_.dropped;
+  totals_.duplicated += stats_.duplicated;
+  totals_.delayed += stats_.delayed;
+  totals_.dead_drops += stats_.dead_drops;
   totals_.all_done = stats_.all_done;
   if (metrics_ != nullptr) {
     metrics_->counter("net.rounds").add(stats_.rounds);
@@ -89,6 +147,21 @@ Network::RunStats Network::run(int max_rounds) {
         .set(static_cast<double>(stats_.rounds));
     metrics_->gauge("net.converged_round")
         .set(stats_.all_done ? static_cast<double>(stats_.rounds) : -1.0);
+    if (channel_ != nullptr) {
+      metrics_->counter("fault.net.dropped").add(stats_.dropped);
+      metrics_->counter("fault.net.duplicated").add(stats_.duplicated);
+      metrics_->counter("fault.net.delayed").add(stats_.delayed);
+      metrics_->counter("fault.net.dead_drops").add(stats_.dead_drops);
+    }
+  }
+  if (trace_ != nullptr && channel_ != nullptr &&
+      stats_.dropped + stats_.duplicated + stats_.delayed + stats_.dead_drops >
+          0) {
+    trace_->instant(obs::EventKind::kFault, "fault.net",
+                    {{"dropped", static_cast<double>(stats_.dropped)},
+                     {"duplicated", static_cast<double>(stats_.duplicated)},
+                     {"delayed", static_cast<double>(stats_.delayed)},
+                     {"dead_drops", static_cast<double>(stats_.dead_drops)}});
   }
   return stats_;
 }

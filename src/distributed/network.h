@@ -12,6 +12,12 @@
 // programs see their own id, their neighbor list, and their inbox.  Nothing
 // else.  Any global scan in a node program is a bug, and the tests enforce
 // delivery discipline (messages only along edges, one-round latency).
+//
+// An optional fault::ChannelModel (attachChannel) makes the substrate
+// lossy: sends may be dropped, duplicated, or delayed extra rounds, and
+// nodes crashed by the fault plan neither execute nor receive.  Quiescence
+// then also requires the delayed queue to drain — a delayed copy still in
+// the pipe is in flight even if every live program is done.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/channel_model.h"
 #include "graph/interference_graph.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -47,6 +54,12 @@ class Context {
 
   /// Sends the same message to every neighbor.
   void broadcast(int type, const std::vector<int>& data);
+
+  /// True when a channel model is attached: links may lose, duplicate, or
+  /// delay messages and neighbors may be crashed.  Node programs use this
+  /// to arm their timeout/retry hardening (and to extend their wire format)
+  /// only when faults are possible, so fault-free runs stay bit-identical.
+  bool lossy() const;
 
  private:
   friend class Network;
@@ -86,10 +99,17 @@ class Network {
     std::int64_t messages = 0;      // message-hops delivered
     std::int64_t payload_words = 0; // total ints carried
     bool all_done = false;
+    // Channel-model accounting; all zero unless a channel is attached.
+    std::int64_t dropped = 0;     // sends lost on the wire
+    std::int64_t duplicated = 0;  // extra copies delivered
+    std::int64_t delayed = 0;     // copies deferred past one-round latency
+    std::int64_t dead_drops = 0;  // deliveries discarded at a crashed node
   };
 
-  /// Runs until quiescence (all programs done, no messages in flight) or
-  /// `max_rounds`.
+  /// Runs until quiescence (all live programs done, no messages in flight
+  /// or delayed) or `max_rounds`.  Crashed nodes — per the attached channel
+  /// model — neither execute nor receive, and count as done: a dead
+  /// neighbor can never block quiescence.
   RunStats run(int max_rounds);
 
   /// Lifetime totals across every run() on this network (run() returns the
@@ -104,6 +124,15 @@ class Network {
   /// event carrying delivered/in-flight message counts.
   void attachObs(obs::MetricsRegistry* metrics, obs::TraceSink* trace);
 
+  /// Attaches a channel model (nullptr detaches).  With one attached every
+  /// send consults it for drop/duplicate/delay fates, crashed nodes stop
+  /// executing, and each run() additionally reports the counters
+  /// `fault.net.dropped` / `fault.net.duplicated` / `fault.net.delayed` /
+  /// `fault.net.dead_drops` plus one kFault trace event when any fault
+  /// fired.  Detached networks skip all of it.
+  void attachChannel(fault::ChannelModel* channel) { channel_ = channel; }
+  fault::ChannelModel* channel() const { return channel_; }
+
   NodeProgram& program(int v) { return *programs_[static_cast<std::size_t>(v)]; }
   const NodeProgram& program(int v) const { return *programs_[static_cast<std::size_t>(v)]; }
   int numNodes() const { return topology_->numNodes(); }
@@ -112,13 +141,20 @@ class Network {
   friend class Context;
   void enqueue(Message m);
 
+  struct Delayed {
+    int rounds_left = 0;  // rounds beyond the normal one-round latency
+    Message msg;
+  };
+
   const graph::InterferenceGraph* topology_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<Message> in_flight_;   // sent this round, delivered next
+  std::vector<Delayed> delayed_;     // channel-deferred, drained by run()
   RunStats stats_;
   RunStats totals_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  fault::ChannelModel* channel_ = nullptr;
 };
 
 }  // namespace rfid::dist

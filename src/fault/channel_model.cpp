@@ -1,0 +1,35 @@
+#include "fault/channel_model.h"
+
+#include "workload/rng.h"
+
+namespace rfid::fault {
+
+double ChannelModel::draw(std::uint64_t salt) {
+  return hashU01(workload::splitmix64(
+      workload::deriveSeed(plan_->seed(), "fault-channel", seq_) ^
+      workload::splitmix64(salt)));
+}
+
+void ChannelModel::onSend(int from, int to, std::vector<int>& delays_out) {
+  const LinkFaults& lf = plan_->link(from, to);
+  ++seq_;  // one fate per send, consumed even on clean links
+  if (lf.zero()) {
+    delays_out.push_back(0);
+    return;
+  }
+  if (lf.drop > 0.0 && draw(1) < lf.drop) return;  // whole send lost
+  const int copies = 1 + (lf.dup > 0.0 && draw(2) < lf.dup ? 1 : 0);
+  for (int c = 0; c < copies; ++c) {
+    int extra = 0;
+    if (lf.delay > 0.0 && lf.max_delay > 0 &&
+        draw(3 + 2 * static_cast<std::uint64_t>(c)) < lf.delay) {
+      extra = 1 + static_cast<int>(
+                      draw(4 + 2 * static_cast<std::uint64_t>(c)) *
+                      static_cast<double>(lf.max_delay));
+      if (extra > lf.max_delay) extra = lf.max_delay;
+    }
+    delays_out.push_back(extra);
+  }
+}
+
+}  // namespace rfid::fault

@@ -1,0 +1,55 @@
+// channel_model.h — per-message fate decisions for dist::Network.
+//
+// A ChannelModel turns a FaultPlan's link probabilities and crash script
+// into concrete deliveries: each send becomes zero or more copies, each
+// with an extra delivery delay.  The network attaches one via
+// Network::attachChannel(); detached networks pay nothing and behave
+// bit-identically to the pre-fault simulator.
+//
+// Crash state is indexed by MCS time-slot, not network round: the MCS
+// driver (or whoever owns the schedule) calls setSlot() as the schedule
+// advances, and every protocol round inside that slot sees the same set of
+// dead readers — a crashed reader neither executes nor receives.
+//
+// Determinism: fates hash (plan seed, monotone send sequence number).  The
+// network is single-threaded and enqueues in a fixed order, so the same
+// plan and the same traffic produce the same fates on every run and at any
+// sweep thread count (models are per-run objects, never shared).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace rfid::fault {
+
+class ChannelModel {
+ public:
+  /// `plan` must outlive the model.
+  explicit ChannelModel(const FaultPlan& plan) : plan_(&plan) {}
+
+  const FaultPlan& plan() const { return *plan_; }
+
+  /// Current MCS time-slot; drives crash state for nodeDown().
+  void setSlot(int slot) { slot_ = slot; }
+  int slot() const { return slot_; }
+
+  /// True when `node` is crashed in the current slot.  Down nodes do not
+  /// run, do not send, and deliveries to them are discarded.
+  bool nodeDown(int node) const { return plan_->crashed(node, slot_); }
+
+  /// Decides the fate of one send from `from` to `to`: appends one entry
+  /// per delivered copy, each the number of extra rounds beyond the normal
+  /// one-round latency (0 = on time).  Appending nothing drops the send.
+  void onSend(int from, int to, std::vector<int>& delays_out);
+
+ private:
+  double draw(std::uint64_t salt);
+
+  const FaultPlan* plan_;
+  int slot_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace rfid::fault

@@ -1,0 +1,262 @@
+#include "fault/fault_plan.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "workload/rng.h"
+
+namespace rfid::fault {
+
+double hashU01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultPlan::addCrash(int reader, int start_slot, int end_slot, bool loud) {
+  CrashInterval ci;
+  ci.reader = reader;
+  ci.start = start_slot;
+  ci.end = end_slot < 0 ? CrashInterval::kForever : end_slot;
+  ci.loud = loud;
+  crashes_.push_back(ci);
+}
+
+void FaultPlan::setLink(int from, int to, const LinkFaults& lf) {
+  link_overrides_[{from, to}] = lf;
+}
+
+void FaultPlan::setSlotMissRate(int slot, double p) {
+  miss_overrides_[slot] = p;
+}
+
+bool FaultPlan::empty() const {
+  return crashes_.empty() && link_default_.zero() && link_overrides_.empty() &&
+         miss_default_ == 0.0 && miss_overrides_.empty();
+}
+
+bool FaultPlan::crashed(int reader, int slot) const {
+  for (const CrashInterval& ci : crashes_) {
+    if (ci.reader == reader && slot >= ci.start && slot < ci.end) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::loud(int reader, int slot) const {
+  for (const CrashInterval& ci : crashes_) {
+    if (ci.reader == reader && ci.loud && slot >= ci.start && slot < ci.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::permanentlyDead(int reader, int slot) const {
+  // Dead at `slot` and at every later slot: some interval must cover
+  // [slot, forever).  Intervals are few; scan for a forever interval that
+  // has started, since finite intervals always recover.
+  for (const CrashInterval& ci : crashes_) {
+    if (ci.reader == reader && ci.end == CrashInterval::kForever &&
+        slot >= ci.start) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::hasPermanentDeaths() const {
+  for (const CrashInterval& ci : crashes_) {
+    if (ci.end == CrashInterval::kForever) return true;
+  }
+  return false;
+}
+
+const LinkFaults& FaultPlan::link(int from, int to) const {
+  const auto it = link_overrides_.find({from, to});
+  return it != link_overrides_.end() ? it->second : link_default_;
+}
+
+bool FaultPlan::hasLinkFaults() const {
+  if (!link_default_.zero()) return true;
+  for (const auto& [key, lf] : link_overrides_) {
+    if (!lf.zero()) return true;
+  }
+  return false;
+}
+
+double FaultPlan::missRate(int slot) const {
+  const auto it = miss_overrides_.find(slot);
+  return it != miss_overrides_.end() ? it->second : miss_default_;
+}
+
+bool FaultPlan::hasMissFaults() const {
+  if (miss_default_ > 0.0) return true;
+  for (const auto& [slot, p] : miss_overrides_) {
+    if (p > 0.0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::drawMiss(int slot, int tag) const {
+  const double p = missRate(slot);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const std::uint64_t site =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  const std::uint64_t h = workload::splitmix64(
+      workload::deriveSeed(seed_, "fault-miss") ^ workload::splitmix64(site));
+  return hashU01(h) < p;
+}
+
+namespace {
+
+bool fail(std::string* err, int line_no, const std::string& why) {
+  if (err != nullptr) {
+    *err = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+bool parseProb(std::istringstream& is, double& p) {
+  return static_cast<bool>(is >> p) && p >= 0.0 && p <= 1.0;
+}
+
+/// Parses one spec line into `plan`; false (with `*err` set) on error.
+bool parseLine(FaultPlan& plan, const std::string& line, int line_no,
+               std::string* err) {
+  std::istringstream is(line);
+  std::string word;
+  if (!(is >> word) || word[0] == '#') return true;  // blank or comment
+
+  const auto trailing = [&is]() {
+    std::string rest;
+    return static_cast<bool>(is >> rest);
+  };
+
+  if (word == "seed") {
+    std::uint64_t s = 0;
+    if (!(is >> s) || trailing()) return fail(err, line_no, "usage: seed N");
+    plan.setSeed(s);
+    return true;
+  }
+  if (word == "crash") {
+    int reader = -1, start = -1;
+    std::string end_word, loud_word;
+    if (!(is >> reader >> start >> end_word) || reader < 0 || start < 0) {
+      return fail(err, line_no, "usage: crash READER START END|- [loud]");
+    }
+    int end = -1;
+    if (end_word != "-") {
+      try {
+        end = std::stoi(end_word);
+      } catch (...) {
+        return fail(err, line_no, "crash END must be an integer or '-'");
+      }
+      if (end <= start) return fail(err, line_no, "crash needs END > START");
+    }
+    bool loud = false;
+    if (is >> loud_word) {
+      if (loud_word != "loud") {
+        return fail(err, line_no, "unknown crash modifier: " + loud_word);
+      }
+      loud = true;
+    }
+    if (trailing()) return fail(err, line_no, "trailing tokens after crash");
+    plan.addCrash(reader, start, end, loud);
+    return true;
+  }
+  if (word == "drop" || word == "dup" || word == "delay") {
+    // Global link defaults accumulate across lines.
+    LinkFaults lf = plan.linkDefaults();
+    double p = 0.0;
+    if (!parseProb(is, p)) {
+      return fail(err, line_no, word + " needs a probability in [0, 1]");
+    }
+    if (word == "drop") lf.drop = p;
+    else if (word == "dup") lf.dup = p;
+    else {
+      int k = 0;
+      if (!(is >> k) || k < 1) {
+        return fail(err, line_no, "usage: delay P MAX_ROUNDS (MAX >= 1)");
+      }
+      lf.delay = p;
+      lf.max_delay = k;
+    }
+    if (trailing()) return fail(err, line_no, "trailing tokens after " + word);
+    plan.setLinkDefaults(lf);
+    return true;
+  }
+  if (word == "link") {
+    int from = -1, to = -1;
+    std::string kind;
+    if (!(is >> from >> to >> kind) || from < 0 || to < 0) {
+      return fail(err, line_no, "usage: link FROM TO drop|dup|delay ...");
+    }
+    LinkFaults lf = plan.link(from, to);
+    double p = 0.0;
+    if (!parseProb(is, p)) {
+      return fail(err, line_no, "link " + kind + " needs a probability");
+    }
+    if (kind == "drop") lf.drop = p;
+    else if (kind == "dup") lf.dup = p;
+    else if (kind == "delay") {
+      int k = 0;
+      if (!(is >> k) || k < 1) {
+        return fail(err, line_no, "link delay needs MAX_ROUNDS >= 1");
+      }
+      lf.delay = p;
+      lf.max_delay = k;
+    } else {
+      return fail(err, line_no, "unknown link fault: " + kind);
+    }
+    if (trailing()) return fail(err, line_no, "trailing tokens after link");
+    plan.setLink(from, to, lf);
+    return true;
+  }
+  if (word == "miss") {
+    double p = 0.0;
+    if (!parseProb(is, p) || trailing()) {
+      return fail(err, line_no, "usage: miss P with P in [0, 1]");
+    }
+    plan.setMissRate(p);
+    return true;
+  }
+  if (word == "miss-slot") {
+    int slot = -1;
+    double p = 0.0;
+    if (!(is >> slot) || slot < 0 || !parseProb(is, p) || trailing()) {
+      return fail(err, line_no, "usage: miss-slot SLOT P");
+    }
+    plan.setSlotMissRate(slot, p);
+    return true;
+  }
+  return fail(err, line_no, "unknown directive: " + word);
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view text,
+                                          std::string* err) {
+  FaultPlan plan;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!parseLine(plan, line, line_no, err)) return std::nullopt;
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::loadFile(const std::string& path,
+                                             std::string* err) {
+  std::ifstream is(path);
+  if (!is) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse(buf.str(), err);
+}
+
+}  // namespace rfid::fault

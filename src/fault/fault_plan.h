@@ -1,0 +1,127 @@
+// fault_plan.h — deterministic, seed-driven fault scripts (docs/faults.md).
+//
+// The paper's schedules assume ideal hardware: every reader stays up, every
+// message of the §V-B substrate arrives, every activation slot executes.  A
+// FaultPlan scripts the opposite — per-reader crash/recovery intervals
+// (indexed by MCS time-slot), per-link message drop/duplicate/delay
+// probabilities for dist::Network, and per-slot interrogation miss rates —
+// so benches, tests, and the CLI can replay the exact same failure scenario.
+//
+// Everything stochastic is derived by hashing (plan seed, site), never by
+// consuming a shared stream, so draws are independent of evaluation order:
+// the same plan produces byte-identical fault.* metrics at any --jobs value
+// (the PR-1 determinism discipline).
+//
+// A default-constructed plan is all-zero; consumers check empty() and skip
+// the fault paths entirely, keeping no-fault runs bit-identical to the
+// pre-fault library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfid::fault {
+
+/// Per-link loss model.  Probabilities are independent per transmission:
+/// `drop` loses the whole send, otherwise `dup` delivers one extra copy and
+/// each delivered copy is deferred `1..max_delay` extra rounds with
+/// probability `delay`.
+struct LinkFaults {
+  double drop = 0.0;
+  double dup = 0.0;
+  double delay = 0.0;
+  int max_delay = 0;
+
+  bool zero() const {
+    return drop == 0.0 && dup == 0.0 && (delay == 0.0 || max_delay == 0);
+  }
+};
+
+/// A reader outage: crashed for slots in [start, end).  `end == kForever`
+/// (spelled `-` in the text spec) never recovers.  A "loud" failure keeps
+/// the transmitter stuck on: the reader still jams its interference disk
+/// while crashed, it just reads nothing.
+struct CrashInterval {
+  static constexpr int kForever = std::numeric_limits<int>::max();
+
+  int reader = -1;
+  int start = 0;
+  int end = kForever;
+  bool loud = false;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // ---- programmatic construction ----
+
+  void setSeed(std::uint64_t seed) { seed_ = seed; }
+  /// `end_slot < 0` means forever.
+  void addCrash(int reader, int start_slot, int end_slot, bool loud = false);
+  void setLinkDefaults(const LinkFaults& lf) { link_default_ = lf; }
+  /// Directed override for messages from `from` to `to`.
+  void setLink(int from, int to, const LinkFaults& lf);
+  void setMissRate(double p) { miss_default_ = p; }
+  void setSlotMissRate(int slot, double p);
+
+  // ---- text spec (grammar in docs/faults.md) ----
+  //
+  //   seed N
+  //   crash READER START END|- [loud]
+  //   drop P | dup P | delay P MAX_ROUNDS
+  //   link FROM TO drop P | link FROM TO dup P | link FROM TO delay P MAX
+  //   miss P | miss-slot SLOT P
+  //
+  // '#' starts a comment; blank lines are ignored.  Returns std::nullopt on
+  // any malformed or out-of-range line and names it in `*err`.
+  static std::optional<FaultPlan> parse(std::string_view text,
+                                        std::string* err = nullptr);
+  static std::optional<FaultPlan> loadFile(const std::string& path,
+                                           std::string* err = nullptr);
+
+  // ---- queries ----
+
+  std::uint64_t seed() const { return seed_; }
+  /// True for the all-zero plan — consumers skip every fault path, so a
+  /// run with an empty plan is bit-identical to a run with no plan.
+  bool empty() const;
+  const std::vector<CrashInterval>& crashes() const { return crashes_; }
+
+  bool crashed(int reader, int slot) const;
+  /// Crashed at `slot` by an interval that fails loud.
+  bool loud(int reader, int slot) const;
+  /// Crashed at `slot` and never recovers afterwards: the reader's tags are
+  /// orphaned from this slot on unless another reader covers them.
+  bool permanentlyDead(int reader, int slot) const;
+  bool hasPermanentDeaths() const;
+
+  const LinkFaults& link(int from, int to) const;
+  const LinkFaults& linkDefaults() const { return link_default_; }
+  bool hasLinkFaults() const;
+  double missRate(int slot) const;
+  bool hasMissFaults() const;
+
+  /// Deterministic interrogation-miss draw for (slot, tag): Bernoulli with
+  /// missRate(slot), hashed from the plan seed — order-independent.
+  bool drawMiss(int slot, int tag) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<CrashInterval> crashes_;
+  LinkFaults link_default_;
+  std::map<std::pair<int, int>, LinkFaults> link_overrides_;
+  double miss_default_ = 0.0;
+  std::map<int, double> miss_overrides_;
+};
+
+/// Maps a hash value to [0, 1) with 53-bit resolution; shared by the plan's
+/// draws and the channel model so all fault randomness lives on one idiom.
+double hashU01(std::uint64_t h);
+
+}  // namespace rfid::fault

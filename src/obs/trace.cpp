@@ -18,6 +18,7 @@ const char* eventKindName(EventKind k) {
     case EventKind::kMessage: return "message";
     case EventKind::kRound: return "round";
     case EventKind::kFrame: return "frame";
+    case EventKind::kFault: return "fault";
     case EventKind::kSpan: return "span";
   }
   return "span";

@@ -39,6 +39,7 @@ enum class EventKind {
   kMessage,     // network message traffic
   kRound,       // one synchronous network round completed
   kFrame,       // a link-layer protocol frame / walk resolved
+  kFault,       // an injected fault fired (crash, drop, miss, orphan)
   kSpan,        // generic timed span (ScopedTimer default)
 };
 

@@ -1,13 +1,72 @@
 #include "sched/mcs.h"
 
+#include <algorithm>
+
+#include "fault/channel_model.h"
+#include "fault/fault_plan.h"
 #include "obs/timer.h"
 
 namespace rfid::sched {
+
+namespace {
+
+/// Unread coverable tags no future slot can serve — waiting for them would
+/// only spin the stall counter.  Three ways a permanent (never-recovering)
+/// failure orphans a tag at `slot`:
+///   1. every coverer is permanently dead;
+///   2. the tag sits in a permanently-loud reader's interrogation disk, so
+///      its coverage multiplicity is >= 2 in every future slot (RRc);
+///   3. every coverer not permanently dead sits inside a permanently-loud
+///      reader's interference disk, i.e. is an RTc victim forever.
+int countOrphans(const core::System& sys, const fault::FaultPlan& plan,
+                 int slot) {
+  std::vector<char> jammed_tag(static_cast<std::size_t>(sys.numTags()), 0);
+  std::vector<char> victim(static_cast<std::size_t>(sys.numReaders()), 0);
+  for (int j = 0; j < sys.numReaders(); ++j) {
+    if (!plan.permanentlyDead(j, slot) || !plan.loud(j, slot)) continue;
+    for (const int t : sys.coverage(j)) {
+      jammed_tag[static_cast<std::size_t>(t)] = 1;
+    }
+    const core::Reader& jr = sys.reader(j);
+    const double rj2 = jr.interference_radius * jr.interference_radius;
+    for (int v = 0; v < sys.numReaders(); ++v) {
+      if (v != j && geom::dist2(sys.reader(v).pos, jr.pos) <= rj2) {
+        victim[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  int orphans = 0;
+  for (int t = 0; t < sys.numTags(); ++t) {
+    if (sys.isRead(t)) continue;
+    const std::span<const int> cov = sys.coverers(t);
+    if (cov.empty()) continue;
+    bool unservable = true;
+    if (jammed_tag[static_cast<std::size_t>(t)] == 0) {
+      for (const int v : cov) {
+        if (!plan.permanentlyDead(v, slot) &&
+            victim[static_cast<std::size_t>(v)] == 0) {
+          unservable = false;
+          break;
+        }
+      }
+    }
+    orphans += unservable ? 1 : 0;
+  }
+  return orphans;
+}
+
+}  // namespace
 
 McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
                               const McsOptions& opt) {
   McsResult res;
   res.uncoverable = sys.unreadCount() - sys.unreadCoverableCount();
+
+  // The whole fault machinery is gated on one flag: with no plan (or an
+  // all-zero one) every slot takes exactly the pre-fault sequence of calls,
+  // so such runs are bit-identical to the un-instrumented driver.
+  const fault::FaultPlan* plan = opt.faults;
+  const bool faulty = plan != nullptr && !plan->empty();
 
   // Resolve counter handles once; the loop then pays one pointer test per
   // slot when observability is detached.
@@ -23,15 +82,127 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     h_proposed = &opt.metrics->histogram("mcs.slot_proposed_readers");
     h_tags = &opt.metrics->histogram("mcs.slot_tags_read");
   }
+  // fault.mcs.* counters exist only on fault-injected runs so that clean
+  // runs export the exact pre-fault metrics JSON.
+  obs::Counter* c_crashed = nullptr;
+  obs::Counter* c_replanned = nullptr;
+  obs::Counter* c_missed = nullptr;
+  obs::Counter* c_faulty_slots = nullptr;
+  obs::Counter* c_slots_lost = nullptr;
+  if (opt.metrics != nullptr && faulty) {
+    c_crashed = &opt.metrics->counter("fault.mcs.crashed_activations");
+    c_replanned = &opt.metrics->counter("fault.mcs.replanned_activations");
+    c_missed = &opt.metrics->counter("fault.mcs.tags_missed");
+    c_faulty_slots = &opt.metrics->counter("fault.mcs.faulty_slots");
+    c_slots_lost = &opt.metrics->counter("fault.mcs.slots_lost");
+  }
+
+  // Failure-detector memory: reader -> first slot at which it is trusted
+  // again.  Populated when a crashed activation is observed, consulted to
+  // strip ("re-plan around") benched readers from later proposals.
+  std::vector<int> trusted_from;
+  if (faulty && opt.reprobe_interval > 0) {
+    trusted_from.assign(static_cast<std::size_t>(sys.numReaders()), 0);
+  }
 
   int stall = 0;
   while (sys.unreadCoverableCount() > 0 && res.slots < opt.max_slots) {
+    const int q = res.slots;  // slot index the fault plan speaks in
+    if (faulty && plan->hasPermanentDeaths()) {
+      const int orphans = countOrphans(sys, *plan, q);
+      if (orphans >= sys.unreadCoverableCount()) {
+        res.degradation.tags_orphaned = orphans;
+        break;  // everything still unread is unservable forever
+      }
+    }
+    if (opt.channel != nullptr) opt.channel->setSlot(q);
+
     // Wall-clock span only when tracing (see McsOptions doc).
     obs::ScopedTimer span(opt.trace != nullptr ? opt.metrics : nullptr,
                           "mcs.slot_us", opt.trace, "mcs.slot",
                           obs::EventKind::kSlot);
     const OneShotResult one = scheduler.schedule(sys);
-    const std::vector<int> served = sys.wellCoveredTags(one.readers);
+
+    std::vector<int> served;
+    int crashed_here = 0;
+    int replanned_here = 0;
+    int missed_here = 0;
+    int ideal_here = 0;
+    if (!faulty) {
+      served = sys.wellCoveredTags(one.readers);
+    } else {
+      // Split the proposal: benched readers are stripped (the driver
+      // re-planned around a known failure), crashed ones read nothing.
+      std::vector<int> live;
+      live.reserve(one.readers.size());
+      for (const int v : one.readers) {
+        if (!trusted_from.empty() && trusted_from[static_cast<std::size_t>(v)] > q) {
+          ++replanned_here;
+          continue;
+        }
+        if (plan->crashed(v, q)) {
+          ++crashed_here;
+          if (!trusted_from.empty()) {
+            trusted_from[static_cast<std::size_t>(v)] = q + 1 + opt.reprobe_interval;
+          }
+          continue;
+        }
+        live.push_back(v);
+      }
+      // Every loud-crashed reader jams while crashed, proposed or not — a
+      // stuck transmitter does not wait for an activation and re-planning
+      // cannot silence it.  The referee charges its RRc multiplicity and
+      // RTc victimization against the live set.
+      std::vector<int> jamming;
+      for (int v = 0; v < sys.numReaders(); ++v) {
+        if (plan->loud(v, q)) jamming.push_back(v);
+      }
+      served = sys.wellCoveredTags(live, jamming);
+      // Interrogation misses: a well-covered tag can still fail its
+      // inventory round; it stays unread and future slots retry it.
+      if (plan->hasMissFaults()) {
+        std::vector<int> kept;
+        kept.reserve(served.size());
+        for (const int t : served) {
+          if (plan->drawMiss(q, t)) {
+            ++missed_here;
+          } else {
+            kept.push_back(t);
+          }
+        }
+        served = std::move(kept);
+      }
+      // The no-fault counterfactual for degradation accounting: what this
+      // exact proposal would have served on ideal hardware.
+      ideal_here = static_cast<int>(sys.wellCoveredTags(one.readers).size());
+      res.degradation.ideal_tags_read += ideal_here;
+      res.degradation.crashed_activations += crashed_here;
+      res.degradation.replanned_activations += replanned_here;
+      res.degradation.tags_missed += missed_here;
+      const bool slot_faulty =
+          crashed_here + replanned_here + missed_here > 0 ||
+          (!jamming.empty() && static_cast<int>(served.size()) != ideal_here);
+      const bool slot_lost = slot_faulty && served.empty() && ideal_here > 0;
+      res.degradation.faulty_slots += slot_faulty ? 1 : 0;
+      res.degradation.slots_lost += slot_lost ? 1 : 0;
+      if (c_crashed != nullptr) {
+        c_crashed->add(crashed_here);
+        c_replanned->add(replanned_here);
+        c_missed->add(missed_here);
+        if (slot_faulty) c_faulty_slots->add(1);
+        if (slot_lost) c_slots_lost->add(1);
+      }
+      if (opt.trace != nullptr && slot_faulty) {
+        opt.trace->instant(
+            obs::EventKind::kFault, "fault.mcs.slot",
+            {{"slot", static_cast<double>(q)},
+             {"crashed", static_cast<double>(crashed_here)},
+             {"replanned", static_cast<double>(replanned_here)},
+             {"missed", static_cast<double>(missed_here)},
+             {"served", static_cast<double>(served.size())},
+             {"ideal", static_cast<double>(ideal_here)}});
+      }
+    }
     sys.markRead(served);
 
     SlotRecord rec;
@@ -65,6 +236,19 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     if (served.empty() && stall >= opt.max_stall) break;
   }
   res.completed = sys.unreadCoverableCount() == 0;
+  if (faulty && plan->hasPermanentDeaths() &&
+      res.degradation.tags_orphaned == 0) {
+    // Caps may have ended the loop before the orphan check ran; settle the
+    // final accounting against the last executed slot.
+    res.degradation.tags_orphaned =
+        countOrphans(sys, *plan, res.slots > 0 ? res.slots - 1 : 0);
+  }
+  if (opt.metrics != nullptr && faulty) {
+    opt.metrics->gauge("fault.mcs.tags_orphaned")
+        .set(static_cast<double>(res.degradation.tags_orphaned));
+    opt.metrics->gauge("fault.mcs.ideal_tags_read")
+        .set(static_cast<double>(res.degradation.ideal_tags_read));
+  }
 
   if (opt.trace != nullptr) {
     opt.trace->instant(obs::EventKind::kSpan, "mcs.done",

@@ -11,6 +11,14 @@
 // re-evaluated with the Definition 1 semantics — infeasible proposals (e.g.
 // a not-yet-converged Colorwave class) simply serve fewer tags, exactly as
 // the physics would dictate.
+//
+// With a fault::FaultPlan attached the referee also injects the plan's
+// failures (docs/faults.md): crashed proposal members read nothing (loud
+// crashes still jam their interference disk), the driver re-plans around
+// readers it has seen fail, interrogation misses re-arm individual tags,
+// and the loop terminates early once every remaining coverable tag is
+// orphaned by permanently dead readers.  An empty plan takes none of these
+// paths — the run is bit-identical to one with no plan at all.
 #pragma once
 
 #include <vector>
@@ -19,6 +27,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
+
+namespace rfid::fault {
+class FaultPlan;
+}
 
 namespace rfid::sched {
 
@@ -39,12 +51,50 @@ struct McsOptions {
   /// rides with tracing only, so metrics-only runs stay deterministic.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSink* trace = nullptr;
+  /// Fault injection (both optional).  `faults` drives the referee: reader
+  /// crash intervals, interrogation misses, and orphan-aware termination.
+  /// `channel` is stepped to the current slot index before every schedule()
+  /// call so an attached distributed scheduler sees the same outage window
+  /// the referee charges.  With `faults` null or empty the driver takes the
+  /// exact pre-fault code path (bit-identical results and metrics).
+  const fault::FaultPlan* faults = nullptr;
+  fault::ChannelModel* channel = nullptr;
+  /// A reader seen crashed stays benched ("suspected dead") for this many
+  /// subsequent slots: the driver strips it from proposals (re-planning),
+  /// then re-probes so a recovered reader rejoins.  <= 0 disables benching.
+  int reprobe_interval = 8;
 };
 
 /// One executed time-slot.
 struct SlotRecord {
   std::vector<int> active;   // the set the scheduler proposed
   int tags_read = 0;         // well-covered tags actually served
+};
+
+/// Degradation accounting for a fault-injected run (all zero otherwise):
+/// how far the achieved schedule fell short of the ideal one, and why.
+struct McsDegradation {
+  /// Slots where any fault touched execution (crash, bench, miss, jamming).
+  int faulty_slots = 0;
+  /// Faulty slots that served zero tags but would have served some had the
+  /// proposal executed unfaulted — air time wholly lost to faults.
+  int slots_lost = 0;
+  /// Proposal members that were crashed when their slot executed.
+  int crashed_activations = 0;
+  /// Proposal members stripped pre-execution because the driver had seen
+  /// them fail within the last reprobe_interval slots.
+  int replanned_activations = 0;
+  /// Well-covered tags lost to interrogation misses (still unread after).
+  int tags_missed = 0;
+  /// Coverable tags left unread that no future slot could serve: every
+  /// coverer permanently dead, or permanently jammed / victimized by a
+  /// loud-dead reader's stuck transmitter (the unservable-forever
+  /// predicate; see runCoveringSchedule).
+  int tags_orphaned = 0;
+  /// Tags the executed proposals would have served with no faults injected
+  /// (the per-slot ideal counterfactual, summed).  Achieved coverage is
+  /// McsResult::tags_read; the gap is the price of the fault plan.
+  int ideal_tags_read = 0;
 };
 
 struct McsResult {
@@ -56,9 +106,13 @@ struct McsResult {
   /// from the covering requirement, Definition 4 covers only the monitored
   /// region M).
   int uncoverable = 0;
-  /// True iff every coverable tag was served within the slot caps.
+  /// True iff every coverable tag was served within the slot caps.  Stays
+  /// false when permanent reader deaths orphan tags: the schedule
+  /// terminated, but it does not cover M.
   bool completed = false;
   std::vector<SlotRecord> schedule;
+  /// Fault accounting (all zero without an attached non-empty FaultPlan).
+  McsDegradation degradation;
 };
 
 /// Runs the greedy covering-schedule loop, mutating `sys`'s read-state.

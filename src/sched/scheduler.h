@@ -16,6 +16,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
+namespace rfid::fault {
+class ChannelModel;
+}
+
 namespace rfid::sched {
 
 /// Outcome of one one-shot scheduling decision.
@@ -62,6 +66,13 @@ class OneShotScheduler {
   /// kRound events.
   void attachTrace(obs::TraceSink* t) { trace_ = t; }
   obs::TraceSink* trace() const { return trace_; }
+
+  /// Attaches a fault channel model (nullptr detaches).  Only the
+  /// distributed algorithms override this — they forward it to their
+  /// network simulator, making the control plane lossy and crash-prone.
+  /// Centralized schedulers exchange no messages, so the default ignores
+  /// it (their faults act only at the MCS referee, sched/mcs.h).
+  virtual void attachChannel(fault::ChannelModel*) {}
 
  protected:
   /// Bumps the shared per-schedule counters; no-op when detached.

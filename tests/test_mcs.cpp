@@ -83,6 +83,55 @@ TEST(Mcs, StallGuardAborts) {
   EXPECT_EQ(res.tags_read, 0);
 }
 
+/// Always proposes *every* reader — never empty, but on a system built of
+/// co-located readers the proposal is permanently infeasible: every tag
+/// sits in two interrogation disks, so the referee serves nothing.
+class EveryoneScheduler final : public OneShotScheduler {
+ public:
+  std::string name() const override { return "Everyone"; }
+  OneShotResult schedule(const core::System& sys) override {
+    OneShotResult r;
+    for (int v = 0; v < sys.numReaders(); ++v) r.readers.push_back(v);
+    r.weight = sys.numTags();  // a lie; the referee must not believe it
+    return r;
+  }
+};
+
+TEST(Mcs, InfeasibleProposalsTripStallGuardNotTheSlotCap) {
+  // Two co-located readers, every tag covered by both.  A lone reader would
+  // finish in one slot, but the adversarial scheduler activates both each
+  // slot, colliding every tag (RRc) forever.  The driver must terminate via
+  // max_stall — not spin to max_slots — report completed == false, and the
+  // stall counter must equal the executed zero-progress slots exactly.
+  std::vector<core::Reader> readers = {test::makeReader(0, 0, 8.0, 4.0),
+                                       test::makeReader(0.1, 0, 8.0, 4.0)};
+  std::vector<core::Tag> tags = {test::makeTag(1, 0), test::makeTag(0, 1),
+                                 test::makeTag(-1, -1)};
+  core::System sys(std::move(readers), std::move(tags));
+
+  EveryoneScheduler everyone;
+  obs::MetricsRegistry reg;
+  McsOptions opt;
+  opt.max_stall = 12;
+  opt.max_slots = 100000;
+  opt.metrics = &reg;
+  const McsResult res = runCoveringSchedule(sys, everyone, opt);
+
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.slots, 12);
+  EXPECT_EQ(res.tags_read, 0);
+  EXPECT_EQ(sys.unreadCoverableCount(), 3);
+  for (const SlotRecord& s : res.schedule) {
+    EXPECT_EQ(s.active.size(), 2u);
+    EXPECT_EQ(s.tags_read, 0);
+  }
+#ifndef RFIDSCHED_NO_OBS
+  EXPECT_EQ(reg.counter("mcs.stall_slots").value(), 12);
+  EXPECT_EQ(reg.counter("mcs.slots").value(), 12);
+  EXPECT_EQ(reg.counter("mcs.tags_read").value(), 0);
+#endif
+}
+
 TEST(Mcs, MaxSlotsRespected) {
   core::System sys = test::smallRandomSystem(3, 15, 200, 40.0);
   HillClimbingScheduler ghc;

@@ -5,13 +5,18 @@
 //                 [--side S] [--lambda-R X] [--lambda-r Y] [--seed S]
 //                 [--layout uniform|clusters|aisles|grid]
 //                 [--channels C] [--rho R] [--k K] [--svg PATH]
-//                 [--save PATH] [--load PATH]
+//                 [--save PATH] [--load PATH] [--fault PATH]
 //                 [--metrics PATH] [--trace PATH] [--jsonl PATH]
 //
 // Prints a human-readable report; --svg additionally renders the (first)
 // slot decision.  --save writes the generated deployment to PATH (CSV) and
 // --load runs on a previously saved deployment instead of generating one,
 // so a site survey can be replayed against every algorithm.
+//
+// --fault loads a fault::FaultPlan text spec (grammar in docs/faults.md)
+// and replays its reader crashes, link losses, and interrogation misses
+// against the run; mcs mode then prints the degradation summary (slots
+// lost, crashed activations, orphaned tags, achieved vs. ideal coverage).
 //
 // Observability: --metrics writes a JSON metrics dump (counters / gauges /
 // histograms from the scheduler, the MCS driver, the System referee, and
@@ -27,6 +32,8 @@
 
 #include "analysis/svg.h"
 #include "distributed/colorwave.h"
+#include "fault/channel_model.h"
+#include "fault/fault_plan.h"
 #include "distributed/growth_distributed.h"
 #include "graph/interference_graph.h"
 #include "obs/metrics.h"
@@ -53,6 +60,7 @@ struct Cli {
   std::string metrics_path;  // JSON metrics dump
   std::string trace_path;    // Chrome trace_event JSON
   std::string jsonl_path;    // JSONL event log
+  std::string fault_path;    // fault plan text spec
   int readers = 50;
   int tags = 1200;
   double side = 100.0;
@@ -71,11 +79,12 @@ void usage() {
       "                     [--side S] [--lambda-R X] [--lambda-r Y]\n"
       "                     [--seed S] [--layout uniform|clusters|aisles|grid]\n"
       "                     [--channels C] [--rho R] [--k K] [--svg PATH]\n"
-      "                     [--save PATH] [--load PATH]\n"
+      "                     [--save PATH] [--load PATH] [--fault PATH]\n"
       "                     [--metrics PATH] [--trace PATH] [--jsonl PATH]\n"
       "\n"
       "  --save PATH     write the generated deployment to PATH (CSV), then run\n"
       "  --load PATH     run on a saved deployment instead of generating one\n"
+      "  --fault PATH    inject the fault plan at PATH (spec: docs/faults.md)\n"
       "  --metrics PATH  write scheduler/driver/referee metrics as JSON\n"
       "  --trace PATH    write a Chrome trace_event file (chrome://tracing)\n"
       "  --jsonl PATH    write the trace as JSON-lines (one event per line)\n";
@@ -92,7 +101,7 @@ bool parse(int argc, char** argv, Cli& cli) {
           "--algo", "--mode", "--layout", "--svg",  "--save",
           "--load", "--metrics", "--trace", "--jsonl", "--readers",
           "--tags", "--side", "--lambda-R", "--lambda-r", "--seed",
-          "--channels", "--rho", "--k"};
+          "--channels", "--rho", "--k", "--fault"};
       for (const char* f : flags) {
         if (a == f) return true;
       }
@@ -108,6 +117,7 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--metrics" && (v = next())) cli.metrics_path = v;
     else if (a == "--trace" && (v = next())) cli.trace_path = v;
     else if (a == "--jsonl" && (v = next())) cli.jsonl_path = v;
+    else if (a == "--fault" && (v = next())) cli.fault_path = v;
     else if (a == "--readers" && (v = next())) cli.readers = std::atoi(v);
     else if (a == "--tags" && (v = next())) cli.tags = std::atoi(v);
     else if (a == "--side" && (v = next())) cli.side = std::atof(v);
@@ -222,6 +232,25 @@ int main(int argc, char** argv) {
   scheduler->attachMetrics(metrics);
   scheduler->attachTrace(trace);
 
+  // Fault injection: the plan drives the MCS referee, the channel model
+  // makes any distributed scheduler's control plane lossy and crash-prone.
+  fault::FaultPlan fault_plan;
+  std::unique_ptr<fault::ChannelModel> channel;
+  if (!cli.fault_path.empty()) {
+    std::string err;
+    auto loaded = fault::FaultPlan::loadFile(cli.fault_path, &err);
+    if (!loaded) {
+      std::cerr << "failed to load fault plan from " << cli.fault_path << ": "
+                << err << "\n";
+      return 2;
+    }
+    fault_plan = std::move(*loaded);
+    if (!fault_plan.empty()) {
+      channel = std::make_unique<fault::ChannelModel>(fault_plan);
+      scheduler->attachChannel(channel.get());
+    }
+  }
+
   std::cout << "deployment: " << sys.numReaders() << " readers, "
             << sys.numTags() << " tags (" << sys.unreadCoverableCount()
             << " coverable), layout " << cli.layout << ", seed " << cli.seed
@@ -251,12 +280,25 @@ int main(int argc, char** argv) {
     sched::McsOptions mcs_opt;
     mcs_opt.metrics = metrics;
     mcs_opt.trace = trace;
+    if (!fault_plan.empty()) {
+      mcs_opt.faults = &fault_plan;
+      mcs_opt.channel = channel.get();
+    }
     const sched::McsResult res =
         sched::runCoveringSchedule(sys, *scheduler, mcs_opt);
     std::cout << "covering schedule: " << res.slots << " slots, "
               << res.tags_read << " tags read, " << res.uncoverable
               << " uncoverable, "
               << (res.completed ? "completed" : "INCOMPLETE") << '\n';
+    if (!fault_plan.empty()) {
+      const sched::McsDegradation& d = res.degradation;
+      std::cout << "degradation: " << d.faulty_slots << " faulty slots ("
+                << d.slots_lost << " lost), " << d.crashed_activations
+                << " crashed activations, " << d.replanned_activations
+                << " re-planned, " << d.tags_missed << " tags missed, "
+                << d.tags_orphaned << " orphaned; coverage " << res.tags_read
+                << " achieved vs " << d.ideal_tags_read << " ideal\n";
+    }
     for (std::size_t i = 0; i < res.schedule.size() && i < 25; ++i) {
       std::cout << "  slot " << i + 1 << ": "
                 << res.schedule[i].active.size() << " readers, "
