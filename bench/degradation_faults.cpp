@@ -15,10 +15,14 @@
 //      schedule growth plus the retry/eviction counters instead of a
 //      deadlocked network.
 #include <algorithm>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "analysis/stats.h"
+#include "ckpt/mcs_ckpt.h"
 #include "distributed/colorwave.h"
 #include "distributed/growth_distributed.h"
 #include "fault/channel_model.h"
@@ -53,11 +57,49 @@ rfid::fault::FaultPlan crashPlan(std::uint64_t seed, double frac) {
   return plan;
 }
 
+/// Runs one sweep configuration, journaling it under `ckpt_dir` when the
+/// sweep was started with a checkpoint directory.  auto_resume means a
+/// rerun after a crash replays finished configurations from their journals
+/// (verified, near-instant) instead of recomputing them, so the sweep picks
+/// up where it died with byte-identical output.
+rfid::sched::McsResult runConfig(rfid::core::System& sys,
+                                 rfid::sched::OneShotScheduler& scheduler,
+                                 const rfid::sched::McsOptions& opt,
+                                 const std::string& ckpt_dir,
+                                 const std::string& tag, std::uint64_t seed) {
+  if (ckpt_dir.empty()) {
+    return rfid::sched::runCoveringSchedule(sys, scheduler, opt);
+  }
+  rfid::ckpt::CheckpointSetup setup;
+  setup.path = ckpt_dir + "/" + tag + ".journal";
+  setup.auto_resume = true;
+  setup.seed = seed;
+  rfid::ckpt::CheckpointedRun run =
+      rfid::ckpt::runMcsCheckpointed(sys, scheduler, opt, setup);
+  if (!run.ok) {
+    std::cerr << "checkpoint error (" << setup.path << "): " << run.error
+              << "\n";
+    std::exit(1);
+  }
+  return run.result;
+}
+
+std::string configTag(const char* sweep, const char* algo, double knob,
+                      std::uint64_t seed) {
+  std::ostringstream os;
+  os << sweep << '-' << algo << '-' << static_cast<int>(knob * 100.0 + 0.5)
+     << "-s" << seed;
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rfid;
   const int seeds = argc > 1 ? std::max(1, std::atoi(argv[1])) : 6;
+  // Optional checkpoint directory: journal every configuration there and
+  // auto-resume finished ones on rerun (crash-safe sweeps, docs/recovery.md).
+  const std::string ckpt_dir = argc > 2 ? argv[2] : "";
 
   std::cout << "# Degradation under permanent reader crashes "
             << "(fault-oblivious centralized planning)\n"
@@ -80,12 +122,13 @@ int main(int argc, char** argv) {
         opt.max_stall = 50;  // a fault-oblivious proposer can stall forever
         const graph::InterferenceGraph g(sys);
         sched::McsResult res;
+        const std::string tag = configTag("crash", algo, frac, seed);
         if (algo[0] == 'A') {
           sched::GrowthScheduler alg2(g);
-          res = sched::runCoveringSchedule(sys, alg2, opt);
+          res = runConfig(sys, alg2, opt, ckpt_dir, tag, seed);
         } else {
           sched::HillClimbingScheduler ghc;
-          res = sched::runCoveringSchedule(sys, ghc, opt);
+          res = runConfig(sys, ghc, opt, ckpt_dir, tag, seed);
         }
         slots.add(res.slots);
         read_frac.add(static_cast<double>(res.tags_read) / coverable);
@@ -127,16 +170,17 @@ int main(int argc, char** argv) {
         opt.max_stall = 50;
         const graph::InterferenceGraph g(sys);
         sched::McsResult res;
+        const std::string tag = configTag("loss", algo, drop, seed);
         if (algo[0] == 'A') {
           dist::GrowthDistributedScheduler alg3(g);
           alg3.attachChannel(&ch);
-          res = sched::runCoveringSchedule(sys, alg3, opt);
+          res = runConfig(sys, alg3, opt, ckpt_dir, tag, seed);
           retries.add(alg3.lastStats().info_retries);
           evictions.add(alg3.lastStats().evicted_rivals);
         } else {
           dist::ColorwaveScheduler ca(sys, seed);
           ca.attachChannel(&ch);
-          res = sched::runCoveringSchedule(sys, ca, opt);
+          res = runConfig(sys, ca, opt, ckpt_dir, tag, seed);
           retries.add(0.0);
           evictions.add(ca.evictedNeighborLinks());
         }

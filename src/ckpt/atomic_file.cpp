@@ -1,0 +1,73 @@
+#include "ckpt/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace rfid::ckpt {
+
+namespace {
+
+void setErr(std::string* err, const char* step) {
+  if (err != nullptr) {
+    *err = std::string(step) + ": " + std::strerror(errno);
+  }
+}
+
+bool writeAll(int fd, std::string_view content) {
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool writeFileAtomic(const std::string& path, std::string_view content,
+                     std::string* err) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    setErr(err, "open tmp");
+    return false;
+  }
+  if (!writeAll(fd, content) || ::fsync(fd) != 0) {
+    setErr(err, "write tmp");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    setErr(err, "close tmp");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    setErr(err, "rename");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Persist the rename: fsync the containing directory.  Failure here is
+  // not a torn file (the rename already happened), so it is best-effort.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+}  // namespace rfid::ckpt

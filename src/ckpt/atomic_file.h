@@ -1,0 +1,30 @@
+// atomic_file.h — torn-file-free writes (docs/recovery.md).
+//
+// Every durable artifact this repo writes for *other* runs to consume —
+// deployments shared between site surveys, checkpoint snapshots, resumable
+// journals — must never be observable in a half-written state: a reader
+// that opens the path sees either the previous complete content or the new
+// complete content, nothing in between.  The standard POSIX recipe:
+//
+//   write <path>.tmp  →  fsync(tmp)  →  rename(tmp, path)  →  fsync(dir)
+//
+// rename(2) is atomic within a filesystem, fsync-before-rename orders the
+// data ahead of the name change, and the directory fsync persists the
+// rename itself.  A crash at any point leaves either the old file (plus at
+// worst a stale .tmp, which writers overwrite) or the new file.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rfid::ckpt {
+
+/// Atomically replaces `path` with `content`.  On failure returns false,
+/// fills `*err` (when given) with a description naming the failing step,
+/// and removes the temporary file best-effort; `path` itself is never left
+/// torn.  The temporary lives at `path + ".tmp"` in the same directory so
+/// the rename cannot cross filesystems.
+bool writeFileAtomic(const std::string& path, std::string_view content,
+                     std::string* err = nullptr);
+
+}  // namespace rfid::ckpt

@@ -1,0 +1,15 @@
+#include "ckpt/budget.h"
+
+namespace rfid::ckpt {
+
+const char* budgetStopName(BudgetStop s) {
+  switch (s) {
+    case BudgetStop::kNone: return "none";
+    case BudgetStop::kSlotCap: return "slot-cap";
+    case BudgetStop::kDeadline: return "deadline";
+    case BudgetStop::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace rfid::ckpt

@@ -1,0 +1,107 @@
+// budget.h — bounded-time execution: deadlines, slot caps, cooperative
+// cancellation (docs/recovery.md).
+//
+// The MCS meta-loop is the longest-running artifact in the repo; a slow
+// configuration used to hang a CI job until something SIGKILLed it mid-write.
+// A RunBudget replaces that with the *anytime contract*: the driver checks
+// the budget at every slot boundary and every one-shot scheduler polls the
+// shared CancelToken inside its own search loops, so an expiring run stops
+// at the next checkpoint and returns a valid best-so-far result marked
+// `interrupted` instead of dying on a signal.
+//
+// Determinism discipline: the budget decides only *when to stop*, never what
+// is computed.  A slot whose schedule() call observed a cancellation is
+// discarded, not committed, so the committed prefix of an interrupted run is
+// always a prefix of the uninterrupted trajectory — which is what makes
+// deadline-interrupted checkpoints resumable to a bit-identical final
+// result (src/ckpt/journal.h).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rfid::ckpt {
+
+/// Cooperative cancellation flag shared between a driver and its
+/// schedulers.  Becomes "cancelled" either explicitly (cancel()) or
+/// implicitly once an armed wall-clock deadline passes; polling is cheap
+/// enough for inner search loops (an atomic load, plus one steady_clock
+/// read when a deadline is armed).
+class CancelToken {
+ public:
+  /// Explicit cancellation (supervisor thread, signal bridge, tests).
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline; cancelled() reports true once the steady
+  /// clock passes it.
+  void setDeadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ns_.store(tp.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+  void clearDeadline() { has_deadline_.store(false, std::memory_order_relaxed); }
+
+  bool deadlineExpired() const {
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >=
+           deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_.load(std::memory_order_relaxed) || deadlineExpired();
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+/// Why a budgeted run must stop (kNone = keep going).
+enum class BudgetStop {
+  kNone,
+  kSlotCap,    // committed-slot cap reached
+  kDeadline,   // wall-clock deadline passed
+  kCancelled,  // explicit CancelToken::cancel()
+};
+
+const char* budgetStopName(BudgetStop s);
+
+/// Wall-clock deadline + slot cap for one MCS run.  Thread the token into
+/// the schedulers (OneShotScheduler::attachCancel) and hand the budget to
+/// the driver (McsOptions::budget); both are optional and nullptr-safe.
+class RunBudget {
+ public:
+  /// Arms a deadline `from_now` milliseconds ahead (<= 0: fires at the
+  /// first checkpoint — useful for smoke-testing the interrupted path).
+  void setDeadline(std::chrono::milliseconds from_now) {
+    token_.setDeadline(std::chrono::steady_clock::now() + from_now);
+    has_deadline_ = true;
+  }
+  /// Caps the number of *committed* slots (<= 0 disables the cap).
+  void setSlotCap(int cap) { slot_cap_ = cap; }
+  int slotCap() const { return slot_cap_; }
+
+  bool armed() const { return has_deadline_ || slot_cap_ > 0; }
+
+  CancelToken& token() { return token_; }
+  const CancelToken& token() const { return token_; }
+
+  /// Classifies the stop condition given `slots_done` committed slots.
+  /// The slot cap is checked first so cap-limited runs stop at a
+  /// deterministic slot regardless of wall-clock jitter.
+  BudgetStop charge(int slots_done) const {
+    if (slot_cap_ > 0 && slots_done >= slot_cap_) return BudgetStop::kSlotCap;
+    if (token_.deadlineExpired()) return BudgetStop::kDeadline;
+    if (token_.cancelled()) return BudgetStop::kCancelled;
+    return BudgetStop::kNone;
+  }
+
+ private:
+  CancelToken token_;
+  bool has_deadline_ = false;
+  int slot_cap_ = 0;
+};
+
+}  // namespace rfid::ckpt

@@ -1,0 +1,474 @@
+#include "ckpt/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/atomic_file.h"
+
+namespace rfid::ckpt {
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t h) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+constexpr char kHexDigit[] = "0123456789abcdef";
+
+void appendHex64(std::string& out, std::uint64_t v) {
+  char buf[16];
+  int n = 0;
+  do {
+    buf[n++] = kHexDigit[v & 0xF];
+    v >>= 4;
+  } while (v != 0);
+  while (n > 0) out.push_back(buf[--n]);
+}
+
+void appendHex32Fixed(std::string& out, std::uint32_t v) {
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigit[(v >> shift) & 0xF]);
+  }
+}
+
+void appendIntArray(std::string& out, const std::vector<int>& v) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(v[i]);
+  }
+  out.push_back(']');
+}
+
+/// Seals `body` (which must end with the comma before the crc field) into
+/// the final record line.
+std::string seal(std::string body) {
+  const std::uint32_t c = crc32(body);
+  body += "\"crc\":\"";
+  appendHex32Fixed(body, c);
+  body += "\"}";
+  return body;
+}
+
+/// Strict cursor over one record's body — the decoder accepts exactly the
+/// canonical serialization and nothing else, which is precisely the
+/// fail-closed behavior the journal wants: any byte out of place is
+/// corruption.
+struct Cur {
+  std::string_view s;
+  std::size_t i = 0;
+
+  bool lit(std::string_view l) {
+    if (s.size() - i < l.size() || s.compare(i, l.size(), l) != 0) return false;
+    i += l.size();
+    return true;
+  }
+
+  bool u64(std::uint64_t* out) {
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    std::uint64_t v = 0;
+    std::size_t digits = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      if (++digits > 20) return false;
+      const std::uint64_t d = static_cast<std::uint64_t>(s[i] - '0');
+      if (v > (UINT64_MAX - d) / 10) return false;
+      v = v * 10 + d;
+      ++i;
+    }
+    *out = v;
+    return true;
+  }
+
+  bool i32(int* out) {
+    std::uint64_t v = 0;
+    if (!u64(&v) || v > static_cast<std::uint64_t>(INT32_MAX)) return false;
+    *out = static_cast<int>(v);
+    return true;
+  }
+
+  bool hex64(std::uint64_t* out) {
+    std::uint64_t v = 0;
+    std::size_t digits = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else break;
+      if (++digits > 16) return false;
+      v = (v << 4) | static_cast<std::uint64_t>(d);
+      ++i;
+    }
+    if (digits == 0) return false;
+    *out = v;
+    return true;
+  }
+
+  bool boolean01(bool* out) {
+    if (i >= s.size() || (s[i] != '0' && s[i] != '1')) return false;
+    *out = s[i] == '1';
+    ++i;
+    return true;
+  }
+
+  bool intArray(std::vector<int>* out) {
+    if (!lit("[")) return false;
+    out->clear();
+    if (lit("]")) return true;
+    while (true) {
+      int v = 0;
+      if (!i32(&v)) return false;
+      out->push_back(v);
+      if (lit("]")) return true;
+      if (!lit(",")) return false;
+    }
+  }
+
+  /// Unescaped string field content up to the closing quote.
+  bool str(std::string* out) {
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') return false;  // canonical form never escapes
+      out->push_back(s[i]);
+      ++i;
+    }
+    return i < s.size();  // stopped at '"', caller consumes it via lit
+  }
+
+  bool done() const { return i == s.size(); }
+};
+
+/// Splits `line` into (body, crc) and verifies the checksum.  The sealed
+/// form is  <body>"crc":"XXXXXXXX"}  with the CRC computed over <body>.
+bool unseal(std::string_view line, std::string_view* body) {
+  constexpr std::size_t kTail = 7 + 8 + 2;  // "crc":" + hex8 + "}
+  if (line.size() < kTail) return false;
+  const std::string_view tail = line.substr(line.size() - kTail);
+  if (tail.compare(0, 7, "\"crc\":\"") != 0 ||
+      tail.compare(15, 2, "\"}") != 0) {
+    return false;
+  }
+  std::uint32_t stored = 0;
+  for (int k = 0; k < 8; ++k) {
+    const char c = tail[7 + static_cast<std::size_t>(k)];
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else return false;
+    stored = (stored << 4) | static_cast<std::uint32_t>(d);
+  }
+  *body = line.substr(0, line.size() - kTail);
+  return crc32(*body) == stored;
+}
+
+}  // namespace
+
+std::string encodeHeader(const JournalHeader& h) {
+  std::string b = "{\"type\":\"hdr\",\"v\":";
+  b += std::to_string(h.version);
+  b += ",\"algo\":\"";
+  b += h.algo;
+  b += "\",\"seed\":";
+  b += std::to_string(h.seed);
+  b += ",\"dep\":\"";
+  appendHex64(b, h.deployment_hash);
+  b += "\",\"fault\":\"";
+  appendHex64(b, h.fault_hash);
+  b += "\",";
+  return seal(std::move(b));
+}
+
+bool decodeHeader(std::string_view line, JournalHeader* out) {
+  std::string_view body;
+  if (!unseal(line, &body)) return false;
+  Cur c{body};
+  JournalHeader h;
+  if (!c.lit("{\"type\":\"hdr\",\"v\":") || !c.i32(&h.version)) return false;
+  if (!c.lit(",\"algo\":\"") || !c.str(&h.algo)) return false;
+  if (!c.lit("\",\"seed\":") || !c.u64(&h.seed)) return false;
+  if (!c.lit(",\"dep\":\"") || !c.hex64(&h.deployment_hash)) return false;
+  if (!c.lit("\",\"fault\":\"") || !c.hex64(&h.fault_hash)) return false;
+  if (!c.lit("\",") || !c.done()) return false;
+  *out = h;
+  return true;
+}
+
+std::string encodeSlot(const SlotEntry& e) {
+  std::string b = "{\"type\":\"slot\",\"q\":";
+  b += std::to_string(e.slot);
+  b += ",\"active\":";
+  appendIntArray(b, e.active);
+  b += ",\"served\":";
+  appendIntArray(b, e.served);
+  b += ",\"crashed\":";
+  b += std::to_string(e.crashed);
+  b += ",\"replanned\":";
+  b += std::to_string(e.replanned);
+  b += ",\"missed\":";
+  b += std::to_string(e.missed);
+  b += ",\"ideal\":";
+  b += std::to_string(e.ideal);
+  b += ",\"faulty\":";
+  b += e.faulty ? '1' : '0';
+  b += ",\"lost\":";
+  b += e.lost ? '1' : '0';
+  b += ",\"epoch\":";
+  b += std::to_string(e.epoch);
+  b += ",\"fp\":\"";
+  appendHex64(b, e.fp);
+  b += "\",";
+  return seal(std::move(b));
+}
+
+bool decodeSlot(std::string_view line, SlotEntry* out) {
+  std::string_view body;
+  if (!unseal(line, &body)) return false;
+  Cur c{body};
+  SlotEntry e;
+  if (!c.lit("{\"type\":\"slot\",\"q\":") || !c.i32(&e.slot)) return false;
+  if (!c.lit(",\"active\":") || !c.intArray(&e.active)) return false;
+  if (!c.lit(",\"served\":") || !c.intArray(&e.served)) return false;
+  if (!c.lit(",\"crashed\":") || !c.i32(&e.crashed)) return false;
+  if (!c.lit(",\"replanned\":") || !c.i32(&e.replanned)) return false;
+  if (!c.lit(",\"missed\":") || !c.i32(&e.missed)) return false;
+  if (!c.lit(",\"ideal\":") || !c.i32(&e.ideal)) return false;
+  if (!c.lit(",\"faulty\":") || !c.boolean01(&e.faulty)) return false;
+  if (!c.lit(",\"lost\":") || !c.boolean01(&e.lost)) return false;
+  if (!c.lit(",\"epoch\":") || !c.i32(&e.epoch)) return false;
+  if (!c.lit(",\"fp\":\"") || !c.hex64(&e.fp)) return false;
+  if (!c.lit("\",") || !c.done()) return false;
+  *out = std::move(e);
+  return true;
+}
+
+std::string encodeSnapshot(const Snapshot& s, std::uint64_t deployment_hash) {
+  std::string b = "{\"type\":\"snap\",\"v\":1,\"slot\":";
+  b += std::to_string(s.slot);
+  b += ",\"dep\":\"";
+  appendHex64(b, deployment_hash);
+  b += "\",\"tags\":";
+  b += std::to_string(s.read.size());
+  b += ",\"read\":\"";
+  // Pack the bitmap 4 tags per hex nibble: tag t lives in nibble t/4,
+  // bit t%4 — compact, byte-exact, endian-free.
+  for (std::size_t i = 0; i < s.read.size(); i += 4) {
+    int nib = 0;
+    for (std::size_t k = 0; k < 4 && i + k < s.read.size(); ++k) {
+      if (s.read[i + k] != 0) nib |= 1 << k;
+    }
+    b.push_back(kHexDigit[nib]);
+  }
+  b += "\",";
+  return seal(std::move(b));
+}
+
+bool decodeSnapshot(std::string_view text, Snapshot* out,
+                    std::uint64_t* deployment_hash) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  std::string_view body;
+  if (!unseal(text, &body)) return false;
+  Cur c{body};
+  Snapshot s;
+  std::uint64_t dep = 0, tags = 0;
+  if (!c.lit("{\"type\":\"snap\",\"v\":1,\"slot\":") || !c.i32(&s.slot)) {
+    return false;
+  }
+  if (!c.lit(",\"dep\":\"") || !c.hex64(&dep)) return false;
+  if (!c.lit("\",\"tags\":") || !c.u64(&tags)) return false;
+  if (tags > (1ull << 31)) return false;
+  if (!c.lit(",\"read\":\"")) return false;
+  s.read.assign(tags, 0);
+  for (std::size_t i = 0; i < tags; i += 4) {
+    if (c.i >= c.s.size()) return false;
+    const char ch = c.s[c.i++];
+    int nib;
+    if (ch >= '0' && ch <= '9') nib = ch - '0';
+    else if (ch >= 'a' && ch <= 'f') nib = ch - 'a' + 10;
+    else return false;
+    for (std::size_t k = 0; k < 4 && i + k < tags; ++k) {
+      s.read[i + k] = static_cast<char>((nib >> k) & 1);
+    }
+  }
+  if (!c.lit("\",") || !c.done()) return false;
+  *out = std::move(s);
+  if (deployment_hash != nullptr) *deployment_hash = dep;
+  return true;
+}
+
+std::optional<JournalData> readJournal(const std::string& path,
+                                       std::string* err) {
+  const auto fail = [&](const std::string& why) -> std::optional<JournalData> {
+    if (err != nullptr) *err = why;
+    return std::nullopt;
+  };
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return fail("cannot open journal: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) return fail("empty journal: " + path);
+
+  // Split into lines, remembering byte offsets and whether each line was
+  // newline-terminated (an unterminated final line is a torn write).
+  struct Line {
+    std::size_t begin;
+    std::size_t end;  // exclusive of '\n'
+    bool terminated;
+  };
+  std::vector<Line> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back({pos, text.size(), false});
+      break;
+    }
+    lines.push_back({pos, nl, true});
+    pos = nl + 1;
+  }
+
+  JournalData data;
+  const std::string_view header_line(text.data() + lines[0].begin,
+                                     lines[0].end - lines[0].begin);
+  if (!lines[0].terminated || !decodeHeader(header_line, &data.header)) {
+    return fail("missing or corrupt journal header");
+  }
+  if (data.header.version != 1) {
+    return fail("unsupported journal version " +
+                std::to_string(data.header.version));
+  }
+  data.valid_bytes = lines[0].end + 1;
+
+  for (std::size_t k = 1; k < lines.size(); ++k) {
+    const std::string_view line(text.data() + lines[k].begin,
+                                lines[k].end - lines[k].begin);
+    SlotEntry e;
+    const bool valid = lines[k].terminated && decodeSlot(line, &e);
+    if (!valid) {
+      if (k + 1 == lines.size()) {
+        // Exactly one torn tail record is tolerated: drop it; openAppend
+        // truncates the file back to valid_bytes before continuing.
+        data.dropped_torn_tail = true;
+        break;
+      }
+      return fail("corrupt journal record after slot " +
+                  std::to_string(static_cast<int>(k) - 2) + " (interior)");
+    }
+    if (e.slot != static_cast<int>(k) - 1) {
+      return fail("journal slot sequence gap: expected " +
+                  std::to_string(static_cast<int>(k) - 1) + ", found " +
+                  std::to_string(e.slot));
+    }
+    data.slots.push_back(std::move(e));
+    data.valid_bytes = lines[k].end + 1;
+  }
+  return data;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool JournalWriter::create(const std::string& path, const JournalHeader& h,
+                           std::string* err) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) {
+    if (err != nullptr) {
+      *err = "cannot create journal " + path + ": " + std::strerror(errno) +
+             (errno == EEXIST ? " (resume it or remove it)" : "");
+    }
+    return false;
+  }
+  path_ = path;
+  deployment_hash_ = h.deployment_hash;
+  const std::string line = encodeHeader(h) + "\n";
+  if (::write(fd_, line.data(), line.size()) !=
+          static_cast<ssize_t>(line.size()) ||
+      ::fsync(fd_) != 0) {
+    if (err != nullptr) *err = "cannot write journal header: " + path;
+    close();
+    ::unlink(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool JournalWriter::openAppend(const std::string& path, const JournalHeader& h,
+                               std::size_t valid_bytes, std::string* err) {
+  close();
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    if (err != nullptr) {
+      *err = "cannot truncate torn journal tail: " + path + ": " +
+             std::strerror(errno);
+    }
+    return false;
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    if (err != nullptr) {
+      *err = "cannot open journal for append: " + path + ": " +
+             std::strerror(errno);
+    }
+    return false;
+  }
+  path_ = path;
+  deployment_hash_ = h.deployment_hash;
+  return true;
+}
+
+bool JournalWriter::appendSlot(const SlotEntry& e) {
+  if (fd_ < 0) return false;
+  const std::string line = encodeSlot(e) + "\n";
+  return ::write(fd_, line.data(), line.size()) ==
+         static_cast<ssize_t>(line.size());
+}
+
+bool JournalWriter::writeSnapshot(const Snapshot& s) {
+  if (fd_ < 0) return false;
+  return writeFileAtomic(snapshotPath(), encodeSnapshot(s, deployment_hash_));
+}
+
+}  // namespace rfid::ckpt

@@ -1,0 +1,135 @@
+#include "ckpt/mcs_ckpt.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "fault/fault_plan.h"
+#include "workload/io.h"
+
+namespace rfid::ckpt {
+
+std::uint64_t deploymentHash(const core::System& sys) {
+  std::ostringstream os;
+  workload::saveDeployment(os, sys);
+  return fnv1a(os.str());
+}
+
+namespace {
+
+CheckpointedRun failClosed(std::string error) {
+  CheckpointedRun run;
+  run.ok = false;
+  run.error = std::move(error);
+  return run;
+}
+
+/// Names the first identity field that disagrees, for an actionable error.
+std::string describeHeaderMismatch(const JournalHeader& want,
+                                   const JournalHeader& got) {
+  if (got.version != want.version) return "journal version mismatch";
+  if (got.algo != want.algo) {
+    return "algorithm mismatch: journal records '" + got.algo +
+           "', this run uses '" + want.algo + "'";
+  }
+  if (got.seed != want.seed) return "seed mismatch";
+  if (got.deployment_hash != want.deployment_hash) {
+    return "deployment mismatch: journal belongs to a different deployment";
+  }
+  if (got.fault_hash != want.fault_hash) {
+    return "fault-plan mismatch: journal recorded a different fault script";
+  }
+  return "journal header mismatch";
+}
+
+/// Loads `<path>.snap` if present, valid, and consistent with this run:
+/// right deployment hash and a slot the journal actually reaches.  Anything
+/// else is ignored — the journal is the source of truth and the snapshot
+/// only adds a redundant boundary cross-check.
+std::optional<Snapshot> loadSnapshot(const std::string& snap_path,
+                                     std::uint64_t deployment_hash,
+                                     int committed_slots) {
+  std::ifstream is(snap_path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  Snapshot snap;
+  std::uint64_t dep = 0;
+  if (!decodeSnapshot(buf.str(), &snap, &dep)) return std::nullopt;
+  if (dep != deployment_hash) return std::nullopt;
+  if (snap.slot <= 0 || snap.slot > committed_slots) return std::nullopt;
+  return snap;
+}
+
+}  // namespace
+
+CheckpointedRun runMcsCheckpointed(core::System& sys,
+                                   sched::OneShotScheduler& scheduler,
+                                   sched::McsOptions opt,
+                                   const CheckpointSetup& setup) {
+  opt.journal = nullptr;
+  opt.resume = nullptr;
+  if (setup.path.empty()) {
+    CheckpointedRun run;
+    run.result = sched::runCoveringSchedule(sys, scheduler, opt);
+    return run;
+  }
+
+  JournalHeader header;
+  header.algo = scheduler.name();
+  header.seed = setup.seed;
+  header.deployment_hash = deploymentHash(sys);
+  header.fault_hash =
+      opt.faults != nullptr ? opt.faults->fingerprint() : 0;
+
+  JournalWriter writer;
+  writer.snapshot_every = setup.snapshot_every;
+
+  JournalData data;
+  bool resuming = false;
+  std::string err;
+  const bool exists = static_cast<bool>(std::ifstream(setup.path));
+  if ((setup.resume || setup.auto_resume) && exists) {
+    std::optional<JournalData> loaded = readJournal(setup.path, &err);
+    if (!loaded.has_value()) return failClosed(err);
+    if (!(loaded->header == header)) {
+      return failClosed(describeHeaderMismatch(header, loaded->header));
+    }
+    data = std::move(*loaded);
+    data.snapshot =
+        loadSnapshot(setup.path + ".snap", header.deployment_hash,
+                     static_cast<int>(data.slots.size()));
+    if (!writer.openAppend(setup.path, header, data.valid_bytes, &err)) {
+      return failClosed(err);
+    }
+    resuming = true;
+  } else if (setup.resume) {
+    return failClosed("cannot resume: no journal at " + setup.path);
+  } else {
+    // Fresh run.  create() itself refuses to clobber an existing journal
+    // (O_EXCL), which turns "forgot --resume" into a loud error instead of
+    // a silently discarded run history.
+    if (!writer.create(setup.path, header, &err)) return failClosed(err);
+  }
+
+  opt.journal = &writer;
+  opt.resume = resuming ? &data : nullptr;
+
+  CheckpointedRun run;
+  run.resumed = resuming;
+  run.result = sched::runCoveringSchedule(sys, scheduler, opt);
+  run.replayed_slots = run.result.replayed_slots;
+  if (run.result.stop == sched::McsStop::kJournalError) {
+    run.ok = false;
+    run.error = "journal write failed at slot " +
+                std::to_string(run.result.slots) + " (disk full?)";
+  } else if (run.result.stop == sched::McsStop::kReplayMismatch) {
+    run.ok = false;
+    run.error =
+        "replay diverged from journal at slot " +
+        std::to_string(run.result.replayed_slots) +
+        " (journal was recorded by a different run configuration?)";
+  }
+  return run;
+}
+
+}  // namespace rfid::ckpt

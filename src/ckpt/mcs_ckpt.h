@@ -1,0 +1,72 @@
+// mcs_ckpt.h — journaled MCS runs: create / validate / resume in one call
+// (docs/recovery.md).
+//
+// runMcsCheckpointed() is the policy layer above the mechanism split
+// between ckpt/journal.h (record durability) and sched/mcs.h (verified
+// deterministic replay).  It derives the run identity (algorithm name,
+// seed, deployment hash, fault-plan fingerprint), validates any existing
+// journal against it, loads the sidecar snapshot for the boundary
+// cross-check, and hands the driver a writer opened in the right mode:
+//
+//   * fresh run:   create the journal (refusing to clobber an existing
+//                  one — resume it or remove it explicitly);
+//   * resume:      readJournal() (tolerating exactly one torn tail
+//                  record), fail closed on any identity mismatch or
+//                  interior corruption, truncate the tail, and append.
+//
+// The resumed run replays the committed prefix through the live loop and
+// is bit-identical to an uninterrupted run — schedules, McsResult, and
+// exported metrics JSON alike.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/journal.h"
+#include "core/system.h"
+#include "sched/mcs.h"
+#include "sched/scheduler.h"
+
+namespace rfid::ckpt {
+
+/// FNV-1a over the canonical CSV serialization (workload/saveDeployment):
+/// the deployment identity recorded in journal headers and snapshots.
+std::uint64_t deploymentHash(const core::System& sys);
+
+struct CheckpointSetup {
+  /// Journal path; the snapshot rides at `<path>.snap`.
+  std::string path;
+  /// Commits between read-state snapshots (<= 0 disables snapshots).
+  int snapshot_every = 64;
+  /// Resume an existing journal; a missing or invalid journal is an error.
+  bool resume = false;
+  /// Resume when a journal exists, start fresh otherwise (bench harnesses:
+  /// rerunning a killed sweep picks up where it died with no flag change).
+  bool auto_resume = false;
+  /// Scenario seed recorded in (and checked against) the journal header.
+  std::uint64_t seed = 0;
+};
+
+struct CheckpointedRun {
+  sched::McsResult result;
+  /// True when an existing journal was validated and replayed.
+  bool resumed = false;
+  /// Committed slots re-verified from the journal (== result.replayed_slots).
+  int replayed_slots = 0;
+  /// False on any fail-closed condition: unreadable/corrupt journal,
+  /// identity mismatch, replay divergence, or journal-append IO failure.
+  /// `result` is meaningless when !ok.
+  bool ok = true;
+  std::string error;
+};
+
+/// Runs the covering-schedule loop with crash-safe journaling per `setup`.
+/// `opt.journal` / `opt.resume` are overwritten; every other McsOptions
+/// field (budget included) passes through to the driver.  With an empty
+/// `setup.path` this is exactly runCoveringSchedule(sys, scheduler, opt).
+CheckpointedRun runMcsCheckpointed(core::System& sys,
+                                   sched::OneShotScheduler& scheduler,
+                                   sched::McsOptions opt,
+                                   const CheckpointSetup& setup);
+
+}  // namespace rfid::ckpt

@@ -161,7 +161,7 @@ void ColorwaveScheduler::advance(int rounds) {
   // Forward per-scheduler observability to the long-lived protocol network
   // (attachments may change between slots, so re-point every advance).
   net_->attachObs(nullptr, trace_);
-  const Network::RunStats s = net_->run(rounds);
+  const Network::RunStats s = net_->run(rounds, cancelToken());
   stats_.protocol_rounds += s.rounds;
   stats_.messages += s.messages;
   // The network's own metrics hookup stays detached (net.* counters would
@@ -188,6 +188,16 @@ std::vector<int> ColorwaveScheduler::colors() const {
 bool ColorwaveScheduler::converged() const {
   const auto c = colors();
   return graph::isProperColoring(*graph_, c);
+}
+
+std::uint64_t ColorwaveScheduler::stateFingerprint() const {
+  std::uint64_t h = workload::splitmix64(
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot_counter_)));
+  for (const int c : colors()) {
+    h = workload::splitmix64(
+        h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(c)));
+  }
+  return h;
 }
 
 void ColorwaveScheduler::attachChannel(fault::ChannelModel* channel) {

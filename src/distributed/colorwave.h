@@ -76,6 +76,12 @@ class ColorwaveScheduler final : public sched::OneShotScheduler {
   std::string name() const override { return "CA"; }
   sched::OneShotResult schedule(const core::System& sys) override;
 
+  /// Hash of the current coloring and the slot cursor — the cross-slot
+  /// state a checkpoint replay must reproduce (ckpt/journal.h).  Not a full
+  /// protocol-state serialization (windows, priorities, RNG streams):
+  /// replay recomputes those from scratch; the fingerprint detects drift.
+  std::uint64_t stateFingerprint() const override;
+
   /// Runs `rounds` protocol rounds without drawing a slot (used by tests
   /// and by the k-coloring channel baseline built on this protocol).
   void runProtocol(int rounds) { advance(rounds); }

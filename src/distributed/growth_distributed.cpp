@@ -439,7 +439,7 @@ sched::OneShotResult GrowthDistributedScheduler::schedule(
   Network net(*comm_, std::move(programs));
   net.attachObs(metrics_, trace_);
   net.attachChannel(channel_);
-  const Network::RunStats run = net.run(opt_.max_rounds);
+  const Network::RunStats run = net.run(opt_.max_rounds, cancelToken());
   stats_.rounds = run.rounds;
   stats_.messages = run.messages;
   stats_.payload_words = run.payload_words;

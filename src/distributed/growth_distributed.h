@@ -72,6 +72,11 @@ class GrowthDistributedScheduler final : public sched::OneShotScheduler {
   std::string name() const override { return "Alg3"; }
   sched::OneShotResult schedule(const core::System& sys) override;
 
+  /// The per-slot symmetry-breaking salt is Algorithm 3's only cross-slot
+  /// state (the protocol network is rebuilt every slot), so it *is* the
+  /// RNG cursor a checkpoint replay must land on (ckpt/journal.h).
+  std::uint64_t stateFingerprint() const override { return opt_.salt; }
+
   /// Forwards a fault channel model to the per-slot protocol networks.
   void attachChannel(fault::ChannelModel* channel) override {
     channel_ = channel;

@@ -56,7 +56,8 @@ void Network::attachObs(obs::MetricsRegistry* metrics, obs::TraceSink* trace) {
   trace_ = trace;
 }
 
-Network::RunStats Network::run(int max_rounds) {
+Network::RunStats Network::run(int max_rounds,
+                               const ckpt::CancelToken* cancel) {
   // Carry the channel counters' per-run slice cleanly: stats_ resets here,
   // but in_flight_/delayed_ may hold leftovers from a capped previous run
   // (long-lived protocol networks call run() repeatedly).
@@ -73,6 +74,9 @@ Network::RunStats Network::run(int max_rounds) {
 
   std::vector<std::vector<Message>> inbox(static_cast<std::size_t>(n));
   for (int round = 0; round < max_rounds; ++round) {
+    // Cancellation checkpoint at the round boundary: rounds are atomic, so
+    // stopping here leaves every program and the wire in a coherent state.
+    if (cancel != nullptr && cancel->cancelled()) break;
     // Deliver everything sent last round plus delayed copies now due.
     for (auto& box : inbox) box.clear();
     std::vector<Message> deliveries;

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/budget.h"
 #include "fault/channel_model.h"
 #include "graph/interference_graph.h"
 #include "obs/metrics.h"
@@ -109,8 +110,11 @@ class Network {
   /// Runs until quiescence (all live programs done, no messages in flight
   /// or delayed) or `max_rounds`.  Crashed nodes — per the attached channel
   /// model — neither execute nor receive, and count as done: a dead
-  /// neighbor can never block quiescence.
-  RunStats run(int max_rounds);
+  /// neighbor can never block quiescence.  `cancel` (optional) is polled at
+  /// every round boundary; a fired token stops the run early with the
+  /// rounds completed so far (protocol state stays consistent — rounds are
+  /// atomic).
+  RunStats run(int max_rounds, const ckpt::CancelToken* cancel = nullptr);
 
   /// Lifetime totals across every run() on this network (run() returns the
   /// per-run slice).  `rounds`/`messages`/`payload_words` accumulate;

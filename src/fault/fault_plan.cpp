@@ -1,5 +1,6 @@
 #include "fault/fault_plan.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -105,6 +106,68 @@ bool FaultPlan::drawMiss(int slot, int tag) const {
   const std::uint64_t h = workload::splitmix64(
       workload::deriveSeed(seed_, "fault-miss") ^ workload::splitmix64(site));
   return hashU01(h) < p;
+}
+
+namespace {
+
+/// Order-stable accumulator for the identity hash: every scripted quantity
+/// is mixed as a 64-bit word through splitmix64 chaining, doubles by bit
+/// pattern (the plan only ever compares for exact equality, so bit
+/// patterns are the right identity).
+struct HashAcc {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  void word(std::uint64_t v) { h = workload::splitmix64(h ^ v); }
+  void real(double d) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    word(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t FaultPlan::fingerprint() const {
+  if (empty()) return 0;
+  HashAcc acc;
+  acc.word(seed_);
+  acc.word(crashes_.size());
+  for (const CrashInterval& ci : crashes_) {
+    acc.word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ci.reader)));
+    acc.word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ci.start)));
+    acc.word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ci.end)));
+    acc.word(ci.loud ? 1 : 0);
+  }
+  acc.real(link_default_.drop);
+  acc.real(link_default_.dup);
+  acc.real(link_default_.delay);
+  acc.word(static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(link_default_.max_delay)));
+  acc.word(link_overrides_.size());
+  for (const auto& [key, lf] : link_overrides_) {  // std::map: sorted, stable
+    acc.word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.first)));
+    acc.word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.second)));
+    acc.real(lf.drop);
+    acc.real(lf.dup);
+    acc.real(lf.delay);
+    acc.word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(lf.max_delay)));
+  }
+  acc.real(miss_default_);
+  acc.word(miss_overrides_.size());
+  for (const auto& [slot, p] : miss_overrides_) {
+    acc.word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot)));
+    acc.real(p);
+  }
+  // Reserve 0 as the empty-plan sentinel.
+  return acc.h == 0 ? 1 : acc.h;
+}
+
+int FaultPlan::epochAt(int slot) const {
+  int epoch = 0;
+  for (const CrashInterval& ci : crashes_) {
+    if (ci.start <= slot) ++epoch;
+  }
+  return epoch;
 }
 
 namespace {

@@ -111,6 +111,19 @@ class FaultPlan {
   /// missRate(slot), hashed from the plan seed — order-independent.
   bool drawMiss(int slot, int tag) const;
 
+  /// Canonical identity hash over everything the plan scripts (seed, crash
+  /// intervals, link faults, miss rates).  Recorded in checkpoint journal
+  /// headers (ckpt/journal.h) so a resume against a different fault plan
+  /// fails closed instead of replaying a mismatched failure scenario.
+  /// The empty plan fingerprints to 0.
+  std::uint64_t fingerprint() const;
+
+  /// The plan epoch at `slot`: how many scripted crash intervals have
+  /// started by then.  Monotone in the slot, cheap to recompute, and
+  /// captured per journal record — a replay that disagrees on the epoch has
+  /// drifted from the scripted failure timeline and fails closed.
+  int epochAt(int slot) const;
+
  private:
   std::uint64_t seed_ = 0;
   std::vector<CrashInterval> crashes_;

@@ -20,6 +20,7 @@ const char* eventKindName(EventKind k) {
     case EventKind::kFrame: return "frame";
     case EventKind::kFault: return "fault";
     case EventKind::kSpan: return "span";
+    case EventKind::kCkpt: return "ckpt";
   }
   return "span";
 }

@@ -41,6 +41,7 @@ enum class EventKind {
   kFrame,       // a link-layer protocol frame / walk resolved
   kFault,       // an injected fault fired (crash, drop, miss, orphan)
   kSpan,        // generic timed span (ScopedTimer default)
+  kCkpt,        // checkpoint IO: journal replay, snapshot written
 };
 
 const char* eventKindName(EventKind k);

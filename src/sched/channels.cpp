@@ -71,6 +71,9 @@ ChanneledResult MultiChannelScheduler::scheduleChanneled(
   std::vector<int> chan;
 
   while (true) {
+    // Cancellation checkpoint: one poll per greedy addition; the partial
+    // channel assignment is feasible after every completed addition.
+    if (cancelled()) break;
     int best = -1;
     int best_delta = 0;
     int best_channel = -1;

@@ -12,8 +12,9 @@ namespace {
 /// Branch & bound over a LocalProblem with dense tag ids.
 class Search {
  public:
-  Search(const LocalProblem& p, std::int64_t node_limit)
-      : p_(p), node_limit_(node_limit) {
+  Search(const LocalProblem& p, std::int64_t node_limit,
+         const ckpt::CancelToken* cancel)
+      : p_(p), node_limit_(node_limit), cancel_(cancel) {
     const int n = static_cast<int>(p.adj.size());
     // Densify tag ids for O(1) multiplicity counters.
     std::unordered_map<int, int> remap;
@@ -110,6 +111,13 @@ class Search {
       budget_hit_ = true;
       return;
     }
+    // Cooperative cancellation rides the node-budget path: poll every 4096
+    // nodes (an atomic load is cheap, a steady_clock read is not) and bail
+    // with the best incumbent found so far.
+    if (cancel_ != nullptr && (nodes_ & 4095) == 0 && cancel_->cancelled()) {
+      budget_hit_ = true;
+      return;
+    }
     if (weight_ > best_weight_) {
       best_weight_ = weight_;
       best_ = chosen_;
@@ -129,6 +137,7 @@ class Search {
 
   const LocalProblem& p_;
   std::int64_t node_limit_;
+  const ckpt::CancelToken* cancel_;
   std::vector<std::vector<int>> coverage_;  // densified tag ids
   std::vector<int> count_;
   std::vector<int> conflict_;
@@ -144,16 +153,18 @@ class Search {
 
 }  // namespace
 
-BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit) {
+BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit,
+                     const ckpt::CancelToken* cancel) {
   assert(problem.adj.size() == problem.coverage.size());
-  Search s(problem, node_limit);
+  Search s(problem, node_limit, cancel);
   return s.run();
 }
 
 BnbResult maxWeightFeasibleSubset(const core::System& sys,
                                   std::span<const int> candidates,
                                   std::int64_t node_limit,
-                                  std::span<const int> committed) {
+                                  std::span<const int> committed,
+                                  const ckpt::CancelToken* cancel) {
   const int n = static_cast<int>(candidates.size());
   LocalProblem p;
   for (const int c : committed) {
@@ -175,7 +186,7 @@ BnbResult maxWeightFeasibleSubset(const core::System& sys,
       if (!sys.isRead(t)) p.coverage[static_cast<std::size_t>(i)].push_back(t);
     }
   }
-  BnbResult res = solveLocal(p, node_limit);
+  BnbResult res = solveLocal(p, node_limit, cancel);
   // Translate local indices back to reader indices.
   for (int& m : res.members) m = candidates[static_cast<std::size_t>(m)];
   std::sort(res.members.begin(), res.members.end());
@@ -185,7 +196,8 @@ BnbResult maxWeightFeasibleSubset(const core::System& sys,
 OneShotResult ExactScheduler::schedule(const core::System& sys) {
   std::vector<int> all(static_cast<std::size_t>(sys.numReaders()));
   std::iota(all.begin(), all.end(), 0);
-  const BnbResult res = maxWeightFeasibleSubset(sys, all, node_limit_);
+  const BnbResult res =
+      maxWeightFeasibleSubset(sys, all, node_limit_, {}, cancelToken());
   recordScheduleMetrics(res.nodes, sys.numReaders());
   return {res.members, res.weight};
 }

@@ -57,7 +57,11 @@ struct BnbResult {
 /// Exact MWFS on a LocalProblem via branch & bound.
 /// Bound: current weight + Σ exclusive-coverage upper bounds of remaining
 /// selectable candidates.  `node_limit` caps the search (≤0 = unlimited).
-BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit = 0);
+/// `cancel` (optional) is polled every few thousand nodes; a fired token
+/// ends the search through the same best-so-far path as the node budget
+/// (`optimal` comes back false).
+BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit = 0,
+                     const ckpt::CancelToken* cancel = nullptr);
 
 /// Exact MWFS restricted to `candidates` (reader indices) of `sys`,
 /// scored against the system's current unread set.  When `committed` is
@@ -68,7 +72,8 @@ BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit = 0);
 BnbResult maxWeightFeasibleSubset(const core::System& sys,
                                   std::span<const int> candidates,
                                   std::int64_t node_limit = 0,
-                                  std::span<const int> committed = {});
+                                  std::span<const int> committed = {},
+                                  const ckpt::CancelToken* cancel = nullptr);
 
 /// Exact one-shot scheduler over all readers.  Exponential in the worst
 /// case — intended for tests and small-n ablations, not the paper-scale

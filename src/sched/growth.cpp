@@ -34,6 +34,10 @@ OneShotResult GrowthScheduler::schedule(const core::System& sys) {
   const bool counting = metrics() != nullptr;
   std::int64_t peek_evals = 0;
   while (true) {
+    // Cancellation checkpoint: one poll per coordinator pick.  X is
+    // feasible after every completed pick, so the partial set is a valid
+    // (if lighter) one-shot answer.
+    if (cancelled()) break;
     // Pick the alive reader with maximum marginal standalone weight.
     int v = -1;
     int vw = 0;
@@ -60,8 +64,9 @@ OneShotResult GrowthScheduler::schedule(const core::System& sys) {
     for (int r = 0; r < opt_.hop_cap; ++r) {
       const auto next_hood =
           graph::kHopNeighborhoodAlive(*graph_, v, r + 1, alive);
-      const BnbResult next = maxWeightFeasibleSubset(
-          sys, next_hood, opt_.node_limit, committed.members());
+      const BnbResult next =
+          maxWeightFeasibleSubset(sys, next_hood, opt_.node_limit,
+                                  committed.members(), cancelToken());
       stats_.bnb_nodes += next.nodes;
       if (static_cast<double>(next.weight) <
           opt_.rho * static_cast<double>(gamma_w)) {

@@ -17,6 +17,9 @@ OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
   std::int64_t peek_evals = 0;
   std::int64_t steps = 0;
   while (true) {
+    // Cancellation checkpoint: one poll per climb step; the climbed-so-far
+    // set is feasible by construction.
+    if (cancelled()) break;
     int best = -1;
     int best_delta = 0;  // require strictly positive progress
     for (int v = 0; v < n; ++v) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/journal.h"
 #include "fault/channel_model.h"
 #include "fault/fault_plan.h"
 #include "obs/timer.h"
@@ -55,7 +56,30 @@ int countOrphans(const core::System& sys, const fault::FaultPlan& plan,
   return orphans;
 }
 
+/// BudgetStop -> McsStop (kNone only when the budget did not fire).
+McsStop budgetStop(ckpt::BudgetStop bs) {
+  switch (bs) {
+    case ckpt::BudgetStop::kSlotCap: return McsStop::kSlotCap;
+    case ckpt::BudgetStop::kDeadline: return McsStop::kDeadline;
+    case ckpt::BudgetStop::kCancelled: return McsStop::kCancelled;
+    case ckpt::BudgetStop::kNone: break;
+  }
+  return McsStop::kCancelled;
+}
+
 }  // namespace
+
+const char* mcsStopName(McsStop s) {
+  switch (s) {
+    case McsStop::kNone: return "none";
+    case McsStop::kSlotCap: return "slot-cap";
+    case McsStop::kDeadline: return "deadline";
+    case McsStop::kCancelled: return "cancelled";
+    case McsStop::kJournalError: return "journal-error";
+    case McsStop::kReplayMismatch: return "replay-mismatch";
+  }
+  return "?";
+}
 
 McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
                               const McsOptions& opt) {
@@ -96,6 +120,20 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     c_faulty_slots = &opt.metrics->counter("fault.mcs.faulty_slots");
     c_slots_lost = &opt.metrics->counter("fault.mcs.slots_lost");
   }
+  // ckpt.* counters are *logical*: they count committed slots and due
+  // snapshot boundaries, bumped identically whether a slot is replay-
+  // verified or freshly appended, so a resumed run exports the exact
+  // metrics JSON of the uninterrupted one.  Physical IO detail (replay
+  // spans, snapshot writes) rides on kCkpt trace events only.  They exist
+  // only when checkpointing is attached, keeping plain runs bit-identical
+  // to the pre-checkpoint driver.
+  const bool checkpointing = opt.journal != nullptr || opt.resume != nullptr;
+  obs::Counter* c_ckpt_slots = nullptr;
+  obs::Counter* c_ckpt_snaps = nullptr;
+  if (opt.metrics != nullptr && checkpointing) {
+    c_ckpt_slots = &opt.metrics->counter("ckpt.slots_committed");
+    c_ckpt_snaps = &opt.metrics->counter("ckpt.snapshots");
+  }
 
   // Failure-detector memory: reader -> first slot at which it is trusted
   // again.  Populated when a crashed activation is observed, consulted to
@@ -107,7 +145,21 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
 
   int stall = 0;
   while (sys.unreadCoverableCount() > 0 && res.slots < opt.max_slots) {
+    if (opt.budget != nullptr) {
+      const ckpt::BudgetStop bs = opt.budget->charge(res.slots);
+      if (bs != ckpt::BudgetStop::kNone) {
+        res.interrupted = true;
+        res.stop = budgetStop(bs);
+        break;
+      }
+    }
     const int q = res.slots;  // slot index the fault plan speaks in
+    // While a resume journal still has records ahead of q we are replaying:
+    // the slot is recomputed through this exact loop body and verified
+    // against its record instead of being appended.
+    const bool replaying =
+        opt.resume != nullptr &&
+        q < static_cast<int>(opt.resume->slots.size());
     if (faulty && plan->hasPermanentDeaths()) {
       const int orphans = countOrphans(sys, *plan, q);
       if (orphans >= sys.unreadCoverableCount()) {
@@ -122,12 +174,23 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
                           "mcs.slot_us", opt.trace, "mcs.slot",
                           obs::EventKind::kSlot);
     const OneShotResult one = scheduler.schedule(sys);
+    if (opt.budget != nullptr && opt.budget->token().cancelled()) {
+      // The proposal was (or may have been) computed under a fired token —
+      // the scheduler could have returned a truncated search result.
+      // Discard it, so the committed prefix of an interrupted run is always
+      // a prefix of the uninterrupted trajectory (the anytime contract).
+      res.interrupted = true;
+      res.stop = budgetStop(opt.budget->charge(res.slots));
+      break;
+    }
 
     std::vector<int> served;
     int crashed_here = 0;
     int replanned_here = 0;
     int missed_here = 0;
     int ideal_here = 0;
+    bool slot_faulty = false;
+    bool slot_lost = false;
     if (!faulty) {
       served = sys.wellCoveredTags(one.readers);
     } else {
@@ -179,10 +242,10 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
       res.degradation.crashed_activations += crashed_here;
       res.degradation.replanned_activations += replanned_here;
       res.degradation.tags_missed += missed_here;
-      const bool slot_faulty =
+      slot_faulty =
           crashed_here + replanned_here + missed_here > 0 ||
           (!jamming.empty() && static_cast<int>(served.size()) != ideal_here);
-      const bool slot_lost = slot_faulty && served.empty() && ideal_here > 0;
+      slot_lost = slot_faulty && served.empty() && ideal_here > 0;
       res.degradation.faulty_slots += slot_faulty ? 1 : 0;
       res.degradation.slots_lost += slot_lost ? 1 : 0;
       if (c_crashed != nullptr) {
@@ -201,6 +264,40 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
              {"missed", static_cast<double>(missed_here)},
              {"served", static_cast<double>(served.size())},
              {"ideal", static_cast<double>(ideal_here)}});
+      }
+    }
+
+    if (checkpointing) {
+      // The journal record of this slot: everything the replay validator
+      // needs to re-verify the deterministic recomputation above.
+      ckpt::SlotEntry entry;
+      entry.slot = q;
+      entry.active = one.readers;
+      entry.served = served;
+      entry.crashed = crashed_here;
+      entry.replanned = replanned_here;
+      entry.missed = missed_here;
+      entry.ideal = ideal_here;
+      entry.faulty = slot_faulty;
+      entry.lost = slot_lost;
+      entry.epoch = faulty ? plan->epochAt(q) : 0;
+      entry.fp = scheduler.stateFingerprint();
+      if (replaying) {
+        if (!(entry == opt.resume->slots[static_cast<std::size_t>(q)])) {
+          // The replay diverged from the recorded run — different binary,
+          // environment, or a corrupted-but-CRC-valid record.  Fail closed
+          // without committing the divergent slot.
+          res.stop = McsStop::kReplayMismatch;
+          break;
+        }
+      } else if (opt.journal != nullptr) {
+        if (!opt.journal->appendSlot(entry)) {
+          // Could not make the slot durable (disk full, journal closed):
+          // stop before committing it, so the journal and the returned
+          // result agree on the committed prefix.
+          res.stop = McsStop::kJournalError;
+          break;
+        }
       }
     }
     sys.markRead(served);
@@ -233,7 +330,57 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
       span.arg("stall", static_cast<double>(stall));
     }
 
+    if (checkpointing) {
+      if (c_ckpt_slots != nullptr) c_ckpt_slots->add(1);
+      if (replaying) {
+        ++res.replayed_slots;
+        // Cross-check the loaded snapshot against the replayed read-state
+        // at its boundary: a bitmap that disagrees with the journal it
+        // rode beside means one of the two is lying.
+        if (opt.resume->snapshot.has_value() &&
+            opt.resume->snapshot->slot == res.slots) {
+          const ckpt::Snapshot& snap = *opt.resume->snapshot;
+          bool match = static_cast<int>(snap.read.size()) == sys.numTags();
+          for (int t = 0; match && t < sys.numTags(); ++t) {
+            match = (snap.read[static_cast<std::size_t>(t)] != 0) ==
+                    sys.isRead(t);
+          }
+          if (!match) {
+            res.stop = McsStop::kReplayMismatch;
+            break;
+          }
+        }
+      }
+      if (opt.journal != nullptr && opt.journal->snapshotDue(res.slots)) {
+        if (c_ckpt_snaps != nullptr) c_ckpt_snaps->add(1);
+        if (!replaying) {
+          ckpt::Snapshot snap;
+          snap.slot = res.slots;
+          snap.read.resize(static_cast<std::size_t>(sys.numTags()), 0);
+          for (int t = 0; t < sys.numTags(); ++t) {
+            snap.read[static_cast<std::size_t>(t)] = sys.isRead(t) ? 1 : 0;
+          }
+          if (!opt.journal->writeSnapshot(snap)) {
+            res.stop = McsStop::kJournalError;
+            break;
+          }
+          if (opt.trace != nullptr) {
+            opt.trace->instant(obs::EventKind::kCkpt, "ckpt.snapshot",
+                               {{"slot", static_cast<double>(res.slots)}});
+          }
+        }
+      }
+    }
+
     if (served.empty() && stall >= opt.max_stall) break;
+  }
+  if (res.stop == McsStop::kNone && !res.interrupted &&
+      opt.resume != nullptr &&
+      res.replayed_slots < static_cast<int>(opt.resume->slots.size())) {
+    // Natural termination (covered / stalled / slot cap) with journal
+    // records still unconsumed: the recorded run committed slots past the
+    // point where this trajectory ends, so the two diverged.  Fail closed.
+    res.stop = McsStop::kReplayMismatch;
   }
   res.completed = sys.unreadCoverableCount() == 0;
   if (faulty && plan->hasPermanentDeaths() &&
@@ -250,6 +397,10 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
         .set(static_cast<double>(res.degradation.ideal_tags_read));
   }
 
+  if (opt.trace != nullptr && res.replayed_slots > 0) {
+    opt.trace->instant(obs::EventKind::kCkpt, "ckpt.replay",
+                       {{"slots", static_cast<double>(res.replayed_slots)}});
+  }
   if (opt.trace != nullptr) {
     opt.trace->instant(obs::EventKind::kSpan, "mcs.done",
                        {{"slots", static_cast<double>(res.slots)},

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "ckpt/budget.h"
 #include "core/system.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,6 +32,11 @@
 namespace rfid::fault {
 class FaultPlan;
 }
+
+namespace rfid::ckpt {
+class JournalWriter;
+struct JournalData;
+}  // namespace rfid::ckpt
 
 namespace rfid::sched {
 
@@ -63,7 +69,41 @@ struct McsOptions {
   /// subsequent slots: the driver strips it from proposals (re-planning),
   /// then re-probes so a recovered reader rejoins.  <= 0 disables benching.
   int reprobe_interval = 8;
+  /// Execution budget (optional).  Charged at every slot boundary; a fired
+  /// budget ends the run with a valid best-so-far result marked
+  /// `interrupted`.  A slot whose schedule() call observed the budget's
+  /// CancelToken is discarded, never committed, so the committed prefix of
+  /// an interrupted run is always a prefix of the uninterrupted trajectory
+  /// (the anytime contract, docs/recovery.md).  Callers who also want the
+  /// schedulers to stop mid-search attach budget->token() themselves
+  /// (OneShotScheduler::attachCancel).
+  ckpt::RunBudget* budget = nullptr;
+  /// Crash-safe journaling (optional).  With `journal` attached the driver
+  /// appends one record per committed slot and writes a periodic atomic
+  /// snapshot of the read-state bitmap.  With `resume` attached the driver
+  /// first *replays* the journal's committed prefix through this exact loop
+  /// — same schedule() calls, same referee verdicts, same metric bumps —
+  /// verifying every slot against its record (and the snapshot against the
+  /// replayed bitmap at its boundary), then switches to live appending.
+  /// Any divergence stops with McsStop::kReplayMismatch; an append/snapshot
+  /// IO failure stops with McsStop::kJournalError.  Both nullptr: the run
+  /// is bit-identical to the pre-checkpoint driver.
+  ckpt::JournalWriter* journal = nullptr;
+  const ckpt::JournalData* resume = nullptr;
 };
+
+/// Why runCoveringSchedule returned (kNone: natural termination — covered,
+/// stalled out, or hit McsOptions::max_slots).
+enum class McsStop {
+  kNone,
+  kSlotCap,         // budget: committed-slot cap reached
+  kDeadline,        // budget: wall-clock deadline passed
+  kCancelled,       // budget: explicit cancellation
+  kJournalError,    // checkpoint: journal append / snapshot write failed
+  kReplayMismatch,  // checkpoint: replay diverged from the journal
+};
+
+const char* mcsStopName(McsStop s);
 
 /// One executed time-slot.
 struct SlotRecord {
@@ -113,6 +153,13 @@ struct McsResult {
   std::vector<SlotRecord> schedule;
   /// Fault accounting (all zero without an attached non-empty FaultPlan).
   McsDegradation degradation;
+  /// True when an armed RunBudget ended the run early (stop names why).
+  /// The result is still valid — a verbatim prefix of the uninterrupted
+  /// trajectory — and, when journaled, resumable to the full run.
+  bool interrupted = false;
+  McsStop stop = McsStop::kNone;
+  /// Committed slots re-verified from the journal (resume runs only).
+  int replayed_slots = 0;
 };
 
 /// Runs the greedy covering-schedule loop, mutating `sys`'s read-state.

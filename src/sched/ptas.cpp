@@ -350,8 +350,11 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
 
   OneShotResult best;
   int max_level = 0;
-  for (int sr = 0; sr < opt_.k; ++sr) {
-    for (int ss = 0; ss < opt_.k; ++ss) {
+  // Cancellation checkpoint: one poll per grid shift.  Each completed
+  // shift yields a feasible candidate, so stopping early just returns the
+  // best of the shifts finished so far.
+  for (int sr = 0; sr < opt_.k && !cancelled(); ++sr) {
+    for (int ss = 0; ss < opt_.k && !cancelled(); ++ss) {
       const ShiftedGrid grid(opt_.k, sr, ss);
       std::vector<int> level(static_cast<std::size_t>(n));
       for (int i = 0; i < n; ++i) {

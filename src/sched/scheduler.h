@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/budget.h"
 #include "core/system.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -74,13 +75,37 @@ class OneShotScheduler {
   /// it (their faults act only at the MCS referee, sched/mcs.h).
   virtual void attachChannel(fault::ChannelModel*) {}
 
+  /// Attaches a cooperative cancellation token (nullptr detaches).  Every
+  /// implementation polls it at its own checkpoints — per coordinator pick,
+  /// per shift, per protocol round, and every few thousand branch & bound
+  /// nodes — and on cancellation returns the best valid (feasible) set it
+  /// has so far.  The MCS driver discards a proposal computed under a fired
+  /// token, so cancellation never perturbs committed results
+  /// (docs/recovery.md, the anytime contract).
+  void attachCancel(const ckpt::CancelToken* c) { cancel_ = c; }
+  const ckpt::CancelToken* cancelToken() const { return cancel_; }
+
+  /// A fingerprint of the scheduler's evolving cross-slot state — its RNG
+  /// cursor, in journal terms (ckpt/journal.h SlotEntry::fp).  Stateless
+  /// schedulers return 0; Colorwave hashes its coloring + slot cursor and
+  /// Algorithm 3 reports its per-slot salt.  Recorded after every committed
+  /// slot and re-verified on journal replay, so a resume whose scheduler
+  /// state diverged from the original run fails closed instead of silently
+  /// continuing a different trajectory.
+  virtual std::uint64_t stateFingerprint() const { return 0; }
+
  protected:
+  /// True once the attached token (if any) has fired; implementations use
+  /// this as their cancellation checkpoint predicate.
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+
   /// Bumps the shared per-schedule counters; no-op when detached.
   void recordScheduleMetrics(std::int64_t weight_evals,
                              std::int64_t candidates) const;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  const ckpt::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace rfid::sched

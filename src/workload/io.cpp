@@ -1,8 +1,12 @@
 #include "workload/io.h"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
+
+#include "ckpt/atomic_file.h"
 
 namespace rfid::workload {
 
@@ -20,10 +24,13 @@ void saveDeployment(std::ostream& os, const core::System& sys) {
 }
 
 bool saveDeploymentFile(const std::string& path, const core::System& sys) {
-  std::ofstream os(path);
-  if (!os) return false;
+  // Serialize to memory, then publish with tmp + fsync + rename: a crash or
+  // full disk mid-save leaves either the old file or the new one at `path`,
+  // never a torn half-deployment.
+  std::ostringstream os;
   saveDeployment(os, sys);
-  return static_cast<bool>(os);
+  if (!os) return false;
+  return ckpt::writeFileAtomic(path, os.str());
 }
 
 namespace {
@@ -57,13 +64,33 @@ bool parseInt(const std::string& s, int& out) {
   }
 }
 
+/// Full-width unsigned parse for EPCs: a 96-bit-style identifier truncated
+/// to 64 bits must not be squeezed through int (stoull would also silently
+/// accept "-1" by wrapping, so negatives are rejected up front).
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  try {
+    std::size_t used = 0;
+    out = std::stoull(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
 }  // namespace
 
 std::optional<core::System> loadDeployment(std::istream& is) {
   std::vector<core::Reader> readers;
   std::vector<core::Tag> tags;
+  std::unordered_set<int> reader_ids;
+  std::unordered_set<int> tag_ids;
   std::string line;
   while (std::getline(is, line)) {
+    // Tolerate CRLF files (surveys exported from spreadsheets): getline
+    // leaves the '\r' on the line, which would otherwise poison the last
+    // field's numeric parse.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     const auto f = split(line);
     if (f[0] == "reader" && f.size() == 6) {
@@ -76,17 +103,19 @@ std::optional<core::System> loadDeployment(std::istream& is) {
       }
       r.pos = {x, y};
       if (!r.valid()) return std::nullopt;
+      // A duplicated id is a corrupt survey, not two devices; accepting it
+      // would silently skew every id-keyed structure downstream.
+      if (!reader_ids.insert(r.id).second) return std::nullopt;
       readers.push_back(r);
     } else if (f[0] == "tag" && f.size() == 5) {
       core::Tag t;
       double x = 0, y = 0;
-      int epc = 0;
       if (!parseInt(f[1], t.id) || !parseDouble(f[2], x) ||
-          !parseDouble(f[3], y) || !parseInt(f[4], epc)) {
+          !parseDouble(f[3], y) || !parseU64(f[4], t.epc)) {
         return std::nullopt;
       }
       t.pos = {x, y};
-      t.epc = static_cast<std::uint64_t>(epc);
+      if (!tag_ids.insert(t.id).second) return std::nullopt;
       tags.push_back(t);
     } else {
       return std::nullopt;  // fail closed on anything unrecognized

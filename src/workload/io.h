@@ -8,7 +8,11 @@
 //   reader,<id>,<x>,<y>,<interference_radius>,<interrogation_radius>
 //   tag,<id>,<x>,<y>,<epc>
 //
-// Unknown lines are rejected (fail closed), `#` lines are comments.
+// Unknown lines, duplicated reader/tag ids, and out-of-range fields are
+// rejected (fail closed); `#` lines are comments; CRLF line endings are
+// tolerated.  EPCs are full-width uint64 values.  saveDeploymentFile
+// publishes atomically (tmp + fsync + rename, ckpt/atomic_file.h) so a
+// crashed or out-of-space save never leaves a torn file behind.
 #pragma once
 
 #include <iosfwd>

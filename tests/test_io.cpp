@@ -2,6 +2,7 @@
 // parsing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <sstream>
 
@@ -80,6 +81,80 @@ TEST(Io, EmptyInputIsRejected) {
 
 TEST(Io, MissingFileIsRejected) {
   EXPECT_FALSE(loadDeploymentFile("/nonexistent/path.csv").has_value());
+}
+
+TEST(Io, EpcUint64BoundaryRoundTrip) {
+  // EPCs are full-width uint64: INT_MAX+1, 2^63, and UINT64_MAX must
+  // survive load → save → load exactly (a signed-int path would mangle
+  // all three).
+  const std::uint64_t epcs[] = {2147483648ull, 9223372036854775808ull,
+                                18446744073709551615ull};
+  std::stringstream in;
+  in << "reader,0,1.0,2.0,5.0,3.0\n";
+  for (int i = 0; i < 3; ++i) {
+    in << "tag," << i << ',' << (1.0 + i) << ",2.0," << epcs[i] << '\n';
+  }
+  const auto first = loadDeployment(in);
+  ASSERT_TRUE(first.has_value());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(first->tag(i).epc, epcs[i]);
+  std::stringstream out;
+  saveDeployment(out, *first);
+  const auto second = loadDeployment(out);
+  ASSERT_TRUE(second.has_value());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(second->tag(i).epc, epcs[i]);
+}
+
+TEST(Io, EpcRejectsSignAndOverflow) {
+  for (const std::string epc : {"-1", "+7", "18446744073709551616", "", "7x"}) {
+    std::stringstream ss("reader,0,1.0,2.0,5.0,3.0\ntag,0,1.0,2.0," + epc +
+                         "\n");
+    EXPECT_FALSE(loadDeployment(ss).has_value()) << "epc=" << epc;
+  }
+}
+
+TEST(Io, CrlfLineEndingsTolerated) {
+  std::stringstream ss(
+      "# exported from a spreadsheet\r\n"
+      "reader,0,1.0,2.0,5.0,3.0\r\n"
+      "tag,0,1.5,2.0,7\r\n");
+  const auto loaded = loadDeployment(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->numReaders(), 1);
+  EXPECT_EQ(loaded->tag(0).epc, 7u);
+}
+
+TEST(Io, DuplicateIdsRejected) {
+  {
+    std::stringstream ss(
+        "reader,0,1.0,2.0,5.0,3.0\n"
+        "reader,0,9.0,9.0,5.0,3.0\n");
+    EXPECT_FALSE(loadDeployment(ss).has_value()) << "duplicate reader id";
+  }
+  {
+    std::stringstream ss(
+        "reader,0,1.0,2.0,5.0,3.0\n"
+        "tag,3,1.0,2.0,7\n"
+        "tag,3,4.0,5.0,8\n");
+    EXPECT_FALSE(loadDeployment(ss).has_value()) << "duplicate tag id";
+  }
+}
+
+TEST(Io, SaveFailureNeverLeavesTornFile) {
+  namespace fs = std::filesystem;
+  const core::System sys = test::figure2System();
+  // Unreachable parent directory: the atomic writer cannot even create its
+  // temporary, so it must report failure and create nothing.
+  EXPECT_FALSE(saveDeploymentFile("/nonexistent_dir_xyz/dep.csv", sys));
+  EXPECT_FALSE(fs::exists("/nonexistent_dir_xyz"));
+  // Target occupied by a directory: the tmp write succeeds but the final
+  // rename cannot (simulating a failure after partial IO).  The directory
+  // must be untouched and the temporary cleaned up — no torn artifacts.
+  const std::string dir_target = "io_test_target_dir";
+  fs::create_directory(dir_target);
+  EXPECT_FALSE(saveDeploymentFile(dir_target, sys));
+  EXPECT_TRUE(fs::is_directory(dir_target));
+  EXPECT_FALSE(fs::exists(dir_target + ".tmp"));
+  fs::remove(dir_target);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 //                 [--channels C] [--rho R] [--k K] [--svg PATH]
 //                 [--save PATH] [--load PATH] [--fault PATH]
 //                 [--metrics PATH] [--trace PATH] [--jsonl PATH]
+//                 [--checkpoint PATH] [--resume]
+//                 [--deadline-ms N] [--max-slots N]
 //
 // Prints a human-readable report; --svg additionally renders the (first)
 // slot decision.  --save writes the generated deployment to PATH (CSV) and
@@ -24,13 +26,30 @@
 // chrome://tracing, and --jsonl writes the same events as JSON-lines.  See
 // docs/observability.md.
 //
-// Exit code 0 on success, 2 on bad usage (the offending flag is named).
+// Crash safety and budgets (mcs mode only; docs/recovery.md):
+// --checkpoint journals every committed slot to PATH (snapshot sidecar at
+// PATH.snap); --resume validates and replays an existing journal and
+// continues — resumed output is byte-identical to an uninterrupted run
+// (checkpoint chatter goes to stderr so stdout stays diffable).
+// --deadline-ms / --max-slots bound the run; an expiring budget returns
+// the valid best-so-far schedule marked interrupted.
+//
+// Exit codes:
+//   0  success
+//   2  bad usage / bad configuration (the offending flag is named)
+//   3  run interrupted by --deadline-ms / --max-slots (result still valid
+//      and, with --checkpoint, resumable)
+//   4  checkpoint integrity failure (corrupt journal, identity mismatch,
+//      replay divergence, journal write error)
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "analysis/svg.h"
+#include "ckpt/budget.h"
+#include "ckpt/mcs_ckpt.h"
 #include "distributed/colorwave.h"
 #include "fault/channel_model.h"
 #include "fault/fault_plan.h"
@@ -61,6 +80,10 @@ struct Cli {
   std::string trace_path;    // Chrome trace_event JSON
   std::string jsonl_path;    // JSONL event log
   std::string fault_path;    // fault plan text spec
+  std::string ckpt_path;     // slot journal (snapshot rides at PATH.snap)
+  bool resume = false;       // replay + continue an existing journal
+  int deadline_ms = -1;      // wall-clock budget (-1 = unset, 0 allowed)
+  int max_slots = 0;         // committed-slot budget (0 = unset)
   int readers = 50;
   int tags = 1200;
   double side = 100.0;
@@ -81,13 +104,27 @@ void usage() {
       "                     [--channels C] [--rho R] [--k K] [--svg PATH]\n"
       "                     [--save PATH] [--load PATH] [--fault PATH]\n"
       "                     [--metrics PATH] [--trace PATH] [--jsonl PATH]\n"
+      "                     [--checkpoint PATH] [--resume]\n"
+      "                     [--deadline-ms N] [--max-slots N]\n"
       "\n"
       "  --save PATH     write the generated deployment to PATH (CSV), then run\n"
       "  --load PATH     run on a saved deployment instead of generating one\n"
       "  --fault PATH    inject the fault plan at PATH (spec: docs/faults.md)\n"
       "  --metrics PATH  write scheduler/driver/referee metrics as JSON\n"
       "  --trace PATH    write a Chrome trace_event file (chrome://tracing)\n"
-      "  --jsonl PATH    write the trace as JSON-lines (one event per line)\n";
+      "  --jsonl PATH    write the trace as JSON-lines (one event per line)\n"
+      "  --checkpoint P  journal committed MCS slots to P (crash-safe;\n"
+      "                  docs/recovery.md); refuses to overwrite an existing\n"
+      "                  journal unless --resume is given\n"
+      "  --resume        validate + replay the journal at --checkpoint and\n"
+      "                  continue; resumed output is byte-identical to an\n"
+      "                  uninterrupted run\n"
+      "  --deadline-ms N stop after N ms wall clock with the best-so-far\n"
+      "                  schedule (mcs mode only)\n"
+      "  --max-slots N   stop after N committed slots (mcs mode only)\n"
+      "\n"
+      "exit codes: 0 success; 2 bad usage; 3 interrupted by budget\n"
+      "            (--deadline-ms/--max-slots); 4 checkpoint integrity failure\n";
 }
 
 bool parse(int argc, char** argv, Cli& cli) {
@@ -101,7 +138,8 @@ bool parse(int argc, char** argv, Cli& cli) {
           "--algo", "--mode", "--layout", "--svg",  "--save",
           "--load", "--metrics", "--trace", "--jsonl", "--readers",
           "--tags", "--side", "--lambda-R", "--lambda-r", "--seed",
-          "--channels", "--rho", "--k", "--fault"};
+          "--channels", "--rho", "--k", "--fault", "--checkpoint",
+          "--deadline-ms", "--max-slots"};
       for (const char* f : flags) {
         if (a == f) return true;
       }
@@ -118,6 +156,10 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--trace" && (v = next())) cli.trace_path = v;
     else if (a == "--jsonl" && (v = next())) cli.jsonl_path = v;
     else if (a == "--fault" && (v = next())) cli.fault_path = v;
+    else if (a == "--checkpoint" && (v = next())) cli.ckpt_path = v;
+    else if (a == "--resume") cli.resume = true;
+    else if (a == "--deadline-ms" && (v = next())) cli.deadline_ms = std::atoi(v);
+    else if (a == "--max-slots" && (v = next())) cli.max_slots = std::atoi(v);
     else if (a == "--readers" && (v = next())) cli.readers = std::atoi(v);
     else if (a == "--tags" && (v = next())) cli.tags = std::atoi(v);
     else if (a == "--side" && (v = next())) cli.side = std::atof(v);
@@ -147,6 +189,17 @@ bool parse(int argc, char** argv, Cli& cli) {
   if (cli.k < 2) return reject("--k", "must be >= 2");
   if (cli.rho <= 1.0) return reject("--rho", "must be > 1");
   if (cli.channels < 1) return reject("--channels", "must be >= 1");
+  if (cli.deadline_ms < -1) return reject("--deadline-ms", "must be >= 0");
+  if (cli.max_slots < 0) return reject("--max-slots", "must be > 0");
+  if (cli.resume && cli.ckpt_path.empty()) {
+    return reject("--resume", "requires --checkpoint PATH");
+  }
+  const bool ckpt_flags = !cli.ckpt_path.empty() || cli.deadline_ms >= 0 ||
+                          cli.max_slots > 0;
+  if (ckpt_flags && cli.mode != "mcs") {
+    return reject("--checkpoint/--deadline-ms/--max-slots",
+                  "only apply to --mode mcs");
+  }
   return true;
 }
 
@@ -258,6 +311,7 @@ int main(int argc, char** argv) {
             << " edges, max degree " << g.maxDegree() << "\nalgorithm: "
             << scheduler->name() << "\n\n";
 
+  bool interrupted = false;
   if (cli.mode == "oneshot") {
     obs::ScopedTimer run_span(metrics, "cli.run_us", trace, "cli.oneshot");
     const sched::OneShotResult res = scheduler->schedule(sys);
@@ -284,8 +338,39 @@ int main(int argc, char** argv) {
       mcs_opt.faults = &fault_plan;
       mcs_opt.channel = channel.get();
     }
-    const sched::McsResult res =
-        sched::runCoveringSchedule(sys, *scheduler, mcs_opt);
+    ckpt::RunBudget budget;
+    if (cli.deadline_ms >= 0) {
+      budget.setDeadline(std::chrono::milliseconds(cli.deadline_ms));
+    }
+    if (cli.max_slots > 0) budget.setSlotCap(cli.max_slots);
+    if (budget.armed()) {
+      mcs_opt.budget = &budget;
+      scheduler->attachCancel(&budget.token());
+    }
+    ckpt::CheckpointSetup setup;
+    setup.path = cli.ckpt_path;
+    setup.resume = cli.resume;
+    setup.seed = cli.seed;
+    const ckpt::CheckpointedRun run =
+        ckpt::runMcsCheckpointed(sys, *scheduler, mcs_opt, setup);
+    if (!run.ok) {
+      std::cerr << "checkpoint error: " << run.error << "\n";
+      return 4;
+    }
+    // Checkpoint chatter goes to stderr: stdout must stay byte-comparable
+    // between a resumed run and an uninterrupted one.
+    if (run.resumed) {
+      std::cerr << "resumed " << cli.ckpt_path << ": " << run.replayed_slots
+                << " committed slots replayed and verified\n";
+    }
+    const sched::McsResult& res = run.result;
+    if (res.interrupted) {
+      interrupted = true;
+      std::cerr << "run interrupted (" << sched::mcsStopName(res.stop)
+                << ") after " << res.slots << " committed slots";
+      if (!cli.ckpt_path.empty()) std::cerr << "; resume with --resume";
+      std::cerr << "\n";
+    }
     std::cout << "covering schedule: " << res.slots << " slots, "
               << res.tags_read << " tags read, " << res.uncoverable
               << " uncoverable, "
@@ -337,5 +422,5 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return 0;
+  return interrupted ? 3 : 0;
 }
