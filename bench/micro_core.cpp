@@ -78,6 +78,64 @@ void BM_WeightEvaluatorPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightEvaluatorPushPop);
 
+// The selection round both greedy schedulers run to exhaustion: take the
+// argmax marginal delta, commit, repeat while positive.  Reference rescans
+// every reader per pick; the lazy queue pays one inverted-index walk per
+// commit (docs/performance.md).  Both variants make identical picks.
+void BM_GreedySelectionReference(benchmark::State& state) {
+  const auto sc = scaled(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(0)) * 24);
+  const core::System sys = workload::makeSystem(sc, 7);
+  const int n = sys.numReaders();
+  for (auto _ : state) {
+    core::WeightEvaluator eval(sys);
+    std::vector<char> open(static_cast<std::size_t>(n), 1);
+    while (true) {
+      int best = -1;
+      int bw = 0;
+      for (int v = 0; v < n; ++v) {
+        if (open[static_cast<std::size_t>(v)] == 0) continue;
+        const int d = eval.peekDelta(v);
+        if (d > bw) {
+          bw = d;
+          best = v;
+        }
+      }
+      if (best < 0) break;
+      eval.push(best);
+      open[static_cast<std::size_t>(best)] = 0;
+    }
+    benchmark::DoNotOptimize(eval.weight());
+  }
+}
+BENCHMARK(BM_GreedySelectionReference)->Arg(200)->Arg(800)->Arg(2000);
+
+void BM_GreedySelectionLazy(benchmark::State& state) {
+  const auto sc = scaled(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(0)) * 24);
+  const core::System sys = workload::makeSystem(sc, 7);
+  const int n = sys.numReaders();
+  std::vector<int> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  core::StandaloneWeightCache cache;
+  core::LazyGreedyQueue queue;
+  for (auto _ : state) {
+    core::WeightEvaluator eval(sys);
+    std::vector<char> open(static_cast<std::size_t>(n), 1);
+    cache.sync(sys);
+    queue.beginRound(eval, all, cache.weights());
+    while (true) {
+      const int best = queue.pickBest(open);
+      if (best < 0) break;
+      eval.push(best);
+      queue.invalidate(best);
+      open[static_cast<std::size_t>(best)] = 0;
+    }
+    benchmark::DoNotOptimize(eval.weight());
+  }
+}
+BENCHMARK(BM_GreedySelectionLazy)->Arg(200)->Arg(800)->Arg(2000);
+
 void BM_InterferenceGraphBuild(benchmark::State& state) {
   const auto sc = scaled(static_cast<int>(state.range(0)),
                          static_cast<int>(state.range(0)));

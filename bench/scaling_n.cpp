@@ -13,8 +13,60 @@
 #include "graph/interference_graph.h"
 #include "sched/growth.h"
 #include "sched/hill_climbing.h"
+#include "sched/mcs.h"
 #include "sched/ptas.h"
 #include "workload/scenario.h"
+
+namespace {
+
+/// Full covering-schedule runs at production scale (n >= 1000).  This is the
+/// hot path the perf trajectory (BENCH_*.json, tools/bench_record.sh) tracks:
+/// wall time covers runCoveringSchedule only — deployment generation and
+/// graph construction are excluded, so before/after numbers isolate the
+/// scheduling kernels.  Only default-constructed schedulers are used, so the
+/// section compiles (and means the same thing) against any library version.
+void mcsSection(int seeds) {
+  using namespace rfid;
+  std::cout << "\n# MCS covering schedule at scale (constant density, "
+            << seeds << " seed(s); ms per full run)\n";
+  std::cout << std::left << std::setw(7) << "n" << std::setw(7) << "algo"
+            << std::setw(8) << "slots" << std::setw(9) << "tags"
+            << std::setw(12) << "ms" << '\n';
+  for (const int n : {1000, 2000, 4000}) {
+    workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+    sc.deploy.num_readers = n;
+    sc.deploy.num_tags = n * 24;
+    sc.deploy.region_side = 100.0 * std::sqrt(n / 50.0);
+
+    for (const char* algo : {"alg2", "ghc"}) {
+      analysis::RunningStat slots, tags, ms;
+      for (int s = 0; s < seeds; ++s) {
+        core::System sys =
+            workload::makeSystem(sc, 77000 + static_cast<std::uint64_t>(s));
+        const graph::InterferenceGraph g(sys);
+        sched::GrowthScheduler alg2(g);
+        sched::HillClimbingScheduler ghc;
+        sched::OneShotScheduler& sch =
+            algo[0] == 'a' ? static_cast<sched::OneShotScheduler&>(alg2)
+                           : static_cast<sched::OneShotScheduler&>(ghc);
+        const auto t0 = std::chrono::steady_clock::now();
+        const sched::McsResult res = sched::runCoveringSchedule(sys, sch);
+        const auto t = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        slots.add(res.slots);
+        tags.add(res.tags_read);
+        ms.add(t);
+      }
+      std::cout << std::setw(7) << n << std::setw(7) << algo << std::fixed
+                << std::setprecision(1) << std::setw(8) << slots.mean()
+                << std::setw(9) << std::setprecision(0) << tags.mean()
+                << std::setw(12) << std::setprecision(2) << ms.mean() << '\n';
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rfid;
@@ -79,5 +131,7 @@ int main(int argc, char** argv) {
   std::cout << "\n# Expected: weights scale ~linearly with n at constant "
                "density; Alg2/Alg3 times stay near-linear (local "
                "neighborhoods), message cost grows with n and degree.\n";
+
+  mcsSection(std::min(seeds, 2));
   return 0;
 }

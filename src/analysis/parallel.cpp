@@ -1,47 +1,10 @@
 #include "analysis/parallel.h"
 
-#include <algorithm>
-#include <exception>
-#include <thread>
-#include <vector>
-
 namespace rfid::analysis {
 
 void parallelFor(int begin, int end, const std::function<void(int)>& fn,
                  int num_threads) {
-  const int n = end - begin;
-  if (n <= 0) return;
-  int threads = num_threads > 0
-                    ? num_threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::clamp(threads, 1, n);
-
-  if (threads == 1) {
-    for (int i = begin; i < end; ++i) fn(i);
-    return;
-  }
-
-  // Static block partition: thread t handles [begin + t*chunk, ...).
-  const int chunk = (n + threads - 1) / threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    const int lo = begin + t * chunk;
-    const int hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([lo, hi, &fn, &errors, t]() {
-      try {
-        for (int i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        errors[static_cast<std::size_t>(t)] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& th : pool) th.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  parallelFor(begin, end, [&fn](int i) { fn(i); }, num_threads);
 }
 
 }  // namespace rfid::analysis

@@ -1,13 +1,24 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <utility>
 
 namespace rfid::core {
 
+namespace {
+
+std::uint64_t nextInstanceId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 System::System(std::vector<Reader> readers, std::vector<Tag> tags)
-    : readers_(std::move(readers)), tags_(std::move(tags)) {
+    : readers_(std::move(readers)), tags_(std::move(tags)),
+      instance_id_(nextInstanceId()) {
   for (std::size_t i = 0; i < readers_.size(); ++i) {
     readers_[i].id = static_cast<int>(i);
     assert(readers_[i].valid() && "reader must satisfy 0 < gamma <= R");
@@ -22,21 +33,39 @@ System::System(std::vector<Reader> readers, std::vector<Tag> tags)
   for (const Tag& t : tags_) tag_pos.push_back(t.pos);
   const geom::SpatialGrid tag_index(tag_pos, max_gamma);
 
-  coverage_.resize(readers_.size());
-  coverers_.resize(tags_.size());
+  // Build reader → tag coverage directly into the CSR arrays, then invert
+  // by counting sort: iterating v ascending appends each tag's coverers in
+  // ascending reader order, matching the per-list sort queryDisk provides
+  // for tags.
+  cov_off_.assign(readers_.size() + 1, 0);
   for (std::size_t v = 0; v < readers_.size(); ++v) {
+    // queryDisk appends (and sorts the appended tail), so the flat index
+    // array is produced directly, one reader after another.
     tag_index.queryDisk(readers_[v].pos, readers_[v].interrogation_radius,
-                        coverage_[v]);
+                        cov_idx_);
     ++grid_queries_;
-    for (const int t : coverage_[v]) {
-      coverers_[static_cast<std::size_t>(t)].push_back(static_cast<int>(v));
+    cov_off_[v + 1] = static_cast<int>(cov_idx_.size());
+  }
+
+  covr_off_.assign(tags_.size() + 1, 0);
+  for (const int t : cov_idx_) ++covr_off_[static_cast<std::size_t>(t) + 1];
+  for (std::size_t t = 0; t < tags_.size(); ++t) covr_off_[t + 1] += covr_off_[t];
+  covr_idx_.resize(cov_idx_.size());
+  std::vector<int> cursor(covr_off_.begin(), covr_off_.end() - 1);
+  for (std::size_t v = 0; v < readers_.size(); ++v) {
+    for (const int t : coverage(static_cast<int>(v))) {
+      covr_idx_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(t)]++)] =
+          static_cast<int>(v);
     }
   }
-  // coverers_ entries are appended in ascending v order already.
 
   read_.assign(tags_.size(), 0);
-  scratch_count_.assign(tags_.size(), 0);
-  scratch_victim_.assign(readers_.size(), 0);
+  initScratch(scratch_);
+}
+
+void System::initScratch(WeightScratch& scratch) const {
+  scratch.count.assign(tags_.size(), 0);
+  scratch.victim.assign(readers_.size(), 0);
 }
 
 bool System::isFeasible(std::span<const int> X) const {
@@ -64,7 +93,7 @@ int System::unreadCount() const {
 int System::unreadCoverableCount() const {
   int n = 0;
   for (std::size_t t = 0; t < tags_.size(); ++t) {
-    if (read_[t] == 0 && !coverers_[t].empty()) ++n;
+    if (read_[t] == 0 && covr_off_[t + 1] > covr_off_[t]) ++n;
   }
   return n;
 }
@@ -72,6 +101,7 @@ int System::unreadCoverableCount() const {
 template <typename OnTag>
 void System::forEachWellCovered(std::span<const int> X,
                                 std::span<const int> jamming,
+                                std::span<int> count, std::span<char> victim,
                                 OnTag&& on_tag) const {
   // `jamming` readers radiate like members of X (passes 1 and 2) but never
   // read (pass 3) — the loud-failure semantics of the fault model.  The
@@ -96,53 +126,64 @@ void System::forEachWellCovered(std::span<const int> X,
     return 0;
   };
   for (const int vi : X) {
-    scratch_victim_[static_cast<std::size_t>(vi)] = victimOf(vi);
+    victim[static_cast<std::size_t>(vi)] = victimOf(vi);
   }
   // Pass 2: coverage multiplicity among all radiating readers (RRc counts
   // every active interrogation region, victim or not — a victim still
   // radiates, and so does a loud-failed reader).
   for (const int v : X) {
-    for (const int t : coverage(v)) ++scratch_count_[static_cast<std::size_t>(t)];
+    for (const int t : coverage(v)) ++count[static_cast<std::size_t>(t)];
   }
   for (const int v : jamming) {
-    for (const int t : coverage(v)) ++scratch_count_[static_cast<std::size_t>(t)];
+    for (const int t : coverage(v)) ++count[static_cast<std::size_t>(t)];
   }
   // Pass 3: a tag is well-covered iff it is unread, covered by exactly one
   // radiating reader, and that reader is a non-victim member of X.
   for (const int v : X) {
-    if (scratch_victim_[static_cast<std::size_t>(v)] != 0) continue;
+    if (victim[static_cast<std::size_t>(v)] != 0) continue;
     for (const int t : coverage(v)) {
-      if (scratch_count_[static_cast<std::size_t>(t)] == 1 && read_[static_cast<std::size_t>(t)] == 0) {
+      if (count[static_cast<std::size_t>(t)] == 1 && read_[static_cast<std::size_t>(t)] == 0) {
         on_tag(t);
       }
     }
   }
   // Pass 4: restore scratch.
   for (const int v : X) {
-    for (const int t : coverage(v)) scratch_count_[static_cast<std::size_t>(t)] = 0;
+    for (const int t : coverage(v)) count[static_cast<std::size_t>(t)] = 0;
   }
   for (const int v : jamming) {
-    for (const int t : coverage(v)) scratch_count_[static_cast<std::size_t>(t)] = 0;
+    for (const int t : coverage(v)) count[static_cast<std::size_t>(t)] = 0;
   }
 }
 
 std::vector<int> System::wellCoveredTags(std::span<const int> X) const {
-  return wellCoveredTags(X, {});
+  return wellCoveredTags(X, {}, scratch_);
 }
 
 std::vector<int> System::wellCoveredTags(std::span<const int> X,
                                          std::span<const int> jamming) const {
+  return wellCoveredTags(X, jamming, scratch_);
+}
+
+std::vector<int> System::wellCoveredTags(std::span<const int> X,
+                                         std::span<const int> jamming,
+                                         WeightScratch& scratch) const {
   if (well_covered_evals_ != nullptr) well_covered_evals_->add(1);
   std::vector<int> out;
-  forEachWellCovered(X, jamming, [&out](int t) { out.push_back(t); });
+  forEachWellCovered(X, jamming, scratch.count, scratch.victim,
+                     [&out](int t) { out.push_back(t); });
   std::sort(out.begin(), out.end());
   return out;
 }
 
 int System::weight(std::span<const int> X) const {
+  return weight(X, scratch_);
+}
+
+int System::weight(std::span<const int> X, WeightScratch& scratch) const {
   if (weight_evals_ != nullptr) weight_evals_->add(1);
   int w = 0;
-  forEachWellCovered(X, {}, [&w](int) { ++w; });
+  forEachWellCovered(X, {}, scratch.count, scratch.victim, [&w](int) { ++w; });
   return w;
 }
 

@@ -6,6 +6,14 @@
 // independence, weights, well-covered semantics — is defined here so that
 // every algorithm (PTAS, growth-bounded, distributed, Colorwave, GHC) is
 // scored by the exact same referee.
+//
+// Coverage is stored CSR-style (offsets + one flat index array) in both
+// directions: reader → tags in its interrogation disk, and the inverted
+// tag → covering readers index.  The flat layout keeps the weight kernels'
+// inner loops on contiguous memory, and the inverted index is what lets the
+// lazy-greedy machinery (core/weight.h) dirty-mark exactly the readers whose
+// marginal weight a commit or a served tag actually changed
+// (docs/performance.md).
 #pragma once
 
 #include <cstdint>
@@ -19,12 +27,23 @@
 
 namespace rfid::core {
 
+/// Reusable per-thread buffers for weight evaluation.  The scratch-taking
+/// System overloads are safe to call concurrently, one scratch per thread
+/// (the parallel PTAS shifts do exactly that); the scratch-less overloads
+/// fall back to one internal buffer and stay single-threaded.
+/// Zero-initialized by System::initScratch and restored to zero after every
+/// evaluation, so one scratch serves any number of sequential calls.
+struct WeightScratch {
+  std::vector<int> count;    // per-tag coverage multiplicity within X
+  std::vector<char> victim;  // per-reader RTc victim flag within X
+};
+
 /// The deployment plus the tag read-state.
 ///
 /// Thread-safety: const member functions are safe to call concurrently
-/// *except* weight()/wellCoveredTags(), which use an internal scratch buffer
-/// (documented on the members).  Use one System per thread or a
-/// WeightEvaluator per thread for parallel sweeps.
+/// *except* the scratch-less weight()/wellCoveredTags() overloads, which
+/// share an internal scratch buffer (documented on the members).  Parallel
+/// evaluation passes an explicit WeightScratch per thread instead.
 class System {
  public:
   /// Builds the system and precomputes coverage both ways (reader → tags in
@@ -41,12 +60,23 @@ class System {
 
   /// Tag indices inside reader `v`'s interrogation disk, ascending.
   std::span<const int> coverage(int v) const {
-    return coverage_[static_cast<std::size_t>(v)];
+    const auto lo = static_cast<std::size_t>(cov_off_[static_cast<std::size_t>(v)]);
+    const auto hi = static_cast<std::size_t>(cov_off_[static_cast<std::size_t>(v) + 1]);
+    return {cov_idx_.data() + lo, hi - lo};
   }
-  /// Reader indices whose interrogation disk contains tag `t`, ascending.
+  /// Reader indices whose interrogation disk contains tag `t`, ascending
+  /// (the inverted coverage index).
   std::span<const int> coverers(int t) const {
-    return coverers_[static_cast<std::size_t>(t)];
+    const auto lo = static_cast<std::size_t>(covr_off_[static_cast<std::size_t>(t)]);
+    const auto hi = static_cast<std::size_t>(covr_off_[static_cast<std::size_t>(t) + 1]);
+    return {covr_idx_.data() + lo, hi - lo};
   }
+
+  /// A process-unique id minted at construction (copies share it — they are
+  /// the same deployment).  Schedulers use it to key caches derived from
+  /// the static coverage structure (components, standalone-weight caches)
+  /// without risking address-reuse aliasing across Systems.
+  std::uint64_t instanceId() const { return instance_id_; }
 
   /// Definition 2 independence: ‖v_i − v_j‖ > max(R_i, R_j).
   bool independent(int i, int j) const {
@@ -94,9 +124,22 @@ class System {
   std::vector<int> wellCoveredTags(std::span<const int> X,
                                    std::span<const int> jamming) const;
 
+  /// wellCoveredTags with caller-owned scratch: thread-safe with one
+  /// scratch per thread.  `scratch` must come from initScratch().
+  std::vector<int> wellCoveredTags(std::span<const int> X,
+                                   std::span<const int> jamming,
+                                   WeightScratch& scratch) const;
+
   /// w(X) of Definition 3: |wellCoveredTags(X)| without materializing the
   /// list.  Same scratch-buffer caveat.
   int weight(std::span<const int> X) const;
+
+  /// weight with caller-owned scratch: thread-safe with one scratch per
+  /// thread.  `scratch` must come from initScratch().
+  int weight(std::span<const int> X, WeightScratch& scratch) const;
+
+  /// Sizes (and zero-fills) a scratch for use with this System.
+  void initScratch(WeightScratch& scratch) const;
 
   /// w({v}): unread tags in v's interrogation disk (activating v alone
   /// well-covers all of them).  Thread-safe.
@@ -109,24 +152,29 @@ class System {
   /// per attach and from then on counts every referee evaluation:
   /// `core.weight_evals` (weight()) and `core.well_covered_evals`
   /// (wellCoveredTags()).  Counter handles are cached here, so the hot
-  /// paths pay one pointer test when detached.
+  /// paths pay one pointer test when detached.  Counters are atomic, so
+  /// parallel scratch-taking evaluations bill exact totals.
   void attachMetrics(obs::MetricsRegistry* m);
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   template <typename OnTag>
   void forEachWellCovered(std::span<const int> X, std::span<const int> jamming,
+                          std::span<int> count, std::span<char> victim,
                           OnTag&& on_tag) const;
 
   std::vector<Reader> readers_;
   std::vector<Tag> tags_;
-  std::vector<std::vector<int>> coverage_;
-  std::vector<std::vector<int>> coverers_;
+  // CSR coverage, both directions.  Offsets have one trailing entry, so
+  // list v is cov_idx_[cov_off_[v] .. cov_off_[v+1]).
+  std::vector<int> cov_off_;   // size numReaders()+1
+  std::vector<int> cov_idx_;   // reader → tags, ascending per reader
+  std::vector<int> covr_off_;  // size numTags()+1
+  std::vector<int> covr_idx_;  // tag → readers, ascending per tag
   std::vector<char> read_;
-  // Scratch for weight evaluation: per-tag coverage multiplicity within the
-  // currently evaluated X.  Reset to zero after every evaluation.
-  mutable std::vector<int> scratch_count_;
-  mutable std::vector<char> scratch_victim_;
+  // Internal scratch backing the scratch-less evaluation overloads.
+  mutable WeightScratch scratch_;
+  std::uint64_t instance_id_ = 0;
   // Observability (cached handles; counter bumps through a const System are
   // metric mutations, not model mutations).
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -67,4 +67,112 @@ void WeightEvaluator::clear() {
   assert(weight_ == 0);
 }
 
+void StandaloneWeightCache::sync(const System& sys) {
+  const auto n = static_cast<std::size_t>(sys.numReaders());
+  const auto m = static_cast<std::size_t>(sys.numTags());
+  if (sys.instanceId() != sys_id_) {
+    sys_id_ = sys.instanceId();
+    standalone_.assign(n, 0);
+    shadow_read_.assign(m, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      standalone_[v] = sys.singleWeight(static_cast<int>(v));
+    }
+    for (std::size_t t = 0; t < m; ++t) {
+      shadow_read_[t] = sys.isRead(static_cast<int>(t)) ? 1 : 0;
+    }
+    return;
+  }
+  // Same deployment: adjust only the coverers of tags whose read-state
+  // flipped since the last sync (within the MCS loop, exactly the tags the
+  // previous slot served).
+  for (std::size_t t = 0; t < m; ++t) {
+    const char cur = sys.isRead(static_cast<int>(t)) ? 1 : 0;
+    if (cur == shadow_read_[t]) continue;
+    shadow_read_[t] = cur;
+    const int by = (cur != 0) ? -1 : 1;
+    for (const int u : sys.coverers(static_cast<int>(t))) {
+      standalone_[static_cast<std::size_t>(u)] += by;
+    }
+  }
+}
+
+void LazyGreedyQueue::beginRound(const WeightEvaluator& eval,
+                                 std::span<const int> candidates,
+                                 std::span<const int> seeds) {
+  assert(eval.size() == 0 && "round must start from an empty evaluator");
+  eval_ = &eval;
+  sys_ = &eval.system();
+  value_.resize(static_cast<std::size_t>(sys_->numReaders()));
+  heap_.clear();
+  heap_.reserve(candidates.size());
+  for (const int v : candidates) {
+    value_[static_cast<std::size_t>(v)] = seeds[static_cast<std::size_t>(v)];
+    heap_.emplace_back(seeds[static_cast<std::size_t>(v)], v);
+  }
+  // Max-heap on (key desc, index asc): the comparator says "worse than",
+  // so an equal-key entry with the *higher* index sinks.
+  std::make_heap(heap_.begin(), heap_.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first || (a.first == b.first && a.second > b.second);
+  });
+  work_units_ += static_cast<std::int64_t>(candidates.size());
+}
+
+int LazyGreedyQueue::pickBest(std::span<const char> eligible, int* delta_out) {
+  const auto worse = [](const std::pair<int, int>& a,
+                        const std::pair<int, int>& b) {
+    return a.first < b.first || (a.first == b.first && a.second > b.second);
+  };
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), worse);
+    const auto [key, v] = heap_.back();
+    heap_.pop_back();
+    ++work_units_;
+    // Lazy deletion: a key adjustment pushed a fresh entry, so an entry
+    // whose key disagrees with the current exact delta is superseded.
+    if (key != value_[static_cast<std::size_t>(v)]) continue;
+    if (eligible[static_cast<std::size_t>(v)] == 0) continue;
+    // Keys are exact, so the surviving top is the true argmax; the greedy
+    // rule only ever commits strictly positive deltas.
+    if (key <= 0) return -1;
+    assert(key == eval_->peekDelta(v));
+    if (delta_out != nullptr) *delta_out = key;
+    return v;
+  }
+  return -1;
+}
+
+void LazyGreedyQueue::adjust(int v, int by) {
+  const int nv = (value_[static_cast<std::size_t>(v)] += by);
+  heap_.emplace_back(nv, v);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const auto& a, const auto& b) {
+                   return a.first < b.first ||
+                          (a.first == b.first && a.second > b.second);
+                 });
+  ++work_units_;
+}
+
+void LazyGreedyQueue::invalidate(int v) {
+  // Walk v's unread coverage through the inverted index and apply the exact
+  // per-tag delta change implied by the multiplicity transition push(v)
+  // caused: 0→1 turns the tag's +1 (exclusive gain) into −1 (RRc loss) for
+  // every other coverer; 1→2 turns −1 into 0 — the transition where deltas
+  // *grow*, which is why stale-upper-bound laziness is inadmissible here.
+  // Entries for v itself (or dead readers) may be pushed; pickBest drops
+  // them via the eligibility mask.
+  for (const int t : sys_->coverage(v)) {
+    if (sys_->isRead(t)) continue;
+    const int c = eval_->multiplicity(t);
+    if (c == 1) {
+      for (const int u : sys_->coverers(t)) {
+        if (u != v) adjust(u, -2);
+      }
+    } else if (c == 2) {
+      for (const int u : sys_->coverers(t)) {
+        if (u != v) adjust(u, 1);
+      }
+    }
+  }
+}
+
 }  // namespace rfid::core

@@ -1,10 +1,28 @@
-// weight.h — incremental weight evaluation for search algorithms.
+// weight.h — incremental weight evaluation and lazy-greedy selection.
 //
 // The exact solver, the PTAS enumeration, and GHC all explore feasible sets
 // by adding/removing one reader at a time.  Recomputing w(X) from scratch at
 // every node is O(Σ coverage); the incremental evaluator keeps the per-tag
 // coverage multiplicities live so each push/pop costs only the coverage of
 // the moved reader, and the weight is available in O(1).
+//
+// On top of the evaluator sits the lazy-greedy selection machinery the
+// coordinator pick loops (Alg2, GHC) use instead of rescanning all n
+// readers' marginal deltas every iteration:
+//
+//   * StandaloneWeightCache keeps w({v}) for every reader across MCS slots,
+//     refreshed incrementally from the read-state diff — only readers
+//     covering a tag served in the previous slot are touched.
+//   * LazyGreedyQueue answers argmax_v peekDelta(v) with a max-heap whose
+//     keys are kept *exact* through the inverted tag→readers index: when a
+//     reader is committed, exactly the readers sharing one of its unread
+//     tags receive the per-tag delta adjustment.  (The textbook Minoux
+//     stale-upper-bound variant is inadmissible here: RRc makes marginal
+//     deltas non-monotone — a shared singly-covered tag that gains a second
+//     coverer *raises* every other coverer's delta by 1 — so stale keys can
+//     under-estimate and a lazy pop could return the wrong argmax.  Exact
+//     incremental keys cost the same inverted-index walk and keep the
+//     selection bit-identical to the reference scan; docs/performance.md.)
 //
 // The evaluator assumes the maintained set stays *feasible* (pairwise
 // independent) — under feasibility there are no RTc victims, so
@@ -13,6 +31,7 @@
 // holds by construction.  For arbitrary sets use System::weight.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -51,6 +70,13 @@ class WeightEvaluator {
   /// Weight delta that push(v) *would* return, without mutating state.
   int peekDelta(int v) const;
 
+  /// Coverage multiplicity of tag `t` within the maintained set (read tags
+  /// included — the lazy-greedy invalidation walk classifies transitions by
+  /// this value right after a push).
+  int multiplicity(int t) const { return count_[static_cast<std::size_t>(t)]; }
+
+  const System& system() const { return *sys_; }
+
   /// Drops all members.
   void clear();
 
@@ -59,6 +85,70 @@ class WeightEvaluator {
   std::vector<int> count_;  // per-tag coverage multiplicity within X
   std::vector<int> stack_;
   int weight_ = 0;
+};
+
+/// Cross-slot cache of standalone weights w({v}) = |unread ∩ coverage(v)|.
+///
+/// sync() must be called with the current System before each selection
+/// round.  The first call (or a deployment change, detected via
+/// System::instanceId) builds the cache in one full pass; later calls walk
+/// the read-state diff against an internal shadow bitmap and adjust only
+/// the coverers of flipped tags — the MCS meta-loop's cross-slot refresh
+/// touches exactly the readers covering a tag served in the previous slot.
+class StandaloneWeightCache {
+ public:
+  void sync(const System& sys);
+
+  /// weights()[v] == sys.singleWeight(v) as of the last sync().
+  std::span<const int> weights() const { return standalone_; }
+
+ private:
+  std::uint64_t sys_id_ = 0;
+  std::vector<int> standalone_;
+  std::vector<char> shadow_read_;
+};
+
+/// Exact lazy-greedy argmax over marginal deltas of a WeightEvaluator.
+///
+/// Contract (per selection round):
+///   1. beginRound(eval, candidates, seeds) with an *empty* evaluator;
+///      seeds[v] must equal peekDelta(v) under the empty set, i.e. the
+///      standalone weight (StandaloneWeightCache::weights()).
+///   2. pickBest(eligible) returns the eligible candidate with the maximum
+///      strictly-positive delta (ties → lowest index), exactly matching the
+///      reference O(n·coverage) scan.  A popped ineligible candidate is
+///      dropped for the rest of the round, so eligibility must only shrink
+///      (both greedy loops only ever kill / block readers).  After -1 is
+///      returned the round is exhausted.
+///   3. After every eval.push(v) of the round, call invalidate(v) so the
+///      keys of readers sharing an unread tag with v are adjusted.
+///
+/// The heap holds (key, reader) entries under lazy deletion: every key
+/// adjustment pushes a fresh entry, and pops discard entries whose key no
+/// longer matches the reader's current exact delta.  Total work per commit
+/// is one inverted-index walk of the committed reader's unread coverage.
+class LazyGreedyQueue {
+ public:
+  void beginRound(const WeightEvaluator& eval, std::span<const int> candidates,
+                  std::span<const int> seeds);
+
+  int pickBest(std::span<const char> eligible, int* delta_out = nullptr);
+
+  void invalidate(int v);
+
+  /// O(1) key adjustments + heap operations performed since construction —
+  /// the work measure reported to sched.* counters (each unit is far
+  /// cheaper than one reference peekDelta scan; docs/performance.md).
+  std::int64_t workUnits() const { return work_units_; }
+
+ private:
+  void adjust(int v, int by);
+
+  const WeightEvaluator* eval_ = nullptr;
+  const System* sys_ = nullptr;
+  std::vector<int> value_;                 // exact peekDelta per candidate
+  std::vector<std::pair<int, int>> heap_;  // (key, reader), lazy deletion
+  std::int64_t work_units_ = 0;
 };
 
 }  // namespace rfid::core

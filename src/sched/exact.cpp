@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
-#include <unordered_map>
 
 namespace rfid::sched {
 
@@ -16,21 +15,38 @@ class Search {
          const ckpt::CancelToken* cancel)
       : p_(p), node_limit_(node_limit), cancel_(cancel) {
     const int n = static_cast<int>(p.adj.size());
-    // Densify tag ids for O(1) multiplicity counters.
-    std::unordered_map<int, int> remap;
+    // Densify tag ids for O(1) multiplicity counters.  Dense ids feed only
+    // per-tag counters, so any bijection gives the same search; sort-and-
+    // unique over the gathered candidate coverage beats a hash map here —
+    // the id universe is small, contiguous passes are cache-friendly, and
+    // lookups become branch-predictable binary searches.
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i) {
+      const auto& cov = p.coverage[static_cast<std::size_t>(i)];
+      ids.insert(ids.end(), cov.begin(), cov.end());
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    const auto dense = [&ids](int t) {
+      return static_cast<int>(std::lower_bound(ids.begin(), ids.end(), t) -
+                              ids.begin());
+    };
     coverage_.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-      for (const int t : p.coverage[static_cast<std::size_t>(i)]) {
-        const auto [it, fresh] = remap.try_emplace(t, static_cast<int>(remap.size()));
-        coverage_[static_cast<std::size_t>(i)].push_back(it->second);
-      }
+      auto& cov = coverage_[static_cast<std::size_t>(i)];
+      const auto& src = p.coverage[static_cast<std::size_t>(i)];
+      cov.reserve(src.size());
+      for (const int t : src) cov.push_back(dense(t));
     }
-    count_.assign(remap.size(), 0);
+    count_.assign(ids.size(), 0);
     // Preloaded context coverage: multiplicities the outside world already
     // holds on these tags.  Ids that no candidate covers are irrelevant.
     for (const int t : p.preload) {
-      const auto it = remap.find(t);
-      if (it != remap.end()) ++count_[static_cast<std::size_t>(it->second)];
+      const int d = dense(t);
+      if (static_cast<std::size_t>(d) < ids.size() &&
+          ids[static_cast<std::size_t>(d)] == t) {
+        ++count_[static_cast<std::size_t>(d)];
+      }
     }
     for (const int c : count_) unclaimed_ += (c == 0);
     conflict_.assign(static_cast<std::size_t>(n), 0);

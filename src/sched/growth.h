@@ -17,10 +17,24 @@
 // hops apart, hence non-adjacent).  Theorem 3 bounds r̄ by a constant c(ρ);
 // `hop_cap` is the explicit safety net for that constant, and the observed
 // r̄ distribution is exported for the ablation bench.
+//
+// Hot-path structure (docs/performance.md): by default the coordinator pick
+// runs through core::LazyGreedyQueue instead of rescanning every reader's
+// marginal delta each round, standalone weights are carried across MCS slots
+// by core::StandaloneWeightCache, and the readers are partitioned into
+// *interaction components* — connected components of the union of the
+// interference graph and the shares-a-tag relation.  Committing a reader
+// can change nothing outside its component (no shared tags ⇒ no delta
+// interaction; no edges ⇒ kills stay inside), so the components are
+// independent local subproblems solved in parallel and reduced in component
+// order.  The schedule produced is bit-identical to the reference scan for
+// every thread count; `lazy_selection = false` runs the original loop.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "core/weight.h"
 #include "graph/interference_graph.h"
 #include "sched/scheduler.h"
 
@@ -34,6 +48,14 @@ struct GrowthOptions {
   int hop_cap = 8;
   /// Node budget per local exact MWFS (0 = unlimited).
   std::int64_t node_limit = 4'000'000;
+  /// Component-partitioned lazy-greedy pick loop (default) vs the reference
+  /// full-scan loop.  Both produce the identical schedule; the reference
+  /// path exists as the equivalence-test oracle.
+  bool lazy_selection = true;
+  /// Threads for the independent interaction components (0 = hardware
+  /// concurrency; effective only with lazy_selection).  Any value yields
+  /// the same schedule.
+  int num_threads = 0;
 };
 
 class GrowthScheduler final : public OneShotScheduler {
@@ -53,9 +75,25 @@ class GrowthScheduler final : public OneShotScheduler {
   const Stats& lastStats() const { return stats_; }
 
  private:
+  struct Worker;
+  struct CompResult {
+    std::vector<int> members;  // picked readers, in pick order
+    Stats stats;
+    std::int64_t work = 0;  // lazy-queue work units spent on the component
+  };
+
+  OneShotResult scheduleReference(const core::System& sys);
+  void ensureComponents(const core::System& sys);
+  void runComponent(const core::System& sys, std::span<const int> comp,
+                    Worker& worker, CompResult& out) const;
+
   const graph::InterferenceGraph* graph_;
   GrowthOptions opt_;
   Stats stats_;
+  // Caches over the static structure, keyed by System::instanceId.
+  std::uint64_t groups_sys_id_ = 0;
+  std::vector<std::vector<int>> groups_;  // ordered by smallest member
+  core::StandaloneWeightCache standalone_;
 };
 
 }  // namespace rfid::sched

@@ -1,12 +1,52 @@
 #include "sched/hill_climbing.h"
 
 #include <algorithm>
-
-#include "core/weight.h"
+#include <numeric>
 
 namespace rfid::sched {
 
 OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
+  if (!lazy_) return scheduleReference(sys);
+  const int n = sys.numReaders();
+  core::WeightEvaluator eval(sys);
+  std::vector<char> open(static_cast<std::size_t>(n), 1);  // not yet blocked
+
+  if (static_cast<int>(all_.size()) != n) {
+    all_.resize(static_cast<std::size_t>(n));
+    std::iota(all_.begin(), all_.end(), 0);
+  }
+  standalone_.sync(sys);
+  const std::int64_t work0 = queue_.workUnits();
+  queue_.beginRound(eval, all_, standalone_.weights());
+
+  const bool counting = metrics() != nullptr;
+  std::int64_t steps = 0;
+  while (true) {
+    // Cancellation checkpoint: one poll per climb step; the climbed-so-far
+    // set is feasible by construction.
+    if (cancelled()) break;
+    // Exact argmax of the incremental weight over unblocked readers — same
+    // pick and tie-break (lowest index) as the reference scan.
+    const int best = queue_.pickBest(open);
+    if (counting) ++steps;
+    if (best < 0) break;  // incremental weight would be <= 0 everywhere
+    eval.push(best);
+    queue_.invalidate(best);
+    open[static_cast<std::size_t>(best)] = 0;
+    for (int v = 0; v < n; ++v) {
+      if (open[static_cast<std::size_t>(v)] != 0 && !sys.independent(best, v)) {
+        open[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+  }
+
+  std::vector<int> members(eval.members().begin(), eval.members().end());
+  std::sort(members.begin(), members.end());
+  recordScheduleMetrics(queue_.workUnits() - work0, steps);
+  return {members, eval.weight()};
+}
+
+OneShotResult HillClimbingScheduler::scheduleReference(const core::System& sys) {
   const int n = sys.numReaders();
   core::WeightEvaluator eval(sys);
   std::vector<char> blocked(static_cast<std::size_t>(n), 0);  // conflicts with chosen

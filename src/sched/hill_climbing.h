@@ -9,16 +9,34 @@
 // Additions are restricted to readers independent of the current set: an
 // interfering addition creates RTc and can only lose weight, so GHC would
 // never take it anyway; excluding it keeps the produced set feasible.
+//
+// By default the per-step argmax runs through core::LazyGreedyQueue seeded
+// from a cross-slot core::StandaloneWeightCache — same climb, same
+// tie-breaks, without the O(n·coverage) rescan every step
+// (docs/performance.md).  Construct with `lazy_selection = false` for the
+// original scan, kept as the equivalence-test oracle.
 #pragma once
 
+#include "core/weight.h"
 #include "sched/scheduler.h"
 
 namespace rfid::sched {
 
 class HillClimbingScheduler final : public OneShotScheduler {
  public:
+  explicit HillClimbingScheduler(bool lazy_selection = true)
+      : lazy_(lazy_selection) {}
+
   std::string name() const override { return "GHC"; }
   OneShotResult schedule(const core::System& sys) override;
+
+ private:
+  OneShotResult scheduleReference(const core::System& sys);
+
+  bool lazy_;
+  core::StandaloneWeightCache standalone_;
+  core::LazyGreedyQueue queue_;
+  std::vector<int> all_;  // candidate list 0..n-1, reused across slots
 };
 
 }  // namespace rfid::sched

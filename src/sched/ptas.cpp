@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/parallel.h"
 #include "geometry/shifted_grid.h"
 #include "sched/exact.h"
 
@@ -32,15 +34,15 @@ using geom::SquareKeyHash;
 /// w(X) and the best shift is chosen by that exact value.
 class ShiftSolver {
  public:
+  /// `single_weight` is shift-invariant and shared read-only across the
+  /// parallel shifts; `scratch` must be exclusive to this solver's thread
+  /// (all referee evaluations go through it).
   ShiftSolver(const core::System& sys, const ShiftedGrid& grid,
               const std::vector<Disk>& scaled, const std::vector<int>& level,
-              const PtasOptions& opt, PtasScheduler::Stats& stats)
+              const PtasOptions& opt, PtasScheduler::Stats& stats,
+              std::span<const int> single_weight, core::WeightScratch& scratch)
       : sys_(sys), grid_(grid), scaled_(scaled), level_(level), opt_(opt),
-        stats_(stats) {
-    single_weight_.resize(static_cast<std::size_t>(sys.numReaders()));
-    for (int v = 0; v < sys.numReaders(); ++v) {
-      single_weight_[static_cast<std::size_t>(v)] = sys.singleWeight(v);
-    }
+        stats_(stats), single_weight_(single_weight), scratch_(scratch) {
     buildForest();
   }
 
@@ -156,7 +158,7 @@ class ShiftSolver {
     if (x.empty()) return 0;
     ++stats_.weight_evals;
     x.insert(x.end(), ctx.begin(), ctx.end());
-    return sys_.weight(x) - ctx_weight;
+    return sys_.weight(x, scratch_) - ctx_weight;
   }
 
   Solution solve(const SquareKey& sq, const std::vector<int>& ctx) {
@@ -237,7 +239,7 @@ class ShiftSolver {
              single_weight_[static_cast<std::size_t>(b)];
     });
 
-    const int ctx_weight = ctx.empty() ? 0 : sys_.weight(ctx);
+    const int ctx_weight = ctx.empty() ? 0 : sys_.weight(ctx, scratch_);
     if (!ctx.empty()) ++stats_.weight_evals;
     // Suffix sums of standalone weights for the admissible bound.
     std::vector<int> suffix(pool.size() + 1, 0);
@@ -316,7 +318,8 @@ class ShiftSolver {
   const std::vector<int>& level_;
   const PtasOptions& opt_;
   PtasScheduler::Stats& stats_;
-  std::vector<int> single_weight_;
+  std::span<const int> single_weight_;
+  core::WeightScratch& scratch_;
   std::unordered_map<SquareKey, Node, SquareKeyHash> nodes_;
   std::vector<SquareKey> roots_;
   std::vector<int> root_pool_;  // disks no square strictly contains
@@ -348,29 +351,68 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
     scaled[static_cast<std::size_t>(i)] = {r.pos * scale, r.interference_radius * scale};
   }
 
+  // Standalone weights are shift-invariant: compute once, share read-only
+  // across the shift fan-out.
+  std::vector<int> single_weight(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    single_weight[static_cast<std::size_t>(i)] = sys.singleWeight(i);
+  }
+
+  // The k² shifts are independent given the frozen read-state, so they fan
+  // out over threads, each worker evaluating weights through its own
+  // scratch and filling its shifts' private slots.  Cancellation poll: one
+  // per shift — a shift not yet started is skipped (done stays false), so
+  // stopping early just returns the best of the shifts finished so far.
+  struct ShiftOutcome {
+    std::vector<int> x;
+    int w = 0;
+    int max_level = 0;
+    PtasScheduler::Stats stats;
+    bool done = false;
+  };
+  const int num_shifts = opt_.k * opt_.k;
+  std::vector<ShiftOutcome> shifts(static_cast<std::size_t>(num_shifts));
+  analysis::parallelForChunks(
+      0, num_shifts,
+      [this, &sys, &scaled, &single_weight, &shifts, n](int /*worker*/, int lo,
+                                                        int hi) {
+        core::WeightScratch scratch;
+        sys.initScratch(scratch);
+        for (int idx = lo; idx < hi; ++idx) {
+          if (cancelled()) continue;
+          ShiftOutcome& out = shifts[static_cast<std::size_t>(idx)];
+          const ShiftedGrid grid(opt_.k, idx / opt_.k, idx % opt_.k);
+          std::vector<int> level(static_cast<std::size_t>(n));
+          for (int i = 0; i < n; ++i) {
+            level[static_cast<std::size_t>(i)] =
+                grid.levelOf(scaled[static_cast<std::size_t>(i)].radius);
+            out.max_level = std::max(out.max_level, level[static_cast<std::size_t>(i)]);
+          }
+          ShiftSolver solver(sys, grid, scaled, level, opt_, out.stats,
+                             single_weight, scratch);
+          out.x = solver.solveAll();
+          out.w = sys.weight(out.x, scratch);
+          ++out.stats.weight_evals;
+          out.done = true;
+        }
+      },
+      opt_.parallel_shifts ? opt_.num_threads : 1);
+
+  // Reduce in shift order: replicates the sequential loop's strict-
+  // improvement, first-wins best-shift choice for any thread count.
   OneShotResult best;
   int max_level = 0;
-  // Cancellation checkpoint: one poll per grid shift.  Each completed
-  // shift yields a feasible candidate, so stopping early just returns the
-  // best of the shifts finished so far.
-  for (int sr = 0; sr < opt_.k && !cancelled(); ++sr) {
-    for (int ss = 0; ss < opt_.k && !cancelled(); ++ss) {
-      const ShiftedGrid grid(opt_.k, sr, ss);
-      std::vector<int> level(static_cast<std::size_t>(n));
-      for (int i = 0; i < n; ++i) {
-        level[static_cast<std::size_t>(i)] = grid.levelOf(scaled[static_cast<std::size_t>(i)].radius);
-        max_level = std::max(max_level, level[static_cast<std::size_t>(i)]);
-      }
-      ShiftSolver solver(sys, grid, scaled, level, opt_, stats_);
-      std::vector<int> x = solver.solveAll();
-      const int w = sys.weight(x);
-      ++stats_.weight_evals;
-      if (w > best.weight || best.readers.empty()) {
-        best.weight = w;
-        best.readers = std::move(x);
-        stats_.best_shift_r = sr;
-        stats_.best_shift_s = ss;
-      }
+  for (int idx = 0; idx < num_shifts; ++idx) {
+    ShiftOutcome& out = shifts[static_cast<std::size_t>(idx)];
+    if (!out.done) continue;
+    stats_.dp_entries += out.stats.dp_entries;
+    stats_.weight_evals += out.stats.weight_evals;
+    max_level = std::max(max_level, out.max_level);
+    if (out.w > best.weight || best.readers.empty()) {
+      best.weight = out.w;
+      best.readers = std::move(out.x);
+      stats_.best_shift_r = idx / opt_.k;
+      stats_.best_shift_s = idx % opt_.k;
     }
   }
   stats_.levels = max_level + 1;

@@ -1,0 +1,102 @@
+#!/bin/sh
+# bench_record.sh — record one labelled point of the perf trajectory.
+#
+#   tools/bench_record.sh <build-dir> <label> [out.json]
+#
+# Runs the fixed-seed perf workloads (bench/scaling_n with its MCS-at-scale
+# section, bench/micro_core, and timed rfidsched_cli MCS runs at n = 2000)
+# and merges the wall-clock numbers plus the sched.*/core.* work counters
+# into <out.json> (default BENCH_PR4.json) under <label>.  Run it once on
+# the pre-change build and once per mode on the post-change build; the JSON
+# then holds the before/after trajectory side by side (docs/performance.md
+# explains how to read it).
+#
+# CLI mode flags (--ref-eval / --threads) that the binary under test does
+# not support are skipped, so the same script runs against any library
+# version.
+set -eu
+
+BUILD_DIR=${1:?usage: bench_record.sh <build-dir> <label> [out.json]}
+LABEL=${2:?usage: bench_record.sh <build-dir> <label> [out.json]}
+OUT=${3:-BENCH_PR4.json}
+
+SCALING="$BUILD_DIR/bench/scaling_n"
+MICRO="$BUILD_DIR/bench/micro_core"
+CLI="$BUILD_DIR/tools/rfidsched_cli"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== scaling_n (2 seeds) =="
+"$SCALING" 2 > "$TMP/scaling.txt"
+sed -n '/# MCS covering schedule/,$p' "$TMP/scaling.txt"
+
+echo "== micro_core =="
+"$MICRO" --benchmark_format=json \
+  --benchmark_filter='BM_(SystemConstruction|WeightEvaluation|WeightEvaluatorPushPop|GreedySelection)' \
+  > "$TMP/micro.json" 2> /dev/null
+
+# Timed CLI MCS runs: wall clock for the whole invocation plus the work
+# counters from --metrics.  Modes beyond "default" need the post-PR flags.
+cli_run() {
+  mode=$1; shift
+  start=$(date +%s%N)
+  if "$CLI" --algo alg2 --mode mcs --readers 2000 --tags 48000 \
+      --side 632.455 --seed 7 --metrics "$TMP/m_$mode.json" "$@" \
+      > "$TMP/cli_$mode.txt" 2>&1; then
+    end=$(date +%s%N)
+    echo "$mode $(( (end - start) / 1000000 ))" >> "$TMP/cli_times.txt"
+    echo "== cli alg2 n=2000 [$mode]: $(( (end - start) / 1000000 )) ms =="
+  else
+    echo "== cli alg2 n=2000 [$mode]: unsupported by this binary, skipped =="
+  fi
+}
+: > "$TMP/cli_times.txt"
+cli_run default
+cli_run reference --ref-eval
+cli_run single_thread --threads 1
+
+python3 - "$TMP" "$LABEL" "$OUT" <<'EOF'
+import json, re, sys, os
+tmp, label, out = sys.argv[1], sys.argv[2], sys.argv[3]
+
+entry = {"scaling_n_mcs": [], "micro_core": {}, "cli_mcs_n2000": {}}
+
+in_mcs = False
+for line in open(os.path.join(tmp, "scaling.txt")):
+    if line.startswith("# MCS covering schedule"):
+        in_mcs = True
+        continue
+    if not in_mcs:
+        continue
+    m = re.match(r"\s*(\d+)\s+(\w+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)", line)
+    if m:
+        entry["scaling_n_mcs"].append({
+            "n": int(m.group(1)), "algo": m.group(2),
+            "slots": float(m.group(3)), "tags_read": float(m.group(4)),
+            "ms": float(m.group(5))})
+
+micro = json.load(open(os.path.join(tmp, "micro.json")))
+for b in micro.get("benchmarks", []):
+    entry["micro_core"][b["name"]] = round(b["real_time"], 1)
+
+for line in open(os.path.join(tmp, "cli_times.txt")):
+    mode, ms = line.split()
+    run = {"wall_ms": int(ms)}
+    mpath = os.path.join(tmp, f"m_{mode}.json")
+    if os.path.exists(mpath):
+        counters = json.load(open(mpath)).get("counters", {})
+        for k in ("sched.weight_evals", "sched.schedule_calls",
+                  "core.weight_evals", "mcs.slots", "mcs.tags_read"):
+            if k in counters:
+                run[k] = counters[k]
+    entry["cli_mcs_n2000"][mode] = run
+
+doc = {}
+if os.path.exists(out):
+    doc = json.load(open(out))
+doc[label] = entry
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"recorded '{label}' into {out}")
+EOF

@@ -9,6 +9,14 @@
 //                 [--metrics PATH] [--trace PATH] [--jsonl PATH]
 //                 [--checkpoint PATH] [--resume]
 //                 [--deadline-ms N] [--max-slots N]
+//                 [--threads N] [--ref-eval]
+//
+// --threads caps the worker threads the parallel schedulers (alg1 shift
+// fan-out, alg2 component fan-out) may use; 0 picks the hardware
+// concurrency.  --ref-eval runs the retained reference selection paths
+// (full rescans, sequential shifts) instead of the lazy/parallel hot paths
+// — the schedules are identical either way (docs/performance.md), the flag
+// exists for benchmarking and equivalence checks.
 //
 // Prints a human-readable report; --svg additionally renders the (first)
 // slot decision.  --save writes the generated deployment to PATH (CSV) and
@@ -93,6 +101,8 @@ struct Cli {
   int channels = 2;
   double rho = 1.25;
   int k = 4;
+  int threads = 0;       // 0 = hardware concurrency
+  bool ref_eval = false; // reference selection paths (oracle / baseline)
 };
 
 void usage() {
@@ -122,6 +132,9 @@ void usage() {
       "  --deadline-ms N stop after N ms wall clock with the best-so-far\n"
       "                  schedule (mcs mode only)\n"
       "  --max-slots N   stop after N committed slots (mcs mode only)\n"
+      "  --threads N     worker threads for parallel schedulers (0 = auto)\n"
+      "  --ref-eval      use the reference selection paths (same schedules,\n"
+      "                  no lazy/parallel speedups; for benchmarking)\n"
       "\n"
       "exit codes: 0 success; 2 bad usage; 3 interrupted by budget\n"
       "            (--deadline-ms/--max-slots); 4 checkpoint integrity failure\n";
@@ -139,7 +152,7 @@ bool parse(int argc, char** argv, Cli& cli) {
           "--load", "--metrics", "--trace", "--jsonl", "--readers",
           "--tags", "--side", "--lambda-R", "--lambda-r", "--seed",
           "--channels", "--rho", "--k", "--fault", "--checkpoint",
-          "--deadline-ms", "--max-slots"};
+          "--deadline-ms", "--max-slots", "--threads"};
       for (const char* f : flags) {
         if (a == f) return true;
       }
@@ -169,6 +182,8 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--channels" && (v = next())) cli.channels = std::atoi(v);
     else if (a == "--rho" && (v = next())) cli.rho = std::atof(v);
     else if (a == "--k" && (v = next())) cli.k = std::atoi(v);
+    else if (a == "--threads" && (v = next())) cli.threads = std::atoi(v);
+    else if (a == "--ref-eval") cli.ref_eval = true;
     else if (known()) {
       std::cerr << "missing value for option: " << a << "\n";
       return false;
@@ -189,6 +204,7 @@ bool parse(int argc, char** argv, Cli& cli) {
   if (cli.k < 2) return reject("--k", "must be >= 2");
   if (cli.rho <= 1.0) return reject("--rho", "must be > 1");
   if (cli.channels < 1) return reject("--channels", "must be >= 1");
+  if (cli.threads < 0) return reject("--threads", "must be >= 0");
   if (cli.deadline_ms < -1) return reject("--deadline-ms", "must be >= 0");
   if (cli.max_slots < 0) return reject("--max-slots", "must be > 0");
   if (cli.resume && cli.ckpt_path.empty()) {
@@ -259,17 +275,21 @@ int main(int argc, char** argv) {
   if (cli.algo == "alg1") {
     sched::PtasOptions o;
     o.k = cli.k;
+    o.parallel_shifts = !cli.ref_eval;
+    o.num_threads = cli.threads;
     scheduler = std::make_unique<sched::PtasScheduler>(o);
   } else if (cli.algo == "alg2") {
     sched::GrowthOptions o;
     o.rho = cli.rho;
+    o.lazy_selection = !cli.ref_eval;
+    o.num_threads = cli.threads;
     scheduler = std::make_unique<sched::GrowthScheduler>(g, o);
   } else if (cli.algo == "alg3") {
     dist::DistributedGrowthOptions o;
     o.rho = cli.rho;
     scheduler = std::make_unique<dist::GrowthDistributedScheduler>(g, o);
   } else if (cli.algo == "ghc") {
-    scheduler = std::make_unique<sched::HillClimbingScheduler>();
+    scheduler = std::make_unique<sched::HillClimbingScheduler>(!cli.ref_eval);
   } else if (cli.algo == "ca") {
     scheduler = std::make_unique<dist::ColorwaveScheduler>(sys, cli.seed);
   } else if (cli.algo == "exact") {
