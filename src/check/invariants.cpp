@@ -1,0 +1,556 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "fault/fault_plan.h"
+#include "geometry/vec2.h"
+#include "obs/timer.h"
+
+namespace rfid::check {
+
+namespace {
+
+/// Geometric interrogation coverage, same inclusive boundary as the
+/// spatial-grid build (dist² <= γ²).
+bool coversGeom(const core::Reader& r, const core::Tag& t) {
+  return geom::dist2(r.pos, t.pos) <=
+         r.interrogation_radius * r.interrogation_radius;
+}
+
+/// RTc victimization: `u` inside radiator `j`'s interference disk
+/// (inclusive boundary, matching the referee).
+bool victimizes(const core::Reader& j, const core::Reader& u) {
+  return geom::dist2(u.pos, j.pos) <=
+         j.interference_radius * j.interference_radius;
+}
+
+std::string joinInts(std::span<const int> xs, std::size_t cap = 8) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < xs.size() && i < cap; ++i) {
+    if (i > 0) os << ",";
+    os << xs[i];
+  }
+  if (xs.size() > cap) os << ",…(" << xs.size() << ")";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+ScheduleValidator::ScheduleValidator(CheckOptions opt) : opt_(std::move(opt)) {}
+
+void ScheduleValidator::flag(int slot, std::string invariant,
+                             std::string detail) {
+  ++violations_;
+  if (c_violations_ != nullptr) c_violations_->add(1);
+  if (opt_.trace != nullptr) {
+    opt_.trace->instant(obs::EventKind::kCheck, "check.violation",
+                        {{"slot", static_cast<double>(slot)}});
+  }
+  if (static_cast<int>(issues_.size()) < opt_.max_issues) {
+    issues_.push_back({slot, std::move(invariant), std::move(detail)});
+  }
+}
+
+bool ScheduleValidator::covers(const core::System& sys, int reader,
+                               int tag) const {
+  return coversGeom(sys.reader(reader), sys.tag(tag));
+}
+
+int ScheduleValidator::shadowCoverableCount(const core::System& sys) const {
+  int n = 0;
+  for (int t = 0; t < sys.numTags(); ++t) {
+    if (shadow_[static_cast<std::size_t>(t)] != 0) continue;
+    for (int v = 0; v < sys.numReaders(); ++v) {
+      if (covers(sys, v, t)) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+bool ScheduleValidator::unservableForever(const core::System& sys, int tag,
+                                          int slot) const {
+  // Mirror of the driver's orphan predicate (sched/mcs.cpp countOrphans),
+  // recomputed from geometry: a tag is unservable forever when
+  //   1. it sits in a permanently-loud reader's interrogation disk (its
+  //      multiplicity is >= 2, or its only coverer reads nothing, in every
+  //      future slot); otherwise
+  //   2. every geometric coverer is permanently dead or permanently
+  //      victimized by a loud-dead reader's stuck transmitter.
+  const fault::FaultPlan& plan = *opt_.faults;
+  for (int j = 0; j < sys.numReaders(); ++j) {
+    if (plan.permanentlyDead(j, slot) && plan.loud(j, slot) &&
+        covers(sys, j, tag)) {
+      return true;
+    }
+  }
+  for (int v = 0; v < sys.numReaders(); ++v) {
+    if (!covers(sys, v, tag)) continue;
+    if (plan.permanentlyDead(v, slot)) continue;
+    bool victim_forever = false;
+    for (int j = 0; j < sys.numReaders(); ++j) {
+      if (j != v && plan.permanentlyDead(j, slot) && plan.loud(j, slot) &&
+          victimizes(sys.reader(j), sys.reader(v))) {
+        victim_forever = true;
+        break;
+      }
+    }
+    if (!victim_forever) return false;  // v can still serve `tag`
+  }
+  return true;
+}
+
+bool ScheduleValidator::beginRun(const core::System& sys) {
+  const auto n = static_cast<std::size_t>(sys.numTags());
+  const auto m = static_cast<std::size_t>(sys.numReaders());
+  begun_ = true;
+  slots_checked_ = 0;
+  tags_scanned_ = 0;
+  trailing_stall_ = 0;
+  sum_served_ = 0;
+  shadow_.assign(n, 0);
+  trusted_from_.clear();
+  const bool faulty = opt_.faults != nullptr && !opt_.faults->empty();
+  if (faulty && opt_.reprobe_interval > 0) trusted_from_.assign(m, 0);
+  if (opt_.metrics != nullptr) {
+    c_slots_ = &opt_.metrics->counter("check.slots_checked");
+    c_violations_ = &opt_.metrics->counter("check.violations");
+    c_tags_ = &opt_.metrics->counter("check.tags_scanned");
+  }
+
+  // Shadow the read-state and re-derive the coverable census from raw
+  // positions — never the CSR arrays we are about to audit.
+  const std::span<const char> read = sys.readState();
+  initial_unread_ = 0;
+  initial_uncoverable_ = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    shadow_[t] = read[t] != 0 ? 1 : 0;
+    if (shadow_[t] == 0) ++initial_unread_;
+  }
+
+  // One-time CSR audit: both coverage directions must equal the geometric
+  // ground truth, list for list.  A corrupted offset or index array (the
+  // off-by-one mutant class) is caught here, before a single slot runs.
+  std::vector<int> expect;
+  for (std::size_t v = 0; v < m; ++v) {
+    expect.clear();
+    for (int t = 0; t < sys.numTags(); ++t) {
+      if (covers(sys, static_cast<int>(v), t)) expect.push_back(t);
+    }
+    const std::span<const int> got = sys.coverage(static_cast<int>(v));
+    if (!std::equal(expect.begin(), expect.end(), got.begin(), got.end())) {
+      flag(-1, "begin.coverage-csr-mismatch",
+           "reader " + std::to_string(v) + ": geometric coverage " +
+               joinInts(expect) + " != System::coverage " + joinInts(got));
+    }
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    expect.clear();
+    for (int v = 0; v < sys.numReaders(); ++v) {
+      if (covers(sys, v, static_cast<int>(t))) expect.push_back(v);
+    }
+    if (expect.empty() && shadow_[t] == 0) ++initial_uncoverable_;
+    const std::span<const int> got = sys.coverers(static_cast<int>(t));
+    if (!std::equal(expect.begin(), expect.end(), got.begin(), got.end())) {
+      flag(-1, "begin.coverers-csr-mismatch",
+           "tag " + std::to_string(t) + ": geometric coverers " +
+               joinInts(expect) + " != System::coverers " + joinInts(got));
+    }
+  }
+  tags_scanned_ += static_cast<std::int64_t>(n) * static_cast<std::int64_t>(m);
+  remaining_coverable_ = initial_unread_ - initial_uncoverable_;
+
+  // The System's own census must agree with the geometric one.
+  if (sys.unreadCount() != initial_unread_) {
+    flag(-1, "begin.unread-count-mismatch",
+         "System::unreadCount " + std::to_string(sys.unreadCount()) +
+             " != shadow " + std::to_string(initial_unread_));
+  }
+  if (sys.unreadCoverableCount() != remaining_coverable_) {
+    flag(-1, "begin.coverable-count-mismatch",
+         "System::unreadCoverableCount " +
+             std::to_string(sys.unreadCoverableCount()) + " != geometric " +
+             std::to_string(remaining_coverable_));
+  }
+
+  if (c_tags_ != nullptr) c_tags_->add(static_cast<std::int64_t>(n * m));
+  if (opt_.trace != nullptr) {
+    opt_.trace->instant(obs::EventKind::kCheck, "check.begin",
+                        {{"readers", static_cast<double>(m)},
+                         {"tags", static_cast<double>(n)},
+                         {"coverable", static_cast<double>(remaining_coverable_)}});
+  }
+  return ok() || !opt_.fail_fast;
+}
+
+bool ScheduleValidator::checkSlot(const core::System& sys, int slot,
+                                  const sched::OneShotResult& proposal,
+                                  std::span<const int> live,
+                                  std::span<const int> jamming,
+                                  std::span<const int> served) {
+  // Wall-clock rides with tracing only (the repo-wide determinism
+  // discipline); metrics-only runs still bill the logical check.* counters.
+  obs::ScopedTimer span(opt_.trace != nullptr ? opt_.metrics : nullptr,
+                        "check.slot_us", opt_.trace, "check.slot",
+                        obs::EventKind::kCheck);
+  if (!begun_) {
+    flag(slot, "api.begin-missing", "checkSlot before beginRun");
+    return ok() || !opt_.fail_fast;
+  }
+  if (slot != static_cast<int>(slots_checked_)) {
+    flag(slot, "slot.out-of-order",
+         "expected slot " + std::to_string(slots_checked_));
+  }
+
+  const fault::FaultPlan* plan = opt_.faults;
+  const bool faulty = plan != nullptr && !plan->empty();
+  const std::span<const int> X = proposal.readers;
+
+  // -- the proposal is a set of valid reader indices, ascending --
+  bool well_formed = true;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (X[i] < 0 || X[i] >= sys.numReaders() || (i > 0 && X[i] <= X[i - 1])) {
+      well_formed = false;
+      flag(slot, "slot.proposal-not-a-set",
+           "readers " + joinInts(X) + " not strictly ascending in range");
+      break;
+    }
+  }
+
+  // -- Definition 2 independence, straight from positions and radii.  The
+  // predicate is spelled out here instead of calling core::independent so
+  // a bug in (or mutation of) the shared inline cannot blind the oracle to
+  // itself — the whole point is an independent recomputation. --
+  if (well_formed && opt_.expect_feasible) {
+    bool flagged = false;
+    for (std::size_t i = 0; i < X.size() && !flagged; ++i) {
+      for (std::size_t j = i + 1; j < X.size() && !flagged; ++j) {
+        const core::Reader& a = sys.reader(X[i]);
+        const core::Reader& b = sys.reader(X[j]);
+        const double max_r =
+            std::max(a.interference_radius, b.interference_radius);
+        if (!(geom::dist2(a.pos, b.pos) > max_r * max_r)) {
+          flag(slot, "slot.infeasible",
+               "readers " + std::to_string(X[i]) + " and " +
+                   std::to_string(X[j]) +
+                   " violate ‖v_i−v_j‖ > max(R_i,R_j)");
+          flagged = true;  // one flag per slot is enough
+        }
+      }
+    }
+  }
+
+  // -- re-derive the referee's crash strip / bench / jamming split --
+  std::vector<int> expect_live;
+  std::vector<int> expect_jam;
+  if (!faulty) {
+    expect_live.assign(X.begin(), X.end());
+  } else {
+    for (const int v : X) {
+      if (!trusted_from_.empty() &&
+          trusted_from_[static_cast<std::size_t>(v)] > slot) {
+        continue;  // benched: the driver re-plans around it
+      }
+      if (plan->crashed(v, slot)) {
+        if (!trusted_from_.empty()) {
+          trusted_from_[static_cast<std::size_t>(v)] =
+              slot + 1 + opt_.reprobe_interval;
+        }
+        continue;
+      }
+      expect_live.push_back(v);
+    }
+    for (int v = 0; v < sys.numReaders(); ++v) {
+      if (plan->loud(v, slot)) expect_jam.push_back(v);
+    }
+  }
+  if (!std::equal(expect_live.begin(), expect_live.end(), live.begin(),
+                  live.end())) {
+    flag(slot, "slot.live-mismatch",
+         "driver executed " + joinInts(live) + ", plan dictates " +
+             joinInts(expect_live));
+  }
+  if (!std::equal(expect_jam.begin(), expect_jam.end(), jamming.begin(),
+                  jamming.end())) {
+    flag(slot, "slot.jamming-mismatch",
+         "driver jammed " + joinInts(jamming) + ", plan dictates " +
+             joinInts(expect_jam));
+  }
+
+  // -- the naive O(|X|·m) Definition 1 scan over raw geometry --
+  // Radiators = live ∪ jamming.  A tag is served iff it is unread, covered
+  // by exactly one radiator, and that radiator is a live non-victim.
+  std::vector<int> radiators(expect_live);
+  radiators.insert(radiators.end(), expect_jam.begin(), expect_jam.end());
+  std::vector<char> is_victim(expect_live.size(), 0);
+  for (std::size_t i = 0; i < expect_live.size(); ++i) {
+    for (const int j : radiators) {
+      if (j != expect_live[i] &&
+          victimizes(sys.reader(j), sys.reader(expect_live[i]))) {
+        is_victim[i] = 1;
+        break;
+      }
+    }
+  }
+  std::vector<int> expect_served;
+  int ideal_weight = 0;  // the proposal's no-fault Definition 3 weight
+  for (int t = 0; t < sys.numTags(); ++t) {
+    if (shadow_[static_cast<std::size_t>(t)] != 0) continue;
+    const core::Tag& tag = sys.tag(t);
+    int mult = 0;
+    int only = -1;
+    for (const int v : radiators) {
+      if (coversGeom(sys.reader(v), tag)) {
+        ++mult;
+        only = v;
+      }
+    }
+    if (mult == 1) {
+      // `only` must be live (jamming readers read nothing) and not a victim.
+      for (std::size_t i = 0; i < expect_live.size(); ++i) {
+        if (expect_live[i] == only) {
+          if (is_victim[i] == 0) expect_served.push_back(t);
+          break;
+        }
+      }
+    }
+    // The no-fault counterfactual on the raw proposal (claimed-weight and
+    // progress checks).  Recomputed only when faults changed the radiators;
+    // on a clean slot it is exactly |expect_served| (settled below).
+    if (faulty) {
+      int imult = 0;
+      int ionly = -1;
+      for (const int v : X) {
+        if (coversGeom(sys.reader(v), tag)) {
+          ++imult;
+          ionly = v;
+        }
+      }
+      if (imult == 1) {
+        bool vic = false;
+        for (const int j : X) {
+          if (j != ionly && victimizes(sys.reader(j), sys.reader(ionly))) {
+            vic = true;
+            break;
+          }
+        }
+        if (!vic) ++ideal_weight;
+      }
+    }
+  }
+  tags_scanned_ += static_cast<std::int64_t>(sys.numTags());
+  if (c_tags_ != nullptr) c_tags_->add(sys.numTags());
+  if (!faulty) ideal_weight = static_cast<int>(expect_served.size());
+
+  // -- interrogation misses re-drawn from the plan --
+  if (faulty && plan->hasMissFaults()) {
+    std::vector<int> kept;
+    kept.reserve(expect_served.size());
+    for (const int t : expect_served) {
+      if (!plan->drawMiss(slot, t)) kept.push_back(t);
+    }
+    expect_served = std::move(kept);
+  }
+
+  if (!std::equal(expect_served.begin(), expect_served.end(), served.begin(),
+                  served.end())) {
+    flag(slot, "slot.served-mismatch",
+         "referee served " + joinInts(served) + ", geometry dictates " +
+             joinInts(expect_served));
+  }
+
+  // -- claimed weight and greedy progress --
+  if (opt_.expect_exact_weight && proposal.weight != ideal_weight) {
+    flag(slot, "slot.claimed-weight-mismatch",
+         "scheduler claimed w=" + std::to_string(proposal.weight) +
+             ", naive recount w=" + std::to_string(ideal_weight));
+  }
+  if (opt_.expect_progress && remaining_coverable_ > 0 && ideal_weight == 0) {
+    flag(slot, "slot.zero-weight-commit",
+         std::to_string(remaining_coverable_) +
+             " coverable tags remain but the committed proposal has zero "
+             "no-fault weight");
+  }
+
+  // -- monotone read-state growth (served tags must be new) --
+  for (const int t : served) {
+    if (t < 0 || t >= sys.numTags()) {
+      flag(slot, "slot.served-out-of-range", "tag " + std::to_string(t));
+      continue;
+    }
+    if (shadow_[static_cast<std::size_t>(t)] != 0) {
+      flag(slot, "slot.reread",
+           "tag " + std::to_string(t) + " served twice");
+    }
+    if (sys.isRead(t)) {
+      flag(slot, "slot.premature-commit",
+           "tag " + std::to_string(t) + " already read pre-commit");
+    }
+  }
+
+  if (opt_.level == CheckLevel::kParanoid) {
+    // Whole-bitmap agreement at every slot, plus the System's own referee
+    // and census re-asked against the naive scan.
+    const std::span<const char> read = sys.readState();
+    for (int t = 0; t < sys.numTags(); ++t) {
+      if ((read[static_cast<std::size_t>(t)] != 0) !=
+          (shadow_[static_cast<std::size_t>(t)] != 0)) {
+        flag(slot, "paranoid.bitmap-divergence",
+             "tag " + std::to_string(t) + " read-state diverged");
+        break;
+      }
+    }
+    if (sys.unreadCoverableCount() != remaining_coverable_) {
+      flag(slot, "paranoid.coverable-count-mismatch",
+           "System says " + std::to_string(sys.unreadCoverableCount()) +
+               ", shadow ledger says " +
+               std::to_string(remaining_coverable_));
+    }
+    const int referee_w = sys.weight(X);
+    if (referee_w != ideal_weight) {
+      flag(slot, "paranoid.referee-weight-mismatch",
+           "System::weight " + std::to_string(referee_w) +
+               " != naive recount " + std::to_string(ideal_weight));
+    }
+  }
+
+  // -- commit to the shadow ledger, mirroring the driver's markRead --
+  for (const int t : served) {
+    if (t < 0 || t >= sys.numTags()) continue;
+    if (shadow_[static_cast<std::size_t>(t)] != 0) continue;
+    shadow_[static_cast<std::size_t>(t)] = 1;
+    // Legitimately served tags are coverable by construction; the geometric
+    // guard only matters after a served-mismatch in a non-fail-fast run.
+    bool coverable = false;
+    for (int v = 0; v < sys.numReaders() && !coverable; ++v) {
+      coverable = covers(sys, v, t);
+    }
+    if (coverable) --remaining_coverable_;
+  }
+  trailing_stall_ = served.empty() ? trailing_stall_ + 1 : 0;
+  sum_served_ += static_cast<std::int64_t>(served.size());
+  ++slots_checked_;
+  if (c_slots_ != nullptr) c_slots_->add(1);
+  span.arg("slot", static_cast<double>(slot));
+  span.arg("served", static_cast<double>(served.size()));
+  return ok() || !opt_.fail_fast;
+}
+
+bool ScheduleValidator::checkRun(const core::System& sys,
+                                 const sched::McsResult& res, int max_slots,
+                                 int max_stall) {
+  if (!begun_) {
+    flag(-1, "api.begin-missing", "checkRun before beginRun");
+    return ok();
+  }
+  if (res.slots != static_cast<int>(slots_checked_)) {
+    flag(-1, "run.slot-count-mismatch",
+         "result reports " + std::to_string(res.slots) + " slots, " +
+             std::to_string(slots_checked_) + " were checked");
+  }
+  if (static_cast<std::int64_t>(res.tags_read) != sum_served_) {
+    flag(-1, "run.tags-read-mismatch",
+         "result reports " + std::to_string(res.tags_read) +
+             " tags read, slots summed to " + std::to_string(sum_served_));
+  }
+  if (res.uncoverable != initial_uncoverable_) {
+    flag(-1, "run.uncoverable-mismatch",
+         "result reports " + std::to_string(res.uncoverable) +
+             " uncoverable tags, geometry counts " +
+             std::to_string(initial_uncoverable_));
+  }
+
+  // Final state: the System's bitmap must be exactly the shadow ledger.
+  const std::span<const char> read = sys.readState();
+  for (int t = 0; t < sys.numTags(); ++t) {
+    if ((read[static_cast<std::size_t>(t)] != 0) !=
+        (shadow_[static_cast<std::size_t>(t)] != 0)) {
+      flag(-1, "run.final-state-divergence",
+           "tag " + std::to_string(t) +
+               " read-state diverged from the committed slots");
+      break;
+    }
+  }
+
+  // The completion claim, re-derived geometrically.
+  const int remaining = shadowCoverableCount(sys);
+  tags_scanned_ += static_cast<std::int64_t>(sys.numTags()) *
+                   static_cast<std::int64_t>(sys.numReaders());
+  if (c_tags_ != nullptr) {
+    c_tags_->add(static_cast<std::int64_t>(sys.numTags()) *
+                 static_cast<std::int64_t>(sys.numReaders()));
+  }
+  if (res.completed != (remaining == 0)) {
+    flag(-1, "run.completed-claim",
+         std::string("result says completed=") +
+             (res.completed ? "true" : "false") + " but " +
+             std::to_string(remaining) + " coverable tags remain unread");
+  }
+
+  // Early-exit legitimacy: an incomplete, uninterrupted run must have hit
+  // a cap, stalled out, or orphaned every remaining tag behind permanent
+  // faults (the unservable-forever predicate, re-derived from geometry).
+  if (!res.completed && !res.interrupted &&
+      res.stop == sched::McsStop::kNone && remaining > 0) {
+    const bool capped = res.slots >= max_slots;
+    const bool stalled = trailing_stall_ >= max_stall;
+    bool orphaned = opt_.faults != nullptr && !opt_.faults->empty() &&
+                    opt_.faults->hasPermanentDeaths();
+    if (orphaned) {
+      for (int t = 0; t < sys.numTags() && orphaned; ++t) {
+        if (shadow_[static_cast<std::size_t>(t)] != 0) continue;
+        bool coverable = false;
+        for (int v = 0; v < sys.numReaders() && !coverable; ++v) {
+          coverable = covers(sys, v, t);
+        }
+        if (coverable) orphaned = unservableForever(sys, t, res.slots);
+      }
+    }
+    if (!capped && !stalled && !orphaned) {
+      flag(-1, "run.illegitimate-exit",
+           "run ended with " + std::to_string(remaining) +
+               " servable tags unread: no cap hit (slots " +
+               std::to_string(res.slots) + "/" + std::to_string(max_slots) +
+               "), no stall-out (trailing " +
+               std::to_string(trailing_stall_) + "/" +
+               std::to_string(max_stall) + "), not orphaned");
+    }
+  }
+
+  if (opt_.metrics != nullptr) {
+    opt_.metrics->gauge("check.remaining_coverable")
+        .set(static_cast<double>(remaining));
+  }
+  if (opt_.trace != nullptr) {
+    opt_.trace->instant(obs::EventKind::kCheck, "check.end",
+                        {{"slots", static_cast<double>(slots_checked_)},
+                         {"violations", static_cast<double>(violations_)}});
+  }
+  return ok();
+}
+
+void ScheduleValidator::report(std::ostream& os) const {
+  if (ok()) return;
+  os << "check: " << violations_ << " violation(s)";
+  if (violations_ > static_cast<std::int64_t>(issues_.size())) {
+    os << " (first " << issues_.size() << " recorded)";
+  }
+  os << "\n";
+  for (const CheckIssue& i : issues_) {
+    os << "  [";
+    if (i.slot < 0) {
+      os << "run";
+    } else {
+      os << "slot " << i.slot;
+    }
+    os << "] " << i.invariant << ": " << i.detail << "\n";
+  }
+}
+
+}  // namespace rfid::check

@@ -1,0 +1,168 @@
+// invariants.h — the runtime correctness oracle (docs/testing.md).
+//
+// Four optimized/faulted/resumable execution paths now produce schedules,
+// and the equivalence tests only prove they agree with *each other*.  The
+// ScheduleValidator instead re-verifies every committed slot against the
+// paper's definitions, recomputed from first principles:
+//
+//   * pairwise independence (Definition 2) from raw reader geometry,
+//     ‖v_i − v_j‖ > max(R_i, R_j) — never the cached interference graph;
+//   * the slot's served set by a naive O(|X|·m) exactly-one-coverage scan
+//     (Definition 1) over raw positions — never the CSR coverage arrays;
+//   * monotone read-state growth against a private shadow bitmap;
+//   * MCS postconditions (Definition 4 / §III): a run that claims
+//     completion left no servable tag unread, no committed slot claimed a
+//     weight the referee cannot reproduce, and an early exit is justified
+//     (budget, slot cap, stall-out, or every remaining tag truly orphaned
+//     by permanent faults).
+//
+// The validator plugs into the MCS driver via McsOptions::validator and is
+// deliberately *redundant* with the production code: it shares the
+// System's data (positions, radii, the fault plan) but none of its derived
+// structures, so a corrupted CSR index, a broken lazy-greedy key, or a
+// referee regression shows up as a violation instead of a silently wrong
+// schedule.  tools/mutation_smoke.sh proves the redundancy has teeth by
+// seeding exactly such bugs and asserting the validator flags each one.
+//
+// Fault plans are first-class: the validator mirrors the driver's referee
+// semantics (crash stripping, re-plan benching, loud jamming, interrogation
+// misses) from the FaultPlan itself, so a fault-injected run is validated
+// against the *faulted* ground truth, not the ideal one.  Checkpoint
+// resume needs nothing special — replayed slots re-enter the same driver
+// loop and are re-validated exactly like live ones.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/mcs.h"
+#include "sched/scheduler.h"
+
+namespace rfid::check {
+
+/// How much redundant work the validator performs per slot.
+enum class CheckLevel {
+  /// Every invariant listed above; whole-bitmap and CSR cross-checks run
+  /// once per run (begin/end).
+  kNormal,
+  /// Additionally re-verifies the full read bitmap, the live coverable
+  /// count, and the System's own referee (weight(X) vs the naive scan)
+  /// at *every* slot — quadratic paranoia for debugging sessions.
+  kParanoid,
+};
+
+struct CheckOptions {
+  CheckLevel level = CheckLevel::kNormal;
+  /// The scheduler guarantees feasible proposals (every algorithm except
+  /// Colorwave's raw color classes and the multi-channel scheduler).
+  bool expect_feasible = true;
+  /// OneShotResult::weight must equal the recomputed no-fault weight of
+  /// the proposal (false for multi-channel, whose channeled weight
+  /// legitimately exceeds the single-channel referee's, and for
+  /// distributed schedulers running over a faulted control plane).
+  bool expect_exact_weight = true;
+  /// A committed slot must have strictly positive no-fault weight while
+  /// servable tags remain — the greedy MCS postcondition.  False for
+  /// schedulers that legitimately stall (Colorwave pre-convergence, lossy
+  /// control planes).
+  bool expect_progress = true;
+  /// The fault plan driving the run's referee (nullptr = clean run).  The
+  /// validator verifies the *faulted* semantics against this plan.
+  const fault::FaultPlan* faults = nullptr;
+  /// Must mirror McsOptions::reprobe_interval — the validator re-derives
+  /// the driver's bench ("suspected dead") bookkeeping independently.
+  int reprobe_interval = 8;
+  /// Stop the run at the first violation (McsStop::kCheckFailed).  With
+  /// false the run continues and violations accumulate up to max_issues.
+  bool fail_fast = true;
+  /// Recorded-issue cap; further violations are counted, not stored.
+  int max_issues = 64;
+  /// Observability (optional).  Counters: check.slots_checked,
+  /// check.violations, check.tags_scanned.  Wall-clock (check.slot_us)
+  /// rides with tracing only, matching the MCS driver's discipline.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+};
+
+/// One recorded violation.
+struct CheckIssue {
+  int slot = -1;          // -1 = run-level (begin/end) issue
+  std::string invariant;  // stable id, e.g. "slot.served-mismatch"
+  std::string detail;     // human-readable specifics
+};
+
+class ScheduleValidator {
+ public:
+  explicit ScheduleValidator(CheckOptions opt = {});
+
+  // ---- driver hooks (sched/runCoveringSchedule calls these) ----
+
+  /// Captures the shadow read-state and cross-checks the System's derived
+  /// structures against raw geometry.  Returns false (fail_fast only) on a
+  /// violation — the driver then refuses to run at all.
+  bool beginRun(const core::System& sys);
+
+  /// Verifies one slot from first principles, called with the *pre-commit*
+  /// read-state (before markRead).  `live` is the post-strip active set the
+  /// referee actually executed and `jamming` the loud-crashed radiators —
+  /// both empty-equivalent on clean runs, where `live` must equal the
+  /// proposal.  Returns false when fail_fast and a violation fired; the
+  /// driver then aborts without committing the slot.
+  bool checkSlot(const core::System& sys, int slot,
+                 const sched::OneShotResult& proposal,
+                 std::span<const int> live, std::span<const int> jamming,
+                 std::span<const int> served);
+
+  /// Run postconditions.  `max_slots` / `max_stall` are the driver's caps
+  /// (legitimate early-exit reasons).  Returns ok().
+  bool checkRun(const core::System& sys, const sched::McsResult& res,
+                int max_slots, int max_stall);
+
+  // ---- results ----
+
+  bool ok() const { return violations_ == 0; }
+  /// Total violations seen (recorded + counted past max_issues).
+  std::int64_t violations() const { return violations_; }
+  const std::vector<CheckIssue>& issues() const { return issues_; }
+  std::int64_t slotsChecked() const { return slots_checked_; }
+  const CheckOptions& options() const { return opt_; }
+
+  /// Human-readable violation report ("check: N violation(s)" + one line
+  /// per recorded issue); writes nothing when ok().
+  void report(std::ostream& os) const;
+
+ private:
+  void flag(int slot, std::string invariant, std::string detail);
+  /// Geometric coverage test straight from positions and radii.
+  bool covers(const core::System& sys, int reader, int tag) const;
+  /// Unread (per shadow) tags with at least one geometric coverer.
+  int shadowCoverableCount(const core::System& sys) const;
+  /// True when no future slot can serve `tag` under permanent faults.
+  bool unservableForever(const core::System& sys, int tag, int slot) const;
+
+  CheckOptions opt_;
+  std::vector<char> shadow_;        // private read-state mirror
+  std::vector<int> trusted_from_;   // bench mirror (fault runs)
+  int initial_unread_ = 0;
+  int initial_uncoverable_ = 0;
+  int remaining_coverable_ = 0;     // maintained from served commits
+  std::int64_t slots_checked_ = 0;
+  std::int64_t violations_ = 0;
+  std::int64_t tags_scanned_ = 0;
+  int trailing_stall_ = 0;          // consecutive zero-served slots seen
+  std::int64_t sum_served_ = 0;
+  bool begun_ = false;
+  std::vector<CheckIssue> issues_;
+  // Cached metric handles (resolved in beginRun, one pointer test after).
+  obs::Counter* c_slots_ = nullptr;
+  obs::Counter* c_violations_ = nullptr;
+  obs::Counter* c_tags_ = nullptr;
+};
+
+}  // namespace rfid::check

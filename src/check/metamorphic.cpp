@@ -1,0 +1,86 @@
+#include "check/metamorphic.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "workload/rng.h"
+
+namespace rfid::check {
+
+std::vector<int> randomPermutation(int n, std::uint64_t seed) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+  // Explicit Fisher–Yates over Rng::uniformInt: std::shuffle's draw
+  // sequence is implementation-defined, and these permutations seed
+  // golden-value property tests that must reproduce everywhere.
+  workload::Rng rng(seed);
+  for (int i = n - 1; i > 0; --i) {
+    const int j = rng.uniformInt(0, i);
+    std::swap(p[static_cast<std::size_t>(i)], p[static_cast<std::size_t>(j)]);
+  }
+  return p;
+}
+
+Permuted permuteSystem(const core::System& sys, std::uint64_t seed) {
+  std::vector<int> reader_of = randomPermutation(
+      sys.numReaders(), workload::deriveSeed(seed, "perm-readers"));
+  std::vector<int> tag_of = randomPermutation(
+      sys.numTags(), workload::deriveSeed(seed, "perm-tags"));
+  std::vector<core::Reader> readers;
+  readers.reserve(static_cast<std::size_t>(sys.numReaders()));
+  for (const int old : reader_of) readers.push_back(sys.reader(old));
+  std::vector<core::Tag> tags;
+  tags.reserve(static_cast<std::size_t>(sys.numTags()));
+  for (const int old : tag_of) tags.push_back(sys.tag(old));
+  return Permuted{core::System(std::move(readers), std::move(tags)),
+                  std::move(reader_of), std::move(tag_of)};
+}
+
+geom::Vec2 RigidMotion::apply(geom::Vec2 p) const {
+  for (int i = 0; i < ((quarter_turns % 4) + 4) % 4; ++i) {
+    p = {-p.y, p.x};  // exact: negation and a swap, no rounding
+  }
+  if (mirror) p.x = -p.x;
+  return p + translate;
+}
+
+core::System transformSystem(const core::System& sys, const RigidMotion& m) {
+  std::vector<core::Reader> readers(sys.readers().begin(),
+                                    sys.readers().end());
+  for (core::Reader& r : readers) r.pos = m.apply(r.pos);
+  std::vector<core::Tag> tags(sys.tags().begin(), sys.tags().end());
+  for (core::Tag& t : tags) t.pos = m.apply(t.pos);
+  return core::System(std::move(readers), std::move(tags));
+}
+
+core::System withUncoveredTag(const core::System& sys) {
+  double max_x = 0.0;
+  double max_y = 0.0;
+  double max_gamma = 1.0;
+  for (const core::Reader& r : sys.readers()) {
+    max_x = std::max(max_x, r.pos.x);
+    max_y = std::max(max_y, r.pos.y);
+    max_gamma = std::max(max_gamma, r.interrogation_radius);
+  }
+  core::Tag stray;
+  stray.pos = {max_x + 2.0 * max_gamma + 1.0, max_y + 2.0 * max_gamma + 1.0};
+  std::vector<core::Reader> readers(sys.readers().begin(),
+                                    sys.readers().end());
+  std::vector<core::Tag> tags(sys.tags().begin(), sys.tags().end());
+  tags.push_back(stray);
+  return core::System(std::move(readers), std::move(tags));
+}
+
+core::System withInterrogationScaled(const core::System& sys, double factor) {
+  assert(factor > 0.0);
+  std::vector<core::Reader> readers(sys.readers().begin(),
+                                    sys.readers().end());
+  for (core::Reader& r : readers) {
+    r.interrogation_radius =
+        std::min(r.interrogation_radius * factor, r.interference_radius);
+  }
+  std::vector<core::Tag> tags(sys.tags().begin(), sys.tags().end());
+  return core::System(std::move(readers), std::move(tags));
+}
+
+}  // namespace rfid::check

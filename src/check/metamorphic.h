@@ -1,0 +1,78 @@
+// metamorphic.h — deployment transformations with known schedule effects.
+//
+// Metamorphic testing sidesteps the missing ground truth: we cannot say
+// what the optimal covering schedule of a random deployment *is*, but we
+// can say how the answer must respond to a transformation of the input
+// (docs/testing.md).  This header builds the transformed deployments; the
+// property suite (tests/test_metamorphic.cpp) runs the schedulers on both
+// sides and asserts the relation:
+//
+//   * permuteSystem — relabeling readers and tags is a bijection on
+//     nothing but indices; every weight, slot count, and tag census is
+//     invariant, and schedules map through the permutation.
+//   * transformSystem — a rigid motion of the plane preserves all
+//     pairwise distances, so independence, coverage, and every weight are
+//     invariant.  Quarter turns (x,y) → (−y,x) and the x → −x mirror are
+//     *exact* in IEEE double arithmetic (negation is lossless), so those
+//     runs must be bit-identical; translation only perturbs at fixed
+//     seeds, where the properties still hold for the tested workloads.
+//   * withUncoveredTag — a tag outside every interrogation disk can never
+//     be served: schedules are untouched, uncoverable goes up by one.
+//   * withInterrogationScaled — shrinking every γ by a common factor
+//     (β-monotonicity direction) can only shrink the coverable set and,
+//     for completed MCS runs, the total tags read.  (Per-set weight w(X)
+//     is *not* monotone in β — RRc means a grown disk can add a second
+//     coverer and lose a tag — which is why the property speaks of
+//     coverable sets and completed-run totals, not of individual slots.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+#include "geometry/vec2.h"
+
+namespace rfid::check {
+
+/// A relabeled copy of a System: new index i holds old reader
+/// reader_of[i] / old tag tag_of[i].
+struct Permuted {
+  core::System sys;
+  std::vector<int> reader_of;  // new reader index -> old reader index
+  std::vector<int> tag_of;     // new tag index -> old tag index
+};
+
+/// Deterministic uniform permutation of {0, …, n−1} (Fisher–Yates over the
+/// repo's seeded Rng).
+std::vector<int> randomPermutation(int n, std::uint64_t seed);
+
+/// Relabels readers and tags by independent random permutations derived
+/// from `seed`.  Geometry is untouched; only indices move.
+Permuted permuteSystem(const core::System& sys, std::uint64_t seed);
+
+/// A rigid motion of the deployment plane: `quarter_turns` exact 90°
+/// rotations (x,y) → (−y,x), an optional mirror x → −x, then a
+/// translation.  Quarter turns and the mirror are exact in doubles.
+struct RigidMotion {
+  int quarter_turns = 0;  // 0..3
+  bool mirror = false;
+  geom::Vec2 translate;
+
+  geom::Vec2 apply(geom::Vec2 p) const;
+};
+
+/// Rebuilds the System with every reader and tag position moved by `m`.
+/// Radii and the read-state reset are untouched.
+core::System transformSystem(const core::System& sys, const RigidMotion& m);
+
+/// Rebuilds the System with one extra tag placed strictly outside every
+/// reader's interrogation disk (beyond the deployment's bounding box by
+/// more than the largest γ).  The new tag is appended last.
+core::System withUncoveredTag(const core::System& sys);
+
+/// Rebuilds the System with every interrogation radius scaled by `factor`
+/// and clamped to (0, R] so the model invariant γ ≤ R holds.  factor < 1
+/// moves in the shrinking-β direction of the monotonicity property.
+core::System withInterrogationScaled(const core::System& sys, double factor);
+
+}  // namespace rfid::check

@@ -99,6 +99,10 @@ class System {
   void markUnread(int t) { read_[static_cast<std::size_t>(t)] = 0; }
   /// Forgets all reads; used between independent experiments on one System.
   void resetReads();
+  /// The raw read bitmap, one byte per tag (nonzero = read).  Checkpoint
+  /// snapshots and the check:: oracle copy it wholesale instead of n
+  /// isRead() calls.
+  std::span<const char> readState() const { return read_; }
   /// Number of unread tags (coverable or not).
   int unreadCount() const;
   /// Number of unread tags covered by at least one reader — the MCS loop

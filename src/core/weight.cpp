@@ -62,6 +62,33 @@ int WeightEvaluator::peekDelta(int v) const {
   return delta;
 }
 
+bool WeightEvaluator::checkInvariants(std::string* why) const {
+  std::vector<int> expect(count_.size(), 0);
+  for (const int v : stack_) {
+    for (const int t : sys_->coverage(v)) ++expect[static_cast<std::size_t>(t)];
+  }
+  int w = 0;
+  for (std::size_t t = 0; t < expect.size(); ++t) {
+    if (expect[t] != count_[t]) {
+      if (why != nullptr) {
+        *why = "tag " + std::to_string(t) + " multiplicity " +
+               std::to_string(count_[t]) + ", recount " +
+               std::to_string(expect[t]);
+      }
+      return false;
+    }
+    if (expect[t] == 1 && !sys_->isRead(static_cast<int>(t))) ++w;
+  }
+  if (w != weight_) {
+    if (why != nullptr) {
+      *why = "weight " + std::to_string(weight_) + ", recount " +
+             std::to_string(w);
+    }
+    return false;
+  }
+  return true;
+}
+
 void WeightEvaluator::clear() {
   while (!stack_.empty()) pop();
   assert(weight_ == 0);

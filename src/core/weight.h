@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/system.h"
@@ -76,6 +77,13 @@ class WeightEvaluator {
   int multiplicity(int t) const { return count_[static_cast<std::size_t>(t)]; }
 
   const System& system() const { return *sys_; }
+
+  /// Self-audit for the check:: oracle and the property tests: recomputes
+  /// every per-tag multiplicity and the weight from scratch against the
+  /// System's current read-state and compares them to the incrementally
+  /// maintained values.  O(Σ coverage of members).  On mismatch returns
+  /// false and, when `why` is non-null, describes the first divergence.
+  bool checkInvariants(std::string* why = nullptr) const;
 
   /// Drops all members.
   void clear();

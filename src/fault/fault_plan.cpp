@@ -1,5 +1,6 @@
 #include "fault/fault_plan.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -48,6 +49,16 @@ bool FaultPlan::loud(int reader, int slot) const {
     }
   }
   return false;
+}
+
+std::vector<int> FaultPlan::loudAt(int slot) const {
+  std::vector<int> out;
+  for (const CrashInterval& ci : crashes_) {
+    if (ci.loud && slot >= ci.start && slot < ci.end) out.push_back(ci.reader);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 bool FaultPlan::permanentlyDead(int reader, int slot) const {

@@ -96,6 +96,10 @@ class FaultPlan {
   bool crashed(int reader, int slot) const;
   /// Crashed at `slot` by an interval that fails loud.
   bool loud(int reader, int slot) const;
+  /// All readers loud at `slot`, ascending and deduplicated — the jamming
+  /// set the MCS referee charges against every live proposal.  Reader ids
+  /// come straight from the plan; callers bound them to their deployment.
+  std::vector<int> loudAt(int slot) const;
   /// Crashed at `slot` and never recovers afterwards: the reader's tags are
   /// orphaned from this slot on unless another reader covers them.
   bool permanentlyDead(int reader, int slot) const;

@@ -21,6 +21,7 @@ const char* eventKindName(EventKind k) {
     case EventKind::kFault: return "fault";
     case EventKind::kSpan: return "span";
     case EventKind::kCkpt: return "ckpt";
+    case EventKind::kCheck: return "check";
   }
   return "span";
 }

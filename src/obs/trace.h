@@ -42,6 +42,7 @@ enum class EventKind {
   kFault,       // an injected fault fired (crash, drop, miss, orphan)
   kSpan,        // generic timed span (ScopedTimer default)
   kCkpt,        // checkpoint IO: journal replay, snapshot written
+  kCheck,       // invariant oracle: slot validated, violation flagged
 };
 
 const char* eventKindName(EventKind k);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.h"
 #include "ckpt/journal.h"
 #include "fault/channel_model.h"
 #include "fault/fault_plan.h"
@@ -77,6 +78,7 @@ const char* mcsStopName(McsStop s) {
     case McsStop::kCancelled: return "cancelled";
     case McsStop::kJournalError: return "journal-error";
     case McsStop::kReplayMismatch: return "replay-mismatch";
+    case McsStop::kCheckFailed: return "check-failed";
   }
   return "?";
 }
@@ -143,8 +145,18 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     trusted_from.assign(static_cast<std::size_t>(sys.numReaders()), 0);
   }
 
+  // The oracle refuses to referee a System whose derived structures already
+  // contradict raw geometry (fail-fast only; otherwise it records the
+  // violations and watches the run anyway).
+  bool check_failed = false;
+  if (opt.validator != nullptr && !opt.validator->beginRun(sys)) {
+    res.stop = McsStop::kCheckFailed;
+    check_failed = true;
+  }
+
   int stall = 0;
-  while (sys.unreadCoverableCount() > 0 && res.slots < opt.max_slots) {
+  while (!check_failed && sys.unreadCoverableCount() > 0 &&
+         res.slots < opt.max_slots) {
     if (opt.budget != nullptr) {
       const ckpt::BudgetStop bs = opt.budget->charge(res.slots);
       if (bs != ckpt::BudgetStop::kNone) {
@@ -191,12 +203,16 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     int ideal_here = 0;
     bool slot_faulty = false;
     bool slot_lost = false;
+    // Hoisted from the faulty branch so the validator can see the executed
+    // split; on the clean path both stay empty (no allocation, no referee
+    // change).
+    std::vector<int> live;
+    std::vector<int> jamming;
     if (!faulty) {
       served = sys.wellCoveredTags(one.readers);
     } else {
       // Split the proposal: benched readers are stripped (the driver
       // re-planned around a known failure), crashed ones read nothing.
-      std::vector<int> live;
       live.reserve(one.readers.size());
       for (const int v : one.readers) {
         if (!trusted_from.empty() && trusted_from[static_cast<std::size_t>(v)] > q) {
@@ -216,9 +232,8 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
       // stuck transmitter does not wait for an activation and re-planning
       // cannot silence it.  The referee charges its RRc multiplicity and
       // RTc victimization against the live set.
-      std::vector<int> jamming;
-      for (int v = 0; v < sys.numReaders(); ++v) {
-        if (plan->loud(v, q)) jamming.push_back(v);
+      for (const int v : plan->loudAt(q)) {
+        if (v >= 0 && v < sys.numReaders()) jamming.push_back(v);
       }
       served = sys.wellCoveredTags(live, jamming);
       // Interrogation misses: a well-covered tag can still fail its
@@ -265,6 +280,19 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
              {"served", static_cast<double>(served.size())},
              {"ideal", static_cast<double>(ideal_here)}});
       }
+    }
+
+    // The oracle re-derives this slot's verdict from raw geometry and the
+    // plan before anything is made durable: a fail-fast violation aborts
+    // with the slot neither journaled nor marked read.
+    if (opt.validator != nullptr &&
+        !opt.validator->checkSlot(
+            sys, q, one,
+            faulty ? std::span<const int>(live)
+                   : std::span<const int>(one.readers),
+            jamming, served)) {
+      res.stop = McsStop::kCheckFailed;
+      break;
     }
 
     if (checkpointing) {
@@ -389,6 +417,16 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     // final accounting against the last executed slot.
     res.degradation.tags_orphaned =
         countOrphans(sys, *plan, res.slots > 0 ? res.slots - 1 : 0);
+  }
+  // Run postconditions.  Skipped when the run already failed closed mid-slot
+  // (check / journal / replay): those paths leave a checked-but-uncommitted
+  // slot behind, so the oracle's ledger legitimately leads the System.
+  if (opt.validator != nullptr && res.stop != McsStop::kCheckFailed &&
+      res.stop != McsStop::kJournalError &&
+      res.stop != McsStop::kReplayMismatch) {
+    if (!opt.validator->checkRun(sys, res, opt.max_slots, opt.max_stall)) {
+      res.stop = McsStop::kCheckFailed;
+    }
   }
   if (opt.metrics != nullptr && faulty) {
     opt.metrics->gauge("fault.mcs.tags_orphaned")

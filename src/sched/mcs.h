@@ -38,6 +38,10 @@ class JournalWriter;
 struct JournalData;
 }  // namespace rfid::ckpt
 
+namespace rfid::check {
+class ScheduleValidator;
+}
+
 namespace rfid::sched {
 
 struct McsOptions {
@@ -90,6 +94,15 @@ struct McsOptions {
   /// is bit-identical to the pre-checkpoint driver.
   ckpt::JournalWriter* journal = nullptr;
   const ckpt::JournalData* resume = nullptr;
+  /// Runtime invariant oracle (optional; check/invariants.h).  The driver
+  /// calls beginRun before the loop, checkSlot on every slot *before*
+  /// committing it (journal append / markRead), and checkRun after natural
+  /// termination.  A fail-fast violation ends the run with
+  /// McsStop::kCheckFailed, the offending slot never committed.  The
+  /// validator's CheckOptions must carry the same fault plan and
+  /// reprobe_interval as this struct.  nullptr: the driver is bit-identical
+  /// to the unchecked one.
+  check::ScheduleValidator* validator = nullptr;
 };
 
 /// Why runCoveringSchedule returned (kNone: natural termination — covered,
@@ -101,6 +114,7 @@ enum class McsStop {
   kCancelled,       // budget: explicit cancellation
   kJournalError,    // checkpoint: journal append / snapshot write failed
   kReplayMismatch,  // checkpoint: replay diverged from the journal
+  kCheckFailed,     // check: the invariant oracle flagged a violation
 };
 
 const char* mcsStopName(McsStop s);

@@ -253,6 +253,35 @@ TEST_F(CkptTest, EmptyAndHeaderlessFilesFailClosed) {
 
 // ---- corruption fuzz sweeps ----
 
+TEST_F(CkptTest, TornHeaderFailsClosedEvenWithValidSlotsBehindIt) {
+  // The one-torn-record leniency is for the *tail* only.  A journal whose
+  // header record is damaged identifies no run at all — resuming against
+  // the wrong deployment would silently produce garbage — so it must fail
+  // closed even when perfectly valid slot records follow the damage.
+  const std::string p = path("j");
+  const std::string hdr = encodeHeader(testHeader()) + "\n";
+  const std::string slots = encodeSlot(testSlot(0)) + "\n" +
+                            encodeSlot(testSlot(1)) + "\n";
+  std::string err;
+
+  // Header cut mid-record, intact slots appended after the tear.
+  writeBytes(p, hdr.substr(0, hdr.size() / 2) + slots);
+  EXPECT_FALSE(readJournal(p, &err).has_value());
+  EXPECT_FALSE(err.empty());
+
+  // Header missing its newline terminator, slots glued on.
+  writeBytes(p, hdr.substr(0, hdr.size() - 1) + slots);
+  EXPECT_FALSE(readJournal(p, &err).has_value());
+
+  // Header replaced by a slot record: first record must BE a header.
+  writeBytes(p, slots);
+  EXPECT_FALSE(readJournal(p, &err).has_value());
+
+  // Zero-byte journal: nothing to resume.
+  writeBytes(p, "");
+  EXPECT_FALSE(readJournal(p, &err).has_value());
+}
+
 TEST_F(CkptTest, FuzzTruncateAtEveryByteOffset) {
   const std::string p = path("j");
   const std::string full = makeJournal(p, 6);

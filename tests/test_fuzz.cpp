@@ -113,8 +113,11 @@ TEST_P(FuzzSweep, McsNeverLosesTags) {
   ASSERT_EQ(again.slots, 0);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
-                         ::testing::Range<std::uint64_t>(7000, 7010));
+// Default 10 seeds; RFIDSCHED_TEST_ITERS widens or narrows the sweep.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzSweep,
+    ::testing::Range<std::uint64_t>(
+        7000, 7000 + static_cast<std::uint64_t>(test::iterBudget(10))));
 
 }  // namespace
 }  // namespace rfid

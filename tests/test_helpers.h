@@ -1,12 +1,36 @@
 // test_helpers.h — shared fixtures and builders for the test suite.
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "core/system.h"
 #include "workload/scenario.h"
 
 namespace rfid::test {
+
+/// Iteration budget for randomized sweeps.  RFIDSCHED_TEST_ITERS overrides
+/// every suite's default at once — CI tiers dial the same binaries down for
+/// sanitizer runs or up for a soak, without recompiling.  Malformed or
+/// non-positive values fall back to the suite default.
+inline int iterBudget(int fallback) {
+  const char* s = std::getenv("RFIDSCHED_TEST_ITERS");
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1 || v > 1000000) return fallback;
+  return static_cast<int>(v);
+}
+
+/// `count` consecutive seeds starting at `base` — the loop variable for
+/// budgeted sweeps (`for (auto seed : seedRange(11, iterBudget(4)))`).
+inline std::vector<std::uint64_t> seedRange(std::uint64_t base, int count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(base + static_cast<std::uint64_t>(i));
+  return out;
+}
 
 /// std::span has no operator==; materialize for gtest comparisons.
 inline std::vector<int> toVec(std::span<const int> s) {

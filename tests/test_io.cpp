@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "test_helpers.h"
@@ -83,6 +85,16 @@ TEST(Io, MissingFileIsRejected) {
   EXPECT_FALSE(loadDeploymentFile("/nonexistent/path.csv").has_value());
 }
 
+TEST(Io, TrulyEmptyFileIsRejected) {
+  // A zero-byte file (created but never written — a crashed save outside
+  // the atomic writer, or a stray touch) must fail closed, not yield an
+  // empty System.
+  const std::string p = "io_empty_test.csv";
+  { std::ofstream os(p, std::ios::binary | std::ios::trunc); }
+  EXPECT_FALSE(loadDeploymentFile(p).has_value());
+  std::remove(p.c_str());
+}
+
 TEST(Io, EpcUint64BoundaryRoundTrip) {
   // EPCs are full-width uint64: INT_MAX+1, 2^63, and UINT64_MAX must
   // survive load → save → load exactly (a signed-int path would mangle
@@ -105,7 +117,12 @@ TEST(Io, EpcUint64BoundaryRoundTrip) {
 }
 
 TEST(Io, EpcRejectsSignAndOverflow) {
-  for (const std::string epc : {"-1", "+7", "18446744073709551616", "", "7x"}) {
+  // UINT64_MAX is 18446744073709551615; everything past it — one more, a
+  // 10× digit string, an absurdly long run of 9s — must be rejected rather
+  // than silently wrapped, alongside signs and trailing junk.
+  for (const std::string epc :
+       {"-1", "+7", "18446744073709551616", "184467440737095516150",
+        "99999999999999999999999999999999", "", "7x", "0x10"}) {
     std::stringstream ss("reader,0,1.0,2.0,5.0,3.0\ntag,0,1.0,2.0," + epc +
                          "\n");
     EXPECT_FALSE(loadDeployment(ss).has_value()) << "epc=" << epc;

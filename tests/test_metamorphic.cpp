@@ -1,0 +1,226 @@
+// test_metamorphic.cpp — metamorphic properties of the schedulers
+// (src/check/metamorphic.h, docs/testing.md).
+//
+// No oracle knows the optimal covering schedule of a random deployment, but
+// transformations with known effect pin the implementations down anyway:
+// relabeling must move nothing but indices, a rigid motion must move
+// nothing at all (quarter turns and mirrors are exact in doubles), a tag
+// outside every interrogation disk must be inert, and shrinking every γ
+// (the β-monotonicity direction) can only lose coverage.  Heuristic
+// tie-breaking is index-dependent, so the permutation property is asserted
+// at the referee level (weights, feasibility, served sets) and for
+// label-free run totals — never for slot-by-slot heuristic trajectories.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/metamorphic.h"
+#include "graph/interference_graph.h"
+#include "sched/exact.h"
+#include "sched/growth.h"
+#include "sched/hill_climbing.h"
+#include "sched/mcs.h"
+#include "sched/ptas.h"
+#include "test_helpers.h"
+#include "workload/rng.h"
+
+namespace rfid {
+namespace {
+
+/// Runs a validated MCS to completion with a fresh scheduler of type S.
+template <typename S, typename... Args>
+sched::McsResult validatedMcs(core::System& sys, Args&&... args) {
+  S s(std::forward<Args>(args)...);
+  check::ScheduleValidator val;
+  sched::McsOptions opt;
+  opt.validator = &val;
+  const sched::McsResult res = sched::runCoveringSchedule(sys, s, opt);
+  EXPECT_TRUE(val.ok()) << "validator flagged a transformed run";
+  return res;
+}
+
+// ---- relabeling: a bijection on indices and nothing else ----
+
+TEST(Metamorphic, PermutationPreservesRefereeSemantics) {
+  for (const std::uint64_t seed : test::seedRange(600, test::iterBudget(5))) {
+    core::System sys = test::smallRandomSystem(seed, 12, 80, 45.0);
+    const check::Permuted p = check::permuteSystem(sys, seed ^ 0xabcd);
+    // Inverse maps: old index -> new index.
+    std::vector<int> new_reader(p.reader_of.size());
+    std::vector<int> new_tag(p.tag_of.size());
+    for (std::size_t i = 0; i < p.reader_of.size(); ++i) {
+      new_reader[static_cast<std::size_t>(p.reader_of[i])] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < p.tag_of.size(); ++i) {
+      new_tag[static_cast<std::size_t>(p.tag_of[i])] = static_cast<int>(i);
+    }
+
+    workload::Rng rng(seed);
+    for (int trial = 0; trial < 8; ++trial) {
+      // A random subset of readers, mapped through the permutation.
+      std::vector<int> X;
+      std::vector<int> mapped;
+      for (int v = 0; v < sys.numReaders(); ++v) {
+        if (rng.uniformInt(0, 2) == 0) {
+          X.push_back(v);
+          mapped.push_back(new_reader[static_cast<std::size_t>(v)]);
+        }
+      }
+      std::sort(mapped.begin(), mapped.end());
+      EXPECT_EQ(sys.isFeasible(X), p.sys.isFeasible(mapped));
+      EXPECT_EQ(sys.weight(X), p.sys.weight(mapped));
+      // Served sets map tag-for-tag.
+      std::vector<int> served = sys.wellCoveredTags(X);
+      for (int& t : served) t = new_tag[static_cast<std::size_t>(t)];
+      std::sort(served.begin(), served.end());
+      EXPECT_EQ(served, p.sys.wellCoveredTags(mapped));
+    }
+  }
+}
+
+TEST(Metamorphic, PermutationPreservesOptimalWeight) {
+  for (const std::uint64_t seed : test::seedRange(620, test::iterBudget(3))) {
+    core::System sys = test::smallRandomSystem(seed, 9, 50, 38.0);
+    const check::Permuted p = check::permuteSystem(sys, seed ^ 0x5eed);
+    sched::ExactScheduler a;
+    sched::ExactScheduler b;
+    EXPECT_EQ(a.schedule(sys).weight, b.schedule(p.sys).weight);
+  }
+}
+
+TEST(Metamorphic, PermutationPreservesMcsTotals) {
+  for (const std::uint64_t seed : test::seedRange(640, test::iterBudget(4))) {
+    core::System sys = test::smallRandomSystem(seed, 12, 90, 45.0);
+    const check::Permuted p = check::permuteSystem(sys, seed ^ 0x77);
+    core::System per = p.sys;  // runs consume the read-state
+    const sched::McsResult a = validatedMcs<sched::HillClimbingScheduler>(sys);
+    const sched::McsResult b = validatedMcs<sched::HillClimbingScheduler>(per);
+    // Totals are label-free; slot counts are tie-break-dependent and not
+    // asserted (see the header comment).
+    EXPECT_TRUE(a.completed);
+    EXPECT_TRUE(b.completed);
+    EXPECT_EQ(a.tags_read, b.tags_read);
+    EXPECT_EQ(a.uncoverable, b.uncoverable);
+  }
+}
+
+// ---- rigid motion: exact transforms give bit-identical schedules ----
+
+TEST(Metamorphic, QuarterTurnAndMirrorGiveBitIdenticalSchedules) {
+  for (const std::uint64_t seed : test::seedRange(660, test::iterBudget(4))) {
+    core::System sys = test::smallRandomSystem(seed, 14, 100, 48.0);
+    for (const int turns : {1, 2, 3}) {
+      for (const bool mirror : {false, true}) {
+        check::RigidMotion m;
+        m.quarter_turns = turns;
+        m.mirror = mirror;
+        core::System moved = check::transformSystem(sys, m);
+        core::System base = sys;  // fresh copy, read-state consumed per run
+        const sched::McsResult a =
+            validatedMcs<sched::HillClimbingScheduler>(base);
+        const sched::McsResult b =
+            validatedMcs<sched::HillClimbingScheduler>(moved);
+        ASSERT_EQ(a.slots, b.slots) << "turns " << turns << " mirror " << mirror;
+        EXPECT_EQ(a.tags_read, b.tags_read);
+        EXPECT_EQ(a.uncoverable, b.uncoverable);
+        ASSERT_EQ(a.schedule.size(), b.schedule.size());
+        for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+          EXPECT_EQ(a.schedule[i].active, b.schedule[i].active) << "slot " << i;
+          EXPECT_EQ(a.schedule[i].tags_read, b.schedule[i].tags_read);
+        }
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, TranslationPreservesCensusWithMargins) {
+  // Translation rounds coordinates, so bit-identity is off the table; on
+  // the Figure 2 instance every coverage/independence margin is ≫ any
+  // rounding error, so the census must survive an awkward offset.
+  core::System sys = test::figure2System();
+  check::RigidMotion m;
+  m.translate = {137.25, -41.75};
+  core::System moved = check::transformSystem(sys, m);
+  EXPECT_EQ(sys.unreadCoverableCount(), moved.unreadCoverableCount());
+  for (int v = 0; v < sys.numReaders(); ++v) {
+    EXPECT_EQ(sys.singleWeight(v), moved.singleWeight(v)) << "reader " << v;
+  }
+  const sched::McsResult a = validatedMcs<sched::HillClimbingScheduler>(sys);
+  const sched::McsResult b = validatedMcs<sched::HillClimbingScheduler>(moved);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.tags_read, b.tags_read);
+}
+
+// ---- an uncovered tag is inert ----
+
+TEST(Metamorphic, AddingUncoveredTagChangesNothingButUncoverable) {
+  for (const std::uint64_t seed : test::seedRange(680, test::iterBudget(4))) {
+    core::System sys = test::smallRandomSystem(seed, 12, 80, 45.0);
+    core::System grown = check::withUncoveredTag(sys);
+    ASSERT_EQ(grown.numTags(), sys.numTags() + 1);
+    EXPECT_TRUE(grown.coverers(sys.numTags()).empty())
+        << "the stray tag must sit outside every interrogation disk";
+    core::System base = sys;
+    const graph::InterferenceGraph ga(base);
+    const graph::InterferenceGraph gb(grown);
+    const sched::McsResult a = validatedMcs<sched::GrowthScheduler>(base, ga);
+    const sched::McsResult b = validatedMcs<sched::GrowthScheduler>(grown, gb);
+    EXPECT_EQ(a.tags_read, b.tags_read);
+    EXPECT_EQ(a.uncoverable + 1, b.uncoverable);
+    EXPECT_EQ(a.completed, b.completed);
+    ASSERT_EQ(a.slots, b.slots);
+    for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+      EXPECT_EQ(a.schedule[i].active, b.schedule[i].active) << "slot " << i;
+    }
+  }
+}
+
+// ---- β-monotonicity: shrinking γ can only lose coverage ----
+
+TEST(Metamorphic, ShrinkingInterrogationRadiiIsMonotone) {
+  for (const std::uint64_t seed : test::seedRange(700, test::iterBudget(4))) {
+    core::System sys = test::smallRandomSystem(seed, 14, 110, 48.0);
+    core::System shrunk = check::withInterrogationScaled(sys, 0.7);
+
+    // Coverable-set nesting: anything the shrunk system can cover, the
+    // original can.  (Per-set w(X) is deliberately NOT asserted — RRc
+    // makes it non-monotone in γ.)
+    for (int t = 0; t < sys.numTags(); ++t) {
+      if (!shrunk.coverers(t).empty()) {
+        EXPECT_FALSE(sys.coverers(t).empty()) << "tag " << t;
+      }
+    }
+    EXPECT_LE(shrunk.unreadCoverableCount(), sys.unreadCoverableCount());
+    for (int v = 0; v < sys.numReaders(); ++v) {
+      EXPECT_LE(shrunk.singleWeight(v), sys.singleWeight(v)) << "reader " << v;
+    }
+
+    // Completed-run totals follow the coverable census.
+    const sched::McsResult a = validatedMcs<sched::HillClimbingScheduler>(sys);
+    const sched::McsResult b =
+        validatedMcs<sched::HillClimbingScheduler>(shrunk);
+    EXPECT_TRUE(a.completed);
+    EXPECT_TRUE(b.completed);
+    EXPECT_LE(b.tags_read, a.tags_read);
+    EXPECT_GE(b.uncoverable, a.uncoverable);
+  }
+}
+
+TEST(Metamorphic, RandomPermutationIsABijection) {
+  for (const int n : {0, 1, 7, 64}) {
+    const std::vector<int> p = check::randomPermutation(n, 99);
+    ASSERT_EQ(static_cast<int>(p.size()), n);
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    for (const int i : p) {
+      ASSERT_GE(i, 0);
+      ASSERT_LT(i, n);
+      ASSERT_EQ(seen[static_cast<std::size_t>(i)], 0);
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfid

@@ -88,7 +88,7 @@ TEST(PerfEquiv, LazyQueueMatchesFullScanUnderRandomCommits) {
   // shared singly-covered tag gaining a second coverer raises sibling
   // deltas), so the queue must track increases too.  Random greedy-ish
   // commit sequences exercise both transition kinds.
-  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+  for (const std::uint64_t seed : test::seedRange(11, test::iterBudget(4))) {
     core::System sys = midSystem(seed, 50, 700);
     core::WeightEvaluator eval(sys);
     core::StandaloneWeightCache cache;
@@ -133,7 +133,7 @@ TEST(PerfEquiv, LazyQueueMatchesFullScanUnderRandomCommits) {
 // ---- one-shot equivalence: optimized vs reference, all thread counts ----
 
 TEST(PerfEquiv, GrowthLazyAndParallelMatchReference) {
-  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+  for (const std::uint64_t seed : test::seedRange(21, test::iterBudget(3))) {
     core::System sys = midSystem(seed);
     const graph::InterferenceGraph g(sys);
 
@@ -158,7 +158,7 @@ TEST(PerfEquiv, GrowthLazyAndParallelMatchReference) {
 }
 
 TEST(PerfEquiv, HillClimbingLazyMatchesReference) {
-  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+  for (const std::uint64_t seed : test::seedRange(31, test::iterBudget(3))) {
     core::System sys = midSystem(seed);
     HillClimbingScheduler ref(/*lazy_selection=*/false);
     HillClimbingScheduler lazy;
@@ -168,7 +168,7 @@ TEST(PerfEquiv, HillClimbingLazyMatchesReference) {
 }
 
 TEST(PerfEquiv, PtasParallelShiftsMatchSequential) {
-  for (const std::uint64_t seed : {41u, 42u}) {
+  for (const std::uint64_t seed : test::seedRange(41, test::iterBudget(2))) {
     core::System sys = midSystem(seed, 60, 900);
 
     PtasOptions ref_opt;
@@ -196,7 +196,7 @@ TEST(PerfEquiv, PtasParallelShiftsMatchSequential) {
 // ---- MCS slot-sequence equivalence (the cross-slot caches in play) ----
 
 TEST(PerfEquiv, McsSlotSequencesIdenticalAcrossPaths) {
-  for (const std::uint64_t seed : {51u, 52u}) {
+  for (const std::uint64_t seed : test::seedRange(51, test::iterBudget(2))) {
     // alg2: reference vs lazy vs lazy-parallel, fresh System per run (the
     // driver consumes the read-state).
     McsResult want;

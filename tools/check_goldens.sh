@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# check_goldens.sh — golden-file regression check for the CLI surface
+# (docs/testing.md).  Runs the canonical invocation against the committed
+# deployment and diffs stdout, the metrics JSON, and the (time-normalized)
+# JSONL event stream against tests/golden/.  Registered in ctest with the
+# `integration` label; tools/update_goldens.sh re-records after an
+# intentional output change.
+#
+#   usage: tools/check_goldens.sh [path-to-rfidsched_cli] [--update]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cli="${1:-$repo/build/tools/rfidsched_cli}"
+mode="${2:-check}"
+golden="$repo/tests/golden"
+
+if [ ! -x "$cli" ]; then
+  echo "check_goldens: CLI not found at $cli" >&2
+  exit 1
+fi
+
+scratch="$(mktemp -d /tmp/rfidsched-golden.XXXXXX)"
+trap 'rm -rf "$scratch"' EXIT
+cd "$scratch"
+
+# The canonical run: fixed committed deployment, deterministic algorithm,
+# metrics + events enabled, the invariant oracle armed.  Output paths are
+# relative so stdout (which echoes them) is byte-stable.
+"$cli" --load "$golden/deploy.csv" --algo alg2 --mode mcs --check \
+  --metrics metrics.json --jsonl events.jsonl > stdout.txt
+
+# Event timestamps/durations and the *_us histograms are wall-clock (they
+# ride with the attached trace); zero them so the goldens pin structure and
+# counts, not scheduling jitter.
+sed -E 's/"ts_us": [0-9]+/"ts_us": 0/; s/"dur_us": [0-9]+/"dur_us": 0/' \
+  events.jsonl > events.normalized.jsonl
+sed -E 's/"([a-zA-Z_.]+_us)": \{[^}]*\}/"\1": {}/' \
+  metrics.json > metrics.normalized.json
+
+if [ "$mode" = "--update" ]; then
+  cp stdout.txt "$golden/cli_stdout.txt"
+  cp metrics.normalized.json "$golden/cli_metrics.json"
+  cp events.normalized.jsonl "$golden/cli_events.jsonl"
+  echo "goldens updated in $golden"
+  exit 0
+fi
+
+fails=0
+for pair in "stdout.txt cli_stdout.txt" \
+            "metrics.normalized.json cli_metrics.json" \
+            "events.normalized.jsonl cli_events.jsonl"; do
+  set -- $pair
+  if ! diff -u "$golden/$2" "$1"; then
+    echo "golden mismatch: $2 (ran: $1)" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+if [ "$fails" -ne 0 ]; then
+  echo "goldens: $fails mismatch(es); if intentional, run tools/update_goldens.sh" >&2
+  exit 1
+fi
+echo "goldens: ok"

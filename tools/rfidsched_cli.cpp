@@ -9,7 +9,7 @@
 //                 [--metrics PATH] [--trace PATH] [--jsonl PATH]
 //                 [--checkpoint PATH] [--resume]
 //                 [--deadline-ms N] [--max-slots N]
-//                 [--threads N] [--ref-eval]
+//                 [--threads N] [--ref-eval] [--check[=paranoid]]
 //
 // --threads caps the worker threads the parallel schedulers (alg1 shift
 // fan-out, alg2 component fan-out) may use; 0 picks the hardware
@@ -42,6 +42,15 @@
 // --deadline-ms / --max-slots bound the run; an expiring budget returns
 // the valid best-so-far schedule marked interrupted.
 //
+// --check arms the runtime invariant oracle (docs/testing.md): every slot
+// is re-verified from first principles — independence from raw geometry,
+// the served set by a naive exactly-one-coverage scan, monotone read-state
+// growth, MCS postconditions — against the faulted referee when --fault is
+// given, and across replayed slots when resuming.  --check=paranoid adds
+// whole-bitmap and referee cross-checks at every slot.  Verdicts go to
+// stderr so stdout stays byte-identical to an unchecked run; overhead is
+// visible in the check.* metrics.
+//
 // Exit codes:
 //   0  success
 //   2  bad usage / bad configuration (the offending flag is named)
@@ -49,6 +58,7 @@
 //      and, with --checkpoint, resumable)
 //   4  checkpoint integrity failure (corrupt journal, identity mismatch,
 //      replay divergence, journal write error)
+//   5  invariant violation detected by --check
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -56,6 +66,7 @@
 #include <string>
 
 #include "analysis/svg.h"
+#include "check/invariants.h"
 #include "ckpt/budget.h"
 #include "ckpt/mcs_ckpt.h"
 #include "distributed/colorwave.h"
@@ -103,6 +114,8 @@ struct Cli {
   int k = 4;
   int threads = 0;       // 0 = hardware concurrency
   bool ref_eval = false; // reference selection paths (oracle / baseline)
+  bool check = false;           // arm the invariant oracle
+  bool check_paranoid = false;  // per-slot bitmap/referee cross-checks
 };
 
 void usage() {
@@ -135,9 +148,15 @@ void usage() {
       "  --threads N     worker threads for parallel schedulers (0 = auto)\n"
       "  --ref-eval      use the reference selection paths (same schedules,\n"
       "                  no lazy/parallel speedups; for benchmarking)\n"
+      "  --check         re-verify every slot from first principles (the\n"
+      "                  invariant oracle, docs/testing.md); verdicts go to\n"
+      "                  stderr, violations exit 5\n"
+      "  --check=paranoid  additionally cross-check the read bitmap and the\n"
+      "                  referee at every slot\n"
       "\n"
       "exit codes: 0 success; 2 bad usage; 3 interrupted by budget\n"
-      "            (--deadline-ms/--max-slots); 4 checkpoint integrity failure\n";
+      "            (--deadline-ms/--max-slots); 4 checkpoint integrity\n"
+      "            failure; 5 invariant violation (--check)\n";
 }
 
 bool parse(int argc, char** argv, Cli& cli) {
@@ -184,6 +203,11 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--k" && (v = next())) cli.k = std::atoi(v);
     else if (a == "--threads" && (v = next())) cli.threads = std::atoi(v);
     else if (a == "--ref-eval") cli.ref_eval = true;
+    else if (a == "--check") cli.check = true;
+    else if (a == "--check=paranoid") {
+      cli.check = true;
+      cli.check_paranoid = true;
+    }
     else if (known()) {
       std::cerr << "missing value for option: " << a << "\n";
       return false;
@@ -324,6 +348,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The invariant oracle.  Expectations are per-algorithm: Colorwave's raw
+  // color classes and the multi-channel scheduler legitimately propose
+  // infeasible (single-channel) sets, the multi-channel weight is scored on
+  // its own channel model, and schedulers that stall pre-convergence or run
+  // over a lossy control plane are exempt from the strict greedy-progress
+  // postcondition.  Verdicts print to stderr so stdout stays byte-identical
+  // to an unchecked run.
+  check::ScheduleValidator validator = [&]() {
+    check::CheckOptions co;
+    co.level = cli.check_paranoid ? check::CheckLevel::kParanoid
+                                  : check::CheckLevel::kNormal;
+    co.expect_feasible = cli.algo != "ca" && cli.algo != "mc";
+    const bool lossy_control =
+        channel != nullptr && (cli.algo == "alg3" || cli.algo == "ca");
+    co.expect_exact_weight = cli.algo != "mc" && !lossy_control;
+    co.expect_progress = cli.algo == "alg1" || cli.algo == "alg2" ||
+                         cli.algo == "ghc" || cli.algo == "exact" ||
+                         (cli.algo == "alg3" && channel == nullptr);
+    // One-shot decisions are not refereed through the fault plan, so the
+    // oracle only mirrors it in mcs mode.
+    if (!fault_plan.empty() && cli.mode == "mcs") co.faults = &fault_plan;
+    co.metrics = metrics;
+    co.trace = trace;
+    return check::ScheduleValidator(co);
+  }();
+
   std::cout << "deployment: " << sys.numReaders() << " readers, "
             << sys.numTags() << " tags (" << sys.unreadCoverableCount()
             << " coverable), layout " << cli.layout << ", seed " << cli.seed
@@ -332,10 +382,20 @@ int main(int argc, char** argv) {
             << scheduler->name() << "\n\n";
 
   bool interrupted = false;
+  bool check_failed = false;
   if (cli.mode == "oneshot") {
     obs::ScopedTimer run_span(metrics, "cli.run_us", trace, "cli.oneshot");
     const sched::OneShotResult res = scheduler->schedule(sys);
     run_span.stop();
+    if (cli.check) {
+      // One decision, validated like one slot: CSR audit, feasibility and
+      // claimed weight from raw geometry, served set by the naive scan.
+      if (validator.beginRun(sys)) {
+        const std::vector<int> served = sys.wellCoveredTags(res.readers);
+        validator.checkSlot(sys, 0, res, res.readers, {}, served);
+      }
+      check_failed = !validator.ok();
+    }
     std::cout << "one-shot: " << res.readers.size()
               << " readers active, weight " << res.weight << "\nreaders:";
     for (const int v : res.readers) std::cout << ' ' << v;
@@ -358,6 +418,7 @@ int main(int argc, char** argv) {
       mcs_opt.faults = &fault_plan;
       mcs_opt.channel = channel.get();
     }
+    if (cli.check) mcs_opt.validator = &validator;
     ckpt::RunBudget budget;
     if (cli.deadline_ms >= 0) {
       budget.setDeadline(std::chrono::milliseconds(cli.deadline_ms));
@@ -384,6 +445,8 @@ int main(int argc, char** argv) {
                 << " committed slots replayed and verified\n";
     }
     const sched::McsResult& res = run.result;
+    check_failed = cli.check &&
+                   (res.stop == sched::McsStop::kCheckFailed || !validator.ok());
     if (res.interrupted) {
       interrupted = true;
       std::cerr << "run interrupted (" << sched::mcsStopName(res.stop)
@@ -441,6 +504,14 @@ int main(int argc, char** argv) {
       std::cerr << "failed to write jsonl to " << cli.jsonl_path << "\n";
       return 2;
     }
+  }
+  if (cli.check) {
+    if (check_failed) {
+      validator.report(std::cerr);
+      return 5;
+    }
+    std::cerr << "check: ok (" << validator.slotsChecked()
+              << " slots validated)\n";
   }
   return interrupted ? 3 : 0;
 }

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# update_goldens.sh — re-record the CLI golden files after an intentional
+# output change (docs/testing.md).  Review the diff before committing: a
+# golden update is a statement that the new output is the correct one.
+#
+#   usage: tools/update_goldens.sh [path-to-rfidsched_cli]
+set -euo pipefail
+exec "$(dirname "$0")/check_goldens.sh" \
+  "${1:-$(cd "$(dirname "$0")/.." && pwd)/build/tools/rfidsched_cli}" --update
