@@ -10,6 +10,7 @@ WeightEvaluator::WeightEvaluator(const System& sys) : sys_(&sys) {
 }
 
 int WeightEvaluator::push(int v) {
+  ++ops_;
   int delta = 0;
   for (const int t : sys_->coverage(v)) {
     if (sys_->isRead(t)) {
@@ -32,6 +33,7 @@ int WeightEvaluator::push(int v) {
 
 int WeightEvaluator::pop() {
   assert(!stack_.empty());
+  ++ops_;
   const int v = stack_.back();
   stack_.pop_back();
   int delta = 0;
@@ -107,15 +109,19 @@ void StandaloneWeightCache::sync(const System& sys) {
     for (std::size_t t = 0; t < m; ++t) {
       shadow_read_[t] = sys.isRead(static_cast<int>(t)) ? 1 : 0;
     }
+    ++stats_.full_builds;
+    stats_.rows_refreshed += static_cast<std::int64_t>(n);
     return;
   }
   // Same deployment: adjust only the coverers of tags whose read-state
   // flipped since the last sync (within the MCS loop, exactly the tags the
   // previous slot served).
+  ++stats_.diff_syncs;
   for (std::size_t t = 0; t < m; ++t) {
     const char cur = sys.isRead(static_cast<int>(t)) ? 1 : 0;
     if (cur == shadow_read_[t]) continue;
     shadow_read_[t] = cur;
+    ++stats_.rows_refreshed;
     const int by = (cur != 0) ? -1 : 1;
     for (const int u : sys.coverers(static_cast<int>(t))) {
       standalone_[static_cast<std::size_t>(u)] += by;
@@ -154,9 +160,13 @@ int LazyGreedyQueue::pickBest(std::span<const char> eligible, int* delta_out) {
     const auto [key, v] = heap_.back();
     heap_.pop_back();
     ++work_units_;
+    ++pops_;
     // Lazy deletion: a key adjustment pushed a fresh entry, so an entry
     // whose key disagrees with the current exact delta is superseded.
-    if (key != value_[static_cast<std::size_t>(v)]) continue;
+    if (key != value_[static_cast<std::size_t>(v)]) {
+      ++stale_pops_;
+      continue;
+    }
     if (eligible[static_cast<std::size_t>(v)] == 0) continue;
     // Keys are exact, so the surviving top is the true argmax; the greedy
     // rule only ever commits strictly positive deltas.

@@ -85,6 +85,14 @@ class WeightEvaluator {
   /// false and, when `why` is non-null, describes the first divergence.
   bool checkInvariants(std::string* why = nullptr) const;
 
+  /// push/pop operations since construction — each walks exactly one CSR
+  /// coverage row, so this doubles as the evaluator's weight_evals and
+  /// csr_rows contribution to a CostBill.  peekDelta is deliberately NOT
+  /// counted here: it is called from debug asserts (LazyGreedyQueue) and
+  /// from reference scans that gate their own counting, and a counter bump
+  /// inside it would make the tally differ between build types.
+  std::int64_t ops() const { return ops_; }
+
   /// Drops all members.
   void clear();
 
@@ -93,6 +101,7 @@ class WeightEvaluator {
   std::vector<int> count_;  // per-tag coverage multiplicity within X
   std::vector<int> stack_;
   int weight_ = 0;
+  std::int64_t ops_ = 0;
 };
 
 /// Cross-slot cache of standalone weights w({v}) = |unread ∩ coverage(v)|.
@@ -105,15 +114,27 @@ class WeightEvaluator {
 /// touches exactly the readers covering a tag served in the previous slot.
 class StandaloneWeightCache {
  public:
+  /// Deterministic work accounting across sync() calls: a full build is a
+  /// cache miss (n reader rows recomputed), a diff sync is a hit
+  /// (one coverers row refreshed per flipped tag).
+  struct Stats {
+    std::int64_t full_builds = 0;
+    std::int64_t diff_syncs = 0;
+    std::int64_t rows_refreshed = 0;
+  };
+
   void sync(const System& sys);
 
   /// weights()[v] == sys.singleWeight(v) as of the last sync().
   std::span<const int> weights() const { return standalone_; }
 
+  const Stats& stats() const { return stats_; }
+
  private:
   std::uint64_t sys_id_ = 0;
   std::vector<int> standalone_;
   std::vector<char> shadow_read_;
+  Stats stats_;
 };
 
 /// Exact lazy-greedy argmax over marginal deltas of a WeightEvaluator.
@@ -149,6 +170,13 @@ class LazyGreedyQueue {
   /// cheaper than one reference peekDelta scan; docs/performance.md).
   std::int64_t workUnits() const { return work_units_; }
 
+  /// Heap entries popped since construction, and the subset discarded as
+  /// lazily-deleted (key superseded by a later adjustment).  Their ratio is
+  /// the queue's churn — the report tool surfaces it next to the cache hit
+  /// rate.
+  std::int64_t pops() const { return pops_; }
+  std::int64_t stalePops() const { return stale_pops_; }
+
  private:
   void adjust(int v, int by);
 
@@ -157,6 +185,8 @@ class LazyGreedyQueue {
   std::vector<int> value_;                 // exact peekDelta per candidate
   std::vector<std::pair<int, int>> heap_;  // (key, reader), lazy deletion
   std::int64_t work_units_ = 0;
+  std::int64_t pops_ = 0;
+  std::int64_t stale_pops_ = 0;
 };
 
 }  // namespace rfid::core

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "graph/coloring.h"
+#include "obs/timer.h"
 #include "workload/rng.h"
 
 namespace rfid::dist {
@@ -230,6 +231,9 @@ int ColorwaveScheduler::evictedNeighborLinks() const {
 
 sched::OneShotResult ColorwaveScheduler::schedule(const core::System& sys) {
   assert(graph_->numNodes() == sys.numReaders());
+  obs::ScopedTimer sched_span(trace_ != nullptr ? metrics_ : nullptr,
+                              "ca.schedule_us", trace_,
+                              "ca.schedule");
   const Stats before = stats_;
   if (!settled_) {
     advance(opt_.settle_rounds);
@@ -260,6 +264,13 @@ sched::OneShotResult ColorwaveScheduler::schedule(const core::System& sys) {
     if (node_colors[static_cast<std::size_t>(v)] == cls) X.push_back(v);
   }
   recordScheduleMetrics(1, static_cast<std::int64_t>(distinct.size()));
+  {
+    obs::CostBill b;
+    b.weight_evals = 1;  // the final referee evaluation below
+    b.net_messages = stats_.messages - before.messages;
+    b.net_rounds = stats_.protocol_rounds - before.protocol_rounds;
+    chargeCost("ca.protocol", b);
+  }
   return {X, sys.weight(X)};
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/timer.h"
 #include "sched/exact.h"
 #include "workload/rng.h"
 
@@ -410,6 +411,9 @@ GrowthDistributedScheduler::GrowthDistributedScheduler(
 sched::OneShotResult GrowthDistributedScheduler::schedule(
     const core::System& sys) {
   assert(graph_->numNodes() == sys.numReaders());
+  obs::ScopedTimer sched_span(trace_ != nullptr ? metrics_ : nullptr,
+                              "alg3.schedule_us", trace_,
+                              "alg3.schedule");
   const int n = sys.numReaders();
   stats_ = {};
   ++opt_.salt;  // new symmetry-breaking pattern each slot
@@ -463,6 +467,15 @@ sched::OneShotResult GrowthDistributedScheduler::schedule(
     metrics_->counter("fault.sched.evicted_rivals").add(stats_.evicted_rivals);
   }
   recordScheduleMetrics(bnb_nodes, stats_.heads);
+  {
+    obs::CostBill b;
+    b.weight_evals = n;  // per-node singleWeight during program construction
+    b.csr_rows = n;
+    b.bnb_nodes = bnb_nodes;
+    b.net_messages = run.messages;
+    b.net_rounds = run.rounds;
+    chargeCost("alg3.protocol", b);
+  }
   return {X, sys.weight(X)};
 }
 

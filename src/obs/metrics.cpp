@@ -222,6 +222,65 @@ bool MetricsRegistry::writeJsonFile(const std::string& path) const {
   return static_cast<bool>(os);
 }
 
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Our dot-separated
+// names map dots (and any other outlaw character) to underscores.
+std::string promName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::writePrometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : entries_) {
+    const std::string base = promName(name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << base << "_total counter\n"
+           << base << "_total " << e.counter.value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << base << " gauge\n"
+           << base << ' ' << jsonNumber(e.gauge.value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = e.histogram;
+        const std::pair<const char*, double> fields[] = {
+            {"_count", static_cast<double>(h.count())},
+            {"_min", h.min()},
+            {"_max", h.max()},
+            {"_mean", h.mean()},
+            {"_p50", h.percentile(50)},
+            {"_p90", h.percentile(90)},
+            {"_p99", h.percentile(99)},
+        };
+        for (const auto& [suffix, value] : fields) {
+          os << "# TYPE " << base << suffix << " gauge\n"
+             << base << suffix << ' ' << jsonNumber(value) << '\n';
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool MetricsRegistry::writePrometheusFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  writePrometheus(os);
+  return static_cast<bool>(os);
+}
+
 #else  // RFIDSCHED_NO_OBS
 
 void MetricsRegistry::writeJson(std::ostream& os, int indent) const {
@@ -233,6 +292,11 @@ bool MetricsRegistry::writeJsonFile(const std::string& path) const {
   std::ofstream os(path);
   if (!os) return false;
   os << "{}\n";
+  return static_cast<bool>(os);
+}
+
+bool MetricsRegistry::writePrometheusFile(const std::string& path) const {
+  std::ofstream os(path);
   return static_cast<bool>(os);
 }
 

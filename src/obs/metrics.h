@@ -118,6 +118,16 @@ class MetricsRegistry {
   void writeJson(std::ostream& os, int indent = 0) const;
   bool writeJsonFile(const std::string& path) const;
 
+  /// Prometheus text exposition format v0.0.4 (groundwork for the service
+  /// endpoint, ROADMAP item 2).  Dots in metric names become underscores
+  /// ("mcs.slots" → "mcs_slots"); counters get a `_total` suffix per
+  /// convention; histograms export _count/_min/_max/_mean/_p50/_p90/_p99
+  /// gauges (the log-2 buckets are an estimator, not a Prometheus
+  /// cumulative histogram, so quantiles are exported pre-computed).
+  /// Name-sorted, trailing newline included.
+  void writePrometheus(std::ostream& os) const;
+  bool writePrometheusFile(const std::string& path) const;
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
@@ -174,6 +184,8 @@ class MetricsRegistry {
   void merge(const MetricsRegistry&) {}
   void writeJson(std::ostream& os, int indent = 0) const;  // emits "{}"
   bool writeJsonFile(const std::string& path) const;
+  void writePrometheus(std::ostream&) const {}
+  bool writePrometheusFile(const std::string& path) const;
 
  private:
   Counter counter_;

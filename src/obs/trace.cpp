@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #endif
 
 namespace rfid::obs {
@@ -76,9 +77,16 @@ void writeArgs(std::ostream& os, const std::vector<TraceArg>& args) {
   os << '}';
 }
 
+// One stack shared by every sink this thread touches; entries carry the
+// owning sink so nested sinks (tests) stay independent.
+thread_local std::vector<std::pair<const TraceSink*, std::uint64_t>>
+    t_span_stack;
+
 }  // namespace
 
-TraceSink::TraceSink() : origin_(std::chrono::steady_clock::now()) {}
+TraceSink::TraceSink() : origin_(std::chrono::steady_clock::now()) {
+  threadId();  // the constructing thread claims tid 0
+}
 
 std::int64_t TraceSink::nowUs() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -86,17 +94,51 @@ std::int64_t TraceSink::nowUs() const {
       .count();
 }
 
+std::uint64_t TraceSink::newSpanId() {
+  return next_span_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSink::pushSpan(std::uint64_t id) {
+  t_span_stack.emplace_back(this, id);
+}
+
+void TraceSink::popSpan() {
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (it->first == this) {
+      t_span_stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::uint64_t TraceSink::currentSpan() const {
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (it->first == this) return it->second;
+  }
+  return 0;
+}
+
+int TraceSink::threadId() {
+  const std::lock_guard<std::mutex> lock(tid_mu_);
+  const auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(), static_cast<int>(tids_.size()));
+  return it->second;
+}
+
 void TraceSink::complete(EventKind kind, std::string name, std::int64_t ts_us,
                          std::int64_t dur_us, std::vector<TraceArg> args,
-                         int tid) {
+                         int tid, std::uint64_t span_id,
+                         std::uint64_t parent_id) {
+  if (tid == 0) tid = threadId();
   const std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(TraceEvent{kind, std::move(name), ts_us, dur_us, tid,
-                               std::move(args)});
+                               span_id, parent_id, std::move(args)});
 }
 
 void TraceSink::instant(EventKind kind, std::string name,
                         std::vector<TraceArg> args, int tid) {
-  complete(kind, std::move(name), nowUs(), 0, std::move(args), tid);
+  complete(kind, std::move(name), nowUs(), 0, std::move(args), tid, 0,
+           currentSpan());
 }
 
 std::size_t TraceSink::size() const {
@@ -115,7 +157,8 @@ void TraceSink::writeJsonl(std::ostream& os) const {
     os << "{\"kind\": \"" << eventKindName(e.kind) << "\", \"name\": ";
     writeJsonString(os, e.name);
     os << ", \"ts_us\": " << e.ts_us << ", \"dur_us\": " << e.dur_us
-       << ", \"tid\": " << e.tid << ", \"args\": ";
+       << ", \"tid\": " << e.tid << ", \"span_id\": " << e.span_id
+       << ", \"parent_id\": " << e.parent_id << ", \"args\": ";
     writeArgs(os, e.args);
     os << "}\n";
   }
@@ -148,7 +191,14 @@ void TraceSink::writeChromeTrace(std::ostream& os) const {
     if (e.dur_us > 0) os << ", \"dur\": " << e.dur_us;
     else os << ", \"s\": \"t\"";
     os << ", \"pid\": 0, \"tid\": " << e.tid << ", \"args\": ";
-    writeArgs(os, e.args);
+    // Span/parent ids ride in args — the trace_event format has no native
+    // parent field for ph:"X", and viewers surface args on click.
+    std::vector<TraceArg> args = e.args;
+    if (e.span_id != 0) {
+      args.emplace_back("span_id", static_cast<double>(e.span_id));
+      args.emplace_back("parent_id", static_cast<double>(e.parent_id));
+    }
+    writeArgs(os, args);
     os << "}";
   }
   os << (sorted.empty() ? "]}" : "\n]}");

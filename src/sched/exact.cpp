@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/timer.h"
+
 namespace rfid::sched {
 
 namespace {
@@ -210,11 +212,20 @@ BnbResult maxWeightFeasibleSubset(const core::System& sys,
 }
 
 OneShotResult ExactScheduler::schedule(const core::System& sys) {
+  obs::ScopedTimer sched_span(trace() != nullptr ? metrics() : nullptr,
+                              "exact.schedule_us", trace(),
+                              "exact.schedule");
   std::vector<int> all(static_cast<std::size_t>(sys.numReaders()));
   std::iota(all.begin(), all.end(), 0);
   const BnbResult res =
       maxWeightFeasibleSubset(sys, all, node_limit_, {}, cancelToken());
   recordScheduleMetrics(res.nodes, sys.numReaders());
+  {
+    obs::CostBill b;
+    b.bnb_nodes = res.nodes;
+    b.csr_rows = static_cast<std::int64_t>(all.size());
+    chargeCost("exact.bnb", b);
+  }
   return {res.members, res.weight};
 }
 

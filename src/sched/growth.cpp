@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <optional>
 
 #include "analysis/parallel.h"
 #include "graph/traversal.h"
+#include "obs/timer.h"
 #include "sched/exact.h"
 
 namespace rfid::sched {
@@ -81,6 +83,9 @@ void GrowthScheduler::runComponent(const core::System& sys,
                                    CompResult& out) const {
   for (const int u : comp) worker.alive[static_cast<std::size_t>(u)] = 1;
   const std::int64_t work0 = worker.queue.workUnits();
+  const std::int64_t ops0 = worker.eval.ops();
+  const std::int64_t pops0 = worker.queue.pops();
+  const std::int64_t stale0 = worker.queue.stalePops();
   worker.queue.beginRound(worker.eval, comp, standalone_.weights());
 
   while (true) {
@@ -132,6 +137,15 @@ void GrowthScheduler::runComponent(const core::System& sys,
   }
 
   out.work = worker.queue.workUnits() - work0;
+  // The component's deterministic bill, read from the worker's own engines
+  // (clear() below pops the committed members — take the snapshot first so
+  // the teardown walks don't inflate the bill).
+  out.bill.weight_evals = worker.eval.ops() - ops0;
+  out.bill.csr_rows = out.bill.weight_evals;
+  out.bill.queue_pops = worker.queue.pops() - pops0;
+  out.bill.queue_stale_pops = worker.queue.stalePops() - stale0;
+  out.bill.queue_work = out.work;
+  out.bill.bnb_nodes = out.stats.bnb_nodes;
   worker.eval.clear();
   for (const int u : comp) worker.alive[static_cast<std::size_t>(u)] = 0;
 }
@@ -139,10 +153,23 @@ void GrowthScheduler::runComponent(const core::System& sys,
 OneShotResult GrowthScheduler::schedule(const core::System& sys) {
   assert(graph_->numNodes() == sys.numReaders());
   stats_ = {};
+  obs::ScopedTimer sched_span(trace() != nullptr ? metrics() : nullptr,
+                              "alg2.schedule_us", trace(),
+                              "alg2.schedule");
   if (!opt_.lazy_selection) return scheduleReference(sys);
 
   ensureComponents(sys);
+  const core::StandaloneWeightCache::Stats sync0 = standalone_.stats();
   standalone_.sync(sys);
+  {
+    const core::StandaloneWeightCache::Stats& s = standalone_.stats();
+    obs::CostBill b;
+    b.cache_misses = s.full_builds - sync0.full_builds;
+    b.cache_hits = s.diff_syncs - sync0.diff_syncs;
+    b.cache_refreshes = s.rows_refreshed - sync0.rows_refreshed;
+    b.csr_rows = b.cache_refreshes;
+    chargeCost("alg2.cache_sync", b);
+  }
 
   // Solve the interaction components independently — they share no tags and
   // no edges, so each per-component greedy run is exactly the restriction
@@ -150,26 +177,50 @@ OneShotResult GrowthScheduler::schedule(const core::System& sys) {
   // makes the result (and the stats) identical for every thread count.
   const int num_comps = static_cast<int>(groups_.size());
   std::vector<CompResult> results(static_cast<std::size_t>(num_comps));
+  const std::uint64_t parent_span = sched_span.spanId();
   analysis::parallelForChunks(
       0, num_comps,
-      [this, &sys, &results](int /*worker_idx*/, int lo, int hi) {
+      [this, &sys, &results, parent_span](int /*worker_idx*/, int lo, int hi) {
         Worker worker(sys);
         for (int c = lo; c < hi; ++c) {
-          runComponent(sys, groups_[static_cast<std::size_t>(c)], worker,
-                       results[static_cast<std::size_t>(c)]);
+          CompResult& res = results[static_cast<std::size_t>(c)];
+          std::optional<obs::ScopedTimer> span;
+          if (trace() != nullptr) {
+            // Worker-thread span: the causal parent (the alg2.schedule
+            // span) lives on the dispatching thread, so set it explicitly.
+            span.emplace(nullptr, "alg2.component_us", trace(),
+                         "alg2.component");
+            span->setParent(parent_span);
+            span->arg("component", static_cast<double>(c));
+          }
+          runComponent(sys, groups_[static_cast<std::size_t>(c)], worker, res);
+          if (span.has_value()) {
+            span->arg("picks", static_cast<double>(res.stats.picks));
+            span->arg("members", static_cast<double>(res.members.size()));
+            span->arg("bnb_nodes", static_cast<double>(res.stats.bnb_nodes));
+          }
         }
       },
       opt_.num_threads);
 
   std::vector<int> X;
   std::int64_t work = 0;
+  obs::CostBill selection;
+  obs::CostBill bnb;
   for (const CompResult& r : results) {
     X.insert(X.end(), r.members.begin(), r.members.end());
     stats_.picks += r.stats.picks;
     stats_.bnb_nodes += r.stats.bnb_nodes;
     stats_.max_rbar = std::max(stats_.max_rbar, r.stats.max_rbar);
     work += r.work;
+    selection.add(r.bill);
   }
+  // Split the component bills into the selection machinery and the local
+  // exact solves so the report can compare the two lines directly.
+  bnb.bnb_nodes = selection.bnb_nodes;
+  selection.bnb_nodes = 0;
+  chargeCost("alg2.selection", selection);
+  chargeCost("alg2.bnb", bnb);
   std::sort(X.begin(), X.end());
   recordScheduleMetrics(work + stats_.bnb_nodes, stats_.picks);
   return {X, sys.weight(X)};
@@ -186,9 +237,9 @@ OneShotResult GrowthScheduler::scheduleReference(const core::System& sys) {
   // paper's weight definition charges but pure local scoring would miss.
   core::WeightEvaluator committed(sys);
 
-  // Work counting only when a registry is attached, so the detached hot
+  // Work counting only when an observer is attached, so the detached hot
   // loop is byte-for-byte the uninstrumented one.
-  const bool counting = metrics() != nullptr;
+  const bool counting = countingWork();
   std::int64_t peek_evals = 0;
   while (true) {
     // Cancellation checkpoint: one poll per coordinator pick.  X is
@@ -247,6 +298,13 @@ OneShotResult GrowthScheduler::scheduleReference(const core::System& sys) {
 
   std::sort(X.begin(), X.end());
   recordScheduleMetrics(peek_evals + stats_.bnb_nodes, stats_.picks);
+  {
+    obs::CostBill b;
+    b.weight_evals = peek_evals + committed.ops();
+    b.csr_rows = b.weight_evals;
+    b.bnb_nodes = stats_.bnb_nodes;
+    chargeCost("alg2.reference", b);
+  }
   return {X, sys.weight(X)};
 }
 

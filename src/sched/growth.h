@@ -80,6 +80,7 @@ class GrowthScheduler final : public OneShotScheduler {
     std::vector<int> members;  // picked readers, in pick order
     Stats stats;
     std::int64_t work = 0;  // lazy-queue work units spent on the component
+    obs::CostBill bill;     // deterministic work, reduced in component order
   };
 
   OneShotResult scheduleReference(const core::System& sys);

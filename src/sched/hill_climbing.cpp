@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/timer.h"
+
 namespace rfid::sched {
 
 OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
+  obs::ScopedTimer sched_span(trace() != nullptr ? metrics() : nullptr,
+                              "ghc.schedule_us", trace(),
+                              "ghc.schedule");
   if (!lazy_) return scheduleReference(sys);
   const int n = sys.numReaders();
   core::WeightEvaluator eval(sys);
@@ -15,11 +20,23 @@ OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
     all_.resize(static_cast<std::size_t>(n));
     std::iota(all_.begin(), all_.end(), 0);
   }
+  const core::StandaloneWeightCache::Stats sync0 = standalone_.stats();
   standalone_.sync(sys);
+  {
+    const core::StandaloneWeightCache::Stats& s = standalone_.stats();
+    obs::CostBill b;
+    b.cache_misses = s.full_builds - sync0.full_builds;
+    b.cache_hits = s.diff_syncs - sync0.diff_syncs;
+    b.cache_refreshes = s.rows_refreshed - sync0.rows_refreshed;
+    b.csr_rows = b.cache_refreshes;
+    chargeCost("ghc.cache_sync", b);
+  }
   const std::int64_t work0 = queue_.workUnits();
+  const std::int64_t pops0 = queue_.pops();
+  const std::int64_t stale0 = queue_.stalePops();
   queue_.beginRound(eval, all_, standalone_.weights());
 
-  const bool counting = metrics() != nullptr;
+  const bool counting = countingWork();
   std::int64_t steps = 0;
   while (true) {
     // Cancellation checkpoint: one poll per climb step; the climbed-so-far
@@ -43,6 +60,15 @@ OneShotResult HillClimbingScheduler::schedule(const core::System& sys) {
   std::vector<int> members(eval.members().begin(), eval.members().end());
   std::sort(members.begin(), members.end());
   recordScheduleMetrics(queue_.workUnits() - work0, steps);
+  {
+    obs::CostBill b;
+    b.weight_evals = eval.ops();
+    b.csr_rows = b.weight_evals;
+    b.queue_work = queue_.workUnits() - work0;
+    b.queue_pops = queue_.pops() - pops0;
+    b.queue_stale_pops = queue_.stalePops() - stale0;
+    chargeCost("ghc.selection", b);
+  }
   return {members, eval.weight()};
 }
 
@@ -51,9 +77,9 @@ OneShotResult HillClimbingScheduler::scheduleReference(const core::System& sys) 
   core::WeightEvaluator eval(sys);
   std::vector<char> blocked(static_cast<std::size_t>(n), 0);  // conflicts with chosen
 
-  // Work counting only when a registry is attached, so the detached hot
+  // Work counting only when an observer is attached, so the detached hot
   // loop is byte-for-byte the uninstrumented one.
-  const bool counting = metrics() != nullptr;
+  const bool counting = countingWork();
   std::int64_t peek_evals = 0;
   std::int64_t steps = 0;
   while (true) {
@@ -85,6 +111,12 @@ OneShotResult HillClimbingScheduler::scheduleReference(const core::System& sys) 
   std::vector<int> members(eval.members().begin(), eval.members().end());
   std::sort(members.begin(), members.end());
   recordScheduleMetrics(peek_evals, steps);
+  {
+    obs::CostBill b;
+    b.weight_evals = peek_evals + eval.ops();
+    b.csr_rows = b.weight_evals;
+    chargeCost("ghc.reference", b);
+  }
   return {members, eval.weight()};
 }
 

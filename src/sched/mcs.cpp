@@ -88,6 +88,12 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
   McsResult res;
   res.uncoverable = sys.unreadCount() - sys.unreadCoverableCount();
 
+  // Root of the causal span tree; every mcs.slot span (and, through the
+  // thread stack, the scheduler spans under it) nests here.  Wall-clock
+  // histogram only when tracing, like the per-slot spans.
+  obs::ScopedTimer run_span(opt.trace != nullptr ? opt.metrics : nullptr,
+                            "mcs.run_us", opt.trace, "mcs.run");
+
   // The whole fault machinery is gated on one flag: with no plan (or an
   // all-zero one) every slot takes exactly the pre-fault sequence of calls,
   // so such runs are bit-identical to the un-instrumented driver.
@@ -180,6 +186,11 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
       }
     }
     if (opt.channel != nullptr) opt.channel->setSlot(q);
+
+    // Baseline for this slot's bill: committed slots get the ledger delta
+    // accrued between here and the commit point below.
+    obs::CostBill slot_base;
+    if (opt.cost != nullptr) slot_base = opt.cost->total();
 
     // Wall-clock span only when tracing (see McsOptions doc).
     obs::ScopedTimer span(opt.trace != nullptr ? opt.metrics : nullptr,
@@ -282,6 +293,23 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
       }
     }
 
+    // The referee's own deterministic work: one wellCoveredTags evaluation
+    // on the clean path; the faulty path adds the jam-aware split and the
+    // ideal counterfactual.  csr_rows counts the coverage rows each
+    // evaluation walks (one per activated/jamming reader).
+    if (opt.cost != nullptr) {
+      obs::CostBill ref;
+      if (!faulty) {
+        ref.weight_evals = 1;
+        ref.csr_rows = static_cast<std::int64_t>(one.readers.size());
+      } else {
+        ref.weight_evals = 2;
+        ref.csr_rows = static_cast<std::int64_t>(
+            live.size() + jamming.size() + one.readers.size());
+      }
+      opt.cost->charge("mcs.referee", ref);
+    }
+
     // The oracle re-derives this slot's verdict from raw geometry and the
     // plan before anything is made durable: a fail-fast violation aborts
     // with the slot neither journaled nor marked read.
@@ -336,6 +364,15 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     res.schedule.push_back(std::move(rec));
     ++res.slots;
     res.tags_read += static_cast<int>(served.size());
+
+    if (opt.cost != nullptr) {
+      // The slot is committed: its bill is everything charged since the
+      // slot's baseline (scheduler phases + referee).  Aborted slots never
+      // reach here, so Σ slot bills tracks the committed prefix exactly.
+      obs::CostBill slot_bill = opt.cost->total();
+      slot_bill.subtract(slot_base);
+      opt.cost->commitSlot(slot_bill);
+    }
 
     if (served.empty()) {
       ++stall;

@@ -61,6 +61,16 @@ struct McsOptions {
   /// rides with tracing only, so metrics-only runs stay deterministic.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSink* trace = nullptr;
+  /// Deterministic cost attribution (optional).  Share one CostLedger with
+  /// the scheduler (OneShotScheduler::attachCost): the scheduler charges
+  /// its per-phase bills during schedule(), the driver adds the referee's
+  /// "mcs.referee" bill, and for every *committed* slot the driver commits
+  /// the slot's total bill (the ledger delta across the slot) so the export
+  /// carries a per-slot work timeline next to the per-phase totals.  All
+  /// charges happen on the driving thread in program order, so the JSON is
+  /// bit-identical across --threads counts — including replayed resumes,
+  /// which recompute every slot through this same loop (obs/cost.h).
+  obs::CostLedger* cost = nullptr;
   /// Fault injection (both optional).  `faults` drives the referee: reader
   /// crash intervals, interrogation misses, and orphan-aware termination.
   /// `channel` is stepped to the current slot index before every schedule()

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/parallel.h"
 #include "geometry/shifted_grid.h"
+#include "obs/timer.h"
 #include "sched/exact.h"
 
 namespace rfid::sched {
@@ -337,6 +339,9 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
   stats_ = {};
   const int n = sys.numReaders();
   if (n == 0) return {};
+  obs::ScopedTimer sched_span(trace() != nullptr ? metrics() : nullptr,
+                              "alg1.schedule_us", trace(),
+                              "alg1.schedule");
 
   // Scale so the largest interference radius becomes exactly 1/2 (§IV).
   double max_r = 0.0;
@@ -357,6 +362,12 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
   for (int i = 0; i < n; ++i) {
     single_weight[static_cast<std::size_t>(i)] = sys.singleWeight(i);
   }
+  {
+    obs::CostBill b;
+    b.weight_evals = n;
+    b.csr_rows = n;
+    chargeCost("alg1.standalone", b);
+  }
 
   // The k² shifts are independent given the frozen read-state, so they fan
   // out over threads, each worker evaluating weights through its own
@@ -372,15 +383,24 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
   };
   const int num_shifts = opt_.k * opt_.k;
   std::vector<ShiftOutcome> shifts(static_cast<std::size_t>(num_shifts));
+  const std::uint64_t parent_span = sched_span.spanId();
   analysis::parallelForChunks(
       0, num_shifts,
-      [this, &sys, &scaled, &single_weight, &shifts, n](int /*worker*/, int lo,
-                                                        int hi) {
+      [this, &sys, &scaled, &single_weight, &shifts, parent_span, n](
+          int /*worker*/, int lo, int hi) {
         core::WeightScratch scratch;
         sys.initScratch(scratch);
         for (int idx = lo; idx < hi; ++idx) {
           if (cancelled()) continue;
           ShiftOutcome& out = shifts[static_cast<std::size_t>(idx)];
+          std::optional<obs::ScopedTimer> span;
+          if (trace() != nullptr) {
+            // Worker-thread span: parent it under alg1.schedule explicitly.
+            span.emplace(nullptr, "alg1.shift_us", trace(), "alg1.shift");
+            span->setParent(parent_span);
+            span->arg("r", static_cast<double>(idx / opt_.k));
+            span->arg("s", static_cast<double>(idx % opt_.k));
+          }
           const ShiftedGrid grid(opt_.k, idx / opt_.k, idx % opt_.k);
           std::vector<int> level(static_cast<std::size_t>(n));
           for (int i = 0; i < n; ++i) {
@@ -394,6 +414,10 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
           out.w = sys.weight(out.x, scratch);
           ++out.stats.weight_evals;
           out.done = true;
+          if (span.has_value()) {
+            span->arg("weight", static_cast<double>(out.w));
+            span->arg("dp_entries", static_cast<double>(out.stats.dp_entries));
+          }
         }
       },
       opt_.parallel_shifts ? opt_.num_threads : 1);
@@ -402,11 +426,14 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
   // improvement, first-wins best-shift choice for any thread count.
   OneShotResult best;
   int max_level = 0;
+  obs::CostBill shift_bill;
   for (int idx = 0; idx < num_shifts; ++idx) {
     ShiftOutcome& out = shifts[static_cast<std::size_t>(idx)];
     if (!out.done) continue;
     stats_.dp_entries += out.stats.dp_entries;
     stats_.weight_evals += out.stats.weight_evals;
+    shift_bill.weight_evals += out.stats.weight_evals;
+    shift_bill.dp_entries += out.stats.dp_entries;
     max_level = std::max(max_level, out.max_level);
     if (out.w > best.weight || best.readers.empty()) {
       best.weight = out.w;
@@ -415,6 +442,7 @@ OneShotResult PtasScheduler::schedule(const core::System& sys) {
       stats_.best_shift_s = idx % opt_.k;
     }
   }
+  chargeCost("alg1.shifts", shift_bill);
   stats_.levels = max_level + 1;
   recordScheduleMetrics(stats_.weight_evals, stats_.dp_entries);
   return best;

@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ckpt/budget.h"
 #include "core/system.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -68,6 +70,16 @@ class OneShotScheduler {
   void attachTrace(obs::TraceSink* t) { trace_ = t; }
   obs::TraceSink* trace() const { return trace_; }
 
+  /// Attaches a deterministic cost ledger (nullptr detaches).  Every
+  /// implementation then charges per-phase CostBills — alg2 its cache
+  /// sync / selection / B&B phases, alg1 its shift enumeration, the
+  /// distributed algorithms their network traffic — always from the thread
+  /// that called schedule(), in program order (obs/cost.h).  The ledger is
+  /// typically shared with the MCS driver, which additionally slices the
+  /// same charges per slot.
+  void attachCost(obs::CostLedger* c) { cost_ = c; }
+  obs::CostLedger* cost() const { return cost_; }
+
   /// Attaches a fault channel model (nullptr detaches).  Only the
   /// distributed algorithms override this — they forward it to their
   /// network simulator, making the control plane lossy and crash-prone.
@@ -103,8 +115,18 @@ class OneShotScheduler {
   void recordScheduleMetrics(std::int64_t weight_evals,
                              std::int64_t candidates) const;
 
+  /// Charges `bill` to `phase` on the attached ledger; no-op when detached.
+  void chargeCost(std::string_view phase, const obs::CostBill& bill) const {
+    if (cost_ != nullptr) cost_->charge(phase, bill);
+  }
+
+  /// True when some observer wants deterministic work counts — the gate the
+  /// reference paths use around their otherwise-free tallies.
+  bool countingWork() const { return metrics_ != nullptr || cost_ != nullptr; }
+
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::CostLedger* cost_ = nullptr;
   const ckpt::CancelToken* cancel_ = nullptr;
 };
 

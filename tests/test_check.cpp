@@ -82,10 +82,14 @@ TEST(ScheduleValidator, ParanoidLevelPassesOnCleanRun) {
   const sched::McsResult res = sched::runCoveringSchedule(sys, ghc, opt);
   EXPECT_TRUE(res.completed);
   EXPECT_TRUE(val.ok()) << issueList(val);
+#ifndef RFIDSCHED_NO_OBS
   // The observability contract: slots and violations land in check.*.
+  // (A NO_OBS build stubs every counter to 0 — the validation itself,
+  // asserted above, is what must survive there.)
   EXPECT_EQ(reg.counter("check.slots_checked").value(), res.slots);
   EXPECT_EQ(reg.counter("check.violations").value(), 0);
   EXPECT_GT(reg.counter("check.tags_scanned").value(), 0);
+#endif
 }
 
 TEST(ScheduleValidator, FaultInjectedRunValidatesAgainstFaultedReferee) {

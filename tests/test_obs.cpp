@@ -7,12 +7,15 @@
 // and runs every call site.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "analysis/parallel.h"
@@ -179,12 +182,20 @@ TEST(Obs, ApiIsUsableInEveryBuildMode) {
   {
     obs::ScopedTimer t(&r, "a.span_us", &sink, "span");
     t.arg("k", 2.0);
+    t.setParent(t.spanId());  // span APIs must exist in the stub too
   }
+  (void)sink.newSpanId();
+  sink.pushSpan(1);
+  (void)sink.currentSpan();
+  sink.popSpan();
+  (void)sink.threadId();
   const std::string json = dumpJson(r);
   EXPECT_TRUE(JsonValidator(json).valid()) << json;
   std::ostringstream chrome;
   sink.writeChromeTrace(chrome);
   EXPECT_TRUE(JsonValidator(chrome.str()).valid()) << chrome.str();
+  std::ostringstream prom;
+  r.writePrometheus(prom);  // no-op in the stub, text exposition otherwise
 }
 
 #ifndef RFIDSCHED_NO_OBS
@@ -274,6 +285,62 @@ TEST(ObsHistogram, EmptyIsAllZero) {
   EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
 }
 
+TEST(ObsHistogram, QuantileErrorBoundedByLogBucketWidth) {
+  // The documented accuracy bound (docs/observability.md): for samples
+  // >= 1, every estimated percentile lands in the same power-of-two bucket
+  // as the nearest-rank exact quantile, so the relative error is below
+  // 100% — estimate in [exact/2, exact*2] — for ANY distribution.  Each
+  // case below stresses a different failure mode of interpolation: smooth
+  // mass, exponential spread, all mass on one value, a bimodal gap, and a
+  // heavy tail.
+  struct Case {
+    const char* name;
+    std::vector<double> vals;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"uniform", {}};
+    for (int i = 1; i <= 1000; ++i) c.vals.push_back(i);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"exponential", {}};
+    for (int i = 0; i < 500; ++i) c.vals.push_back(std::ldexp(1.0, i % 20));
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"constant", std::vector<double>(200, 777.0)};
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"bimodal", {}};
+    for (int i = 0; i < 300; ++i) c.vals.push_back(i < 150 ? 3.0 : 50000.0);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"heavy_tail", {}};
+    for (int i = 1; i <= 400; ++i) c.vals.push_back(double(i) * double(i));
+    cases.push_back(std::move(c));
+  }
+  for (const Case& c : cases) {
+    obs::Histogram h;
+    for (const double v : c.vals) h.record(v);
+    std::vector<double> sorted = c.vals;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double p : {50.0, 90.0, 99.0}) {
+      // Nearest-rank exact quantile: the ceil(p/100 * n)-th smallest.
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+      const double exact = sorted[std::min(rank, sorted.size()) - 1];
+      const double est = h.percentile(p);
+      EXPECT_GE(est, exact / 2.0)
+          << c.name << " p" << p << ": est " << est << " exact " << exact;
+      EXPECT_LE(est, exact * 2.0)
+          << c.name << " p" << p << ": est " << est << " exact " << exact;
+    }
+  }
+}
+
 // --- export well-formedness -------------------------------------------------
 
 TEST(ObsExport, MetricsJsonIsValidAndDeterministic) {
@@ -345,6 +412,115 @@ TEST(ObsTimer, RecordsHistogramAndTraceSpan) {
   EXPECT_GE(events[0].dur_us, 1);  // clamped so Chrome renders the span
   ASSERT_EQ(events[0].args.size(), 1u);
   EXPECT_EQ(events[0].args[0].first, "size");
+}
+
+// --- causal spans -----------------------------------------------------------
+
+TEST(ObsSpans, NestedTimersFormACausalTree) {
+  obs::MetricsRegistry r;
+  obs::TraceSink sink;
+  {
+    obs::ScopedTimer outer(&r, "outer_us", &sink, "outer");
+    {
+      obs::ScopedTimer inner(&r, "inner_us", &sink, "inner");
+    }
+    sink.instant(obs::EventKind::kRound, "tick");
+  }
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  const auto find = [&](std::string_view name) -> const obs::TraceEvent& {
+    for (const auto& e : events) {
+      if (e.name == name) return e;
+    }
+    static const obs::TraceEvent none{};
+    ADD_FAILURE() << "no event " << name;
+    return none;
+  };
+  const obs::TraceEvent& outer = find("outer");
+  const obs::TraceEvent& inner = find("inner");
+  const obs::TraceEvent& tick = find("tick");
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_NE(inner.span_id, 0u);
+  EXPECT_NE(outer.span_id, inner.span_id);
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  // Instants attach to the innermost open span of their thread.
+  EXPECT_EQ(tick.span_id, 0u);
+  EXPECT_EQ(tick.parent_id, outer.span_id);
+}
+
+TEST(ObsSpans, SiblingSinksKeepIndependentStacks) {
+  obs::TraceSink a;
+  obs::TraceSink b;
+  obs::ScopedTimer ta(nullptr, "", &a, "a_span");
+  obs::ScopedTimer tb(nullptr, "", &b, "b_span");
+  // Each sink sees only its own open span on this thread.
+  EXPECT_EQ(a.currentSpan(), ta.spanId());
+  EXPECT_EQ(b.currentSpan(), tb.spanId());
+  tb.stop();
+  EXPECT_EQ(b.currentSpan(), 0u);
+  EXPECT_EQ(a.currentSpan(), ta.spanId());
+  ta.stop();
+}
+
+TEST(ObsSpans, WorkerThreadSpanAdoptsExplicitParent) {
+  // A worker thread's stack is empty, so the dispatching thread's span id is
+  // handed over explicitly — the pattern the parallel schedulers use.
+  obs::TraceSink sink;
+  std::uint64_t parent_span = 0;
+  {
+    obs::ScopedTimer parent(nullptr, "", &sink, "dispatch");
+    parent_span = parent.spanId();
+    std::thread worker([&sink, parent_span]() {
+      obs::ScopedTimer t(nullptr, "", &sink, "worker");
+      t.setParent(parent_span);
+    });
+    worker.join();
+  }
+  for (const auto& e : sink.snapshot()) {
+    if (e.name != "worker") continue;
+    EXPECT_EQ(e.parent_id, parent_span);
+    EXPECT_NE(e.tid, 0) << "worker thread must get its own tid";
+    return;
+  }
+  FAIL() << "worker span not recorded";
+}
+
+TEST(ObsSpans, ExportsCarrySpanIds) {
+  obs::TraceSink sink;
+  {
+    obs::ScopedTimer t(nullptr, "", &sink, "op");
+  }
+  std::ostringstream jsonl;
+  sink.writeJsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"span_id\": 1"), std::string::npos)
+      << jsonl.str();
+  EXPECT_NE(jsonl.str().find("\"parent_id\": 0"), std::string::npos);
+  std::ostringstream chrome;
+  sink.writeChromeTrace(chrome);
+  EXPECT_TRUE(JsonValidator(chrome.str()).valid());
+  // Chrome has no parent field; ids ride in args.
+  EXPECT_NE(chrome.str().find("\"span_id\""), std::string::npos);
+}
+
+// --- Prometheus exposition ---------------------------------------------------
+
+TEST(ObsExport, PrometheusTextExposition) {
+  obs::MetricsRegistry r;
+  r.counter("mcs.slots").add(3);
+  r.gauge("fault.mcs.tags_orphaned").set(-2.5);
+  for (int i = 1; i <= 100; ++i) r.histogram("alg2.schedule_us").record(i);
+  std::ostringstream os;
+  r.writePrometheus(os);
+  const std::string text = os.str();
+  // Dots sanitize to underscores; counters get the _total suffix.
+  EXPECT_NE(text.find("# TYPE mcs_slots_total counter\nmcs_slots_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fault_mcs_tags_orphaned -2.5"), std::string::npos);
+  // Histograms export their summary stats as suffixed gauges.
+  EXPECT_NE(text.find("# TYPE alg2_schedule_us_p99 gauge"), std::string::npos);
+  EXPECT_NE(text.find("alg2_schedule_us_count 100"), std::string::npos);
 }
 
 TEST(ObsTimer, StopIsIdempotentAndDetachedTimerIsFree) {

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""bench_compare.py — the perf-regression gate over deterministic work units.
+
+    tools/bench_compare.py --baseline BENCH_PR6.json --baseline-label pr6 \
+        [--record BUILD_DIR | --current OUT.json] [--current-label current] \
+        [--threshold 0.02] [--wall-threshold 0.25] [--selftest]
+
+Compares a fresh bench_record.sh run (--record builds one into a temp file)
+or a previously recorded document (--current) against the committed baseline
+entry.  The gate is over the *deterministic* counters recorded per CLI mode
+(sched.*/core.*/mcs.* work counters and the cost-ledger work units): any
+counter that GREW by more than --threshold (default 2%) fails the gate,
+because those numbers depend only on (deployment, algorithm, seed) — growth
+is a real algorithmic regression, never jitter.  Decreases pass (and are
+reported as improvements).  Wall-clock numbers can jitter with the machine,
+so they only WARN when they drift beyond --wall-threshold (default 25%).
+
+--selftest proves the gate has teeth without a live run: it seeds a +5%
+work-unit regression into a copy of the baseline entry and requires the
+comparison to fail, then requires the unmodified entry to pass clean.
+
+Exit codes: 0 gate passed; 1 regression (or selftest failure); 2 bad usage.
+"""
+import argparse
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Deterministic per-mode counters: growth beyond the threshold fails.
+DET_KEYS = (
+    "sched.weight_evals",
+    "sched.schedule_calls",
+    "core.weight_evals",
+    "mcs.slots",
+    "mcs.tags_read",
+)
+
+
+def det_counters(mode_entry):
+    """Flatten one cli_mcs_n2000 mode entry to {name: value} deterministic counters."""
+    out = {}
+    for k in DET_KEYS:
+        if k in mode_entry:
+            out[k] = mode_entry[k]
+    cost = mode_entry.get("cost")
+    if cost:
+        out["cost.work_units"] = cost.get("work_units", 0)
+        for k, v in sorted(cost.get("total", {}).items()):
+            out[f"cost.total.{k}"] = v
+    return out
+
+
+def compare(base_entry, cur_entry, threshold, wall_threshold):
+    """Returns (failures, warnings, lines) comparing two bench_record entries."""
+    failures, warnings, lines = [], [], []
+    base_modes = base_entry.get("cli_mcs_n2000", {})
+    cur_modes = cur_entry.get("cli_mcs_n2000", {})
+    for mode in sorted(base_modes):
+        if mode not in cur_modes:
+            warnings.append(f"mode '{mode}' missing from current run (skipped)")
+            continue
+        base_c = det_counters(base_modes[mode])
+        cur_c = det_counters(cur_modes[mode])
+        for name in sorted(base_c):
+            if name not in cur_c:
+                warnings.append(f"{mode}/{name}: not recorded by current run")
+                continue
+            b, c = base_c[name], cur_c[name]
+            if b <= 0:
+                continue
+            growth = (c - b) / b
+            tag = "ok"
+            if growth > threshold:
+                tag = "FAIL"
+                failures.append(
+                    f"{mode}/{name}: {b} -> {c} (+{growth:.1%} > {threshold:.0%})")
+            elif growth < 0:
+                tag = "improved"
+            lines.append(f"  [{tag}] {mode}/{name}: {b} -> {c} ({growth:+.1%})")
+        bw = base_modes[mode].get("wall_ms")
+        cw = cur_modes[mode].get("wall_ms")
+        if bw and cw and bw > 0:
+            drift = (cw - bw) / bw
+            if abs(drift) > wall_threshold:
+                warnings.append(
+                    f"{mode}/wall_ms drifted {drift:+.1%} ({bw} -> {cw} ms) — "
+                    "wall clock is advisory, check the work counters above")
+            lines.append(f"  [wall] {mode}/wall_ms: {bw} -> {cw} ({drift:+.1%})")
+    return failures, warnings, lines
+
+
+def selftest(base_entry, threshold, wall_threshold):
+    """The gate must flag a seeded +5% work regression and pass a clean copy."""
+    seeded = copy.deepcopy(base_entry)
+    touched = 0
+    for mode in seeded.get("cli_mcs_n2000", {}).values():
+        for k in DET_KEYS:
+            if isinstance(mode.get(k), (int, float)) and mode[k] > 0:
+                mode[k] = type(mode[k])(mode[k] * 1.05) + 1
+                touched += 1
+        if "cost" in mode:
+            mode["cost"]["work_units"] = int(mode["cost"]["work_units"] * 1.05) + 1
+            mode["cost"]["total"] = {
+                k: int(v * 1.05) + 1 for k, v in mode["cost"]["total"].items()}
+            touched += 1
+    if touched == 0:
+        print("selftest: baseline entry has no deterministic counters", file=sys.stderr)
+        return False
+    fail_seeded, _, _ = compare(base_entry, seeded, threshold, wall_threshold)
+    fail_clean, _, _ = compare(base_entry, copy.deepcopy(base_entry),
+                               threshold, wall_threshold)
+    ok = bool(fail_seeded) and not fail_clean
+    print(f"selftest: seeded +5% regression flagged on {len(fail_seeded)} "
+          f"counters, clean copy flagged on {len(fail_clean)} — "
+          f"{'OK' if ok else 'BROKEN GATE'}")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", default="BENCH_PR6.json")
+    ap.add_argument("--baseline-label", default="pr6")
+    ap.add_argument("--record", metavar="BUILD_DIR",
+                    help="run tools/bench_record.sh against this build dir")
+    ap.add_argument("--current", metavar="OUT_JSON",
+                    help="compare an already-recorded document instead")
+    ap.add_argument("--current-label", default="current")
+    ap.add_argument("--threshold", type=float, default=0.02)
+    ap.add_argument("--wall-threshold", type=float, default=0.25)
+    ap.add_argument("--selftest", action="store_true",
+                    help="only verify the gate catches a seeded regression")
+    args = ap.parse_args()
+
+    try:
+        doc = json.load(open(args.baseline))
+    except (OSError, ValueError) as e:
+        print(f"cannot load baseline {args.baseline}: {e}", file=sys.stderr)
+        return 2
+    if args.baseline_label not in doc:
+        print(f"label '{args.baseline_label}' not in {args.baseline} "
+              f"(has: {', '.join(sorted(doc))})", file=sys.stderr)
+        return 2
+    base_entry = doc[args.baseline_label]
+
+    if args.selftest:
+        return 0 if selftest(base_entry, args.threshold, args.wall_threshold) else 1
+
+    if bool(args.record) == bool(args.current):
+        print("give exactly one of --record BUILD_DIR / --current OUT.json",
+              file=sys.stderr)
+        return 2
+
+    if args.record:
+        here = os.path.dirname(os.path.abspath(__file__))
+        with tempfile.TemporaryDirectory() as td:
+            out = os.path.join(td, "current.json")
+            rc = subprocess.call([os.path.join(here, "bench_record.sh"),
+                                  args.record, args.current_label, out])
+            if rc != 0:
+                print(f"bench_record.sh failed with exit {rc}", file=sys.stderr)
+                return 2
+            cur_doc = json.load(open(out))
+    else:
+        try:
+            cur_doc = json.load(open(args.current))
+        except (OSError, ValueError) as e:
+            print(f"cannot load {args.current}: {e}", file=sys.stderr)
+            return 2
+    if args.current_label not in cur_doc:
+        print(f"label '{args.current_label}' not in current document", file=sys.stderr)
+        return 2
+
+    failures, warnings, lines = compare(base_entry, cur_doc[args.current_label],
+                                        args.threshold, args.wall_threshold)
+    print(f"bench_compare: {args.baseline}[{args.baseline_label}] vs "
+          f"{args.current_label}")
+    for line in lines:
+        print(line)
+    for w in warnings:
+        print(f"warning: {w}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} deterministic counter(s) regressed "
+              f"beyond {args.threshold:.0%}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nPASS: no deterministic work-unit counter grew beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

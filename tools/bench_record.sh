@@ -6,10 +6,13 @@
 # Runs the fixed-seed perf workloads (bench/scaling_n with its MCS-at-scale
 # section, bench/micro_core, and timed rfidsched_cli MCS runs at n = 2000)
 # and merges the wall-clock numbers plus the sched.*/core.* work counters
-# into <out.json> (default BENCH_PR4.json) under <label>.  Run it once on
-# the pre-change build and once per mode on the post-change build; the JSON
-# then holds the before/after trajectory side by side (docs/performance.md
-# explains how to read it).
+# into <out.json> (default BENCH_PR4.json) under <label>.  When the binary
+# supports --cost, the deterministic cost-attribution counters (total work
+# units plus the full per-field bill) ride along under "cost" — these are
+# what tools/bench_compare.py gates on, since they cannot jitter.  Run it
+# once on the pre-change build and once per mode on the post-change build;
+# the JSON then holds the before/after trajectory side by side
+# (docs/performance.md explains how to read it).
 #
 # CLI mode flags (--ref-eval / --threads) that the binary under test does
 # not support are skipped, so the same script runs against any library
@@ -39,9 +42,14 @@ echo "== micro_core =="
 # counters from --metrics.  Modes beyond "default" need the post-PR flags.
 cli_run() {
   mode=$1; shift
+  cost_flag=""
+  # Probe --cost support so the script still runs pre-PR6 binaries.
+  if "$CLI" --cost 2>&1 | grep -q "missing value"; then
+    cost_flag="--cost $TMP/c_$mode.json"
+  fi
   start=$(date +%s%N)
   if "$CLI" --algo alg2 --mode mcs --readers 2000 --tags 48000 \
-      --side 632.455 --seed 7 --metrics "$TMP/m_$mode.json" "$@" \
+      --side 632.455 --seed 7 --metrics "$TMP/m_$mode.json" $cost_flag "$@" \
       > "$TMP/cli_$mode.txt" 2>&1; then
     end=$(date +%s%N)
     echo "$mode $(( (end - start) / 1000000 ))" >> "$TMP/cli_times.txt"
@@ -89,6 +97,19 @@ for line in open(os.path.join(tmp, "cli_times.txt")):
                   "core.weight_evals", "mcs.slots", "mcs.tags_read"):
             if k in counters:
                 run[k] = counters[k]
+    cpath = os.path.join(tmp, f"c_{mode}.json")
+    if os.path.exists(cpath):
+        cost = json.load(open(cpath))
+        total = cost.get("total", {})
+        if total:
+            run["cost"] = {
+                "work_units": (total.get("weight_evals", 0)
+                               + total.get("queue_work", 0)
+                               + total.get("dp_entries", 0)
+                               + total.get("bnb_nodes", 0)),
+                "total": total,
+                "slots": len(cost.get("slots", [])),
+            }
     entry["cli_mcs_n2000"][mode] = run
 
 doc = {}

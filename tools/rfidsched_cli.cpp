@@ -7,6 +7,7 @@
 //                 [--channels C] [--rho R] [--k K] [--svg PATH]
 //                 [--save PATH] [--load PATH] [--fault PATH]
 //                 [--metrics PATH] [--trace PATH] [--jsonl PATH]
+//                 [--cost PATH] [--prom PATH]
 //                 [--checkpoint PATH] [--resume]
 //                 [--deadline-ms N] [--max-slots N]
 //                 [--threads N] [--ref-eval] [--check[=paranoid]]
@@ -31,8 +32,13 @@
 // Observability: --metrics writes a JSON metrics dump (counters / gauges /
 // histograms from the scheduler, the MCS driver, the System referee, and
 // the network simulator), --trace writes a Chrome trace_event file for
-// chrome://tracing, and --jsonl writes the same events as JSON-lines.  See
-// docs/observability.md.
+// chrome://tracing, and --jsonl writes the same events as JSON-lines.
+// --cost writes the deterministic per-phase / per-slot cost-attribution
+// ledger (bit-identical across --threads counts), --prom writes the metrics
+// as Prometheus text exposition.  All telemetry sinks are flushed on the
+// early-exit paths too (budget exit 3, checkpoint-integrity exit 4,
+// invariant-violation exit 5), so a failed run still leaves its evidence
+// behind for rfidsched_report.  See docs/observability.md.
 //
 // Crash safety and budgets (mcs mode only; docs/recovery.md):
 // --checkpoint journals every committed slot to PATH (snapshot sidecar at
@@ -74,6 +80,7 @@
 #include "fault/fault_plan.h"
 #include "distributed/growth_distributed.h"
 #include "graph/interference_graph.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -98,6 +105,8 @@ struct Cli {
   std::string metrics_path;  // JSON metrics dump
   std::string trace_path;    // Chrome trace_event JSON
   std::string jsonl_path;    // JSONL event log
+  std::string cost_path;     // deterministic cost-attribution ledger (JSON)
+  std::string prom_path;     // Prometheus text exposition of the metrics
   std::string fault_path;    // fault plan text spec
   std::string ckpt_path;     // slot journal (snapshot rides at PATH.snap)
   bool resume = false;       // replay + continue an existing journal
@@ -127,6 +136,7 @@ void usage() {
       "                     [--channels C] [--rho R] [--k K] [--svg PATH]\n"
       "                     [--save PATH] [--load PATH] [--fault PATH]\n"
       "                     [--metrics PATH] [--trace PATH] [--jsonl PATH]\n"
+      "                     [--cost PATH] [--prom PATH]\n"
       "                     [--checkpoint PATH] [--resume]\n"
       "                     [--deadline-ms N] [--max-slots N]\n"
       "\n"
@@ -136,6 +146,10 @@ void usage() {
       "  --metrics PATH  write scheduler/driver/referee metrics as JSON\n"
       "  --trace PATH    write a Chrome trace_event file (chrome://tracing)\n"
       "  --jsonl PATH    write the trace as JSON-lines (one event per line)\n"
+      "  --cost PATH     write the deterministic cost-attribution ledger\n"
+      "                  (per-phase and per-slot work units; bit-identical\n"
+      "                  across --threads counts)\n"
+      "  --prom PATH     write the metrics as Prometheus text exposition\n"
       "  --checkpoint P  journal committed MCS slots to P (crash-safe;\n"
       "                  docs/recovery.md); refuses to overwrite an existing\n"
       "                  journal unless --resume is given\n"
@@ -168,7 +182,8 @@ bool parse(int argc, char** argv, Cli& cli) {
     const auto known = [&a]() {
       static const char* flags[] = {
           "--algo", "--mode", "--layout", "--svg",  "--save",
-          "--load", "--metrics", "--trace", "--jsonl", "--readers",
+          "--load", "--metrics", "--trace", "--jsonl", "--cost",
+          "--prom", "--readers",
           "--tags", "--side", "--lambda-R", "--lambda-r", "--seed",
           "--channels", "--rho", "--k", "--fault", "--checkpoint",
           "--deadline-ms", "--max-slots", "--threads"};
@@ -187,6 +202,8 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--metrics" && (v = next())) cli.metrics_path = v;
     else if (a == "--trace" && (v = next())) cli.trace_path = v;
     else if (a == "--jsonl" && (v = next())) cli.jsonl_path = v;
+    else if (a == "--cost" && (v = next())) cli.cost_path = v;
+    else if (a == "--prom" && (v = next())) cli.prom_path = v;
     else if (a == "--fault" && (v = next())) cli.fault_path = v;
     else if (a == "--checkpoint" && (v = next())) cli.ckpt_path = v;
     else if (a == "--resume") cli.resume = true;
@@ -267,12 +284,15 @@ int main(int argc, char** argv) {
   }
 
   // Observability sinks live for the whole invocation; attachments below
-  // are nullptr-safe, so runs without --metrics/--trace pay nothing.
+  // are nullptr-safe, so runs without --metrics/--trace/--cost pay nothing.
   obs::MetricsRegistry registry;
   obs::TraceSink sink;
-  obs::MetricsRegistry* metrics = cli.metrics_path.empty() ? nullptr : &registry;
+  obs::CostLedger ledger;
+  obs::MetricsRegistry* metrics =
+      cli.metrics_path.empty() && cli.prom_path.empty() ? nullptr : &registry;
   obs::TraceSink* trace =
       cli.trace_path.empty() && cli.jsonl_path.empty() ? nullptr : &sink;
+  obs::CostLedger* cost = cli.cost_path.empty() ? nullptr : &ledger;
 
   core::System sys = [&]() -> core::System {
     if (!cli.load_path.empty()) {
@@ -328,6 +348,7 @@ int main(int argc, char** argv) {
   }
   scheduler->attachMetrics(metrics);
   scheduler->attachTrace(trace);
+  scheduler->attachCost(cost);
 
   // Fault injection: the plan drives the MCS referee, the channel model
   // makes any distributed scheduler's control plane lossy and crash-prone.
@@ -374,6 +395,56 @@ int main(int argc, char** argv) {
     return check::ScheduleValidator(co);
   }();
 
+  // Every telemetry sink in one place: the happy path and every early exit
+  // (budget exit 3, checkpoint-integrity exit 4, invariant-violation exit 5)
+  // flush through here, so a failed run still leaves its metrics, spans, and
+  // cost ledger behind for rfidsched_report.  Returns 0 or the exit code.
+  const auto flushTelemetry = [&]() -> int {
+    if (!cli.metrics_path.empty()) {
+      if (registry.writeJsonFile(cli.metrics_path)) {
+        std::cout << "metrics written to " << cli.metrics_path << '\n';
+      } else {
+        std::cerr << "failed to write metrics to " << cli.metrics_path << "\n";
+        return 2;
+      }
+    }
+    if (!cli.prom_path.empty()) {
+      if (registry.writePrometheusFile(cli.prom_path)) {
+        std::cout << "prometheus metrics written to " << cli.prom_path << '\n';
+      } else {
+        std::cerr << "failed to write prometheus metrics to " << cli.prom_path
+                  << "\n";
+        return 2;
+      }
+    }
+    if (!cli.trace_path.empty()) {
+      if (sink.writeChromeTraceFile(cli.trace_path)) {
+        std::cout << "trace written to " << cli.trace_path << '\n';
+      } else {
+        std::cerr << "failed to write trace to " << cli.trace_path << "\n";
+        return 2;
+      }
+    }
+    if (!cli.jsonl_path.empty()) {
+      if (sink.writeJsonlFile(cli.jsonl_path)) {
+        std::cout << "jsonl events written to " << cli.jsonl_path << '\n';
+      } else {
+        std::cerr << "failed to write jsonl to " << cli.jsonl_path << "\n";
+        return 2;
+      }
+    }
+    if (!cli.cost_path.empty()) {
+      if (ledger.writeJsonFile(cli.cost_path)) {
+        std::cout << "cost attribution written to " << cli.cost_path << '\n';
+      } else {
+        std::cerr << "failed to write cost ledger to " << cli.cost_path
+                  << "\n";
+        return 2;
+      }
+    }
+    return 0;
+  };
+
   std::cout << "deployment: " << sys.numReaders() << " readers, "
             << sys.numTags() << " tags (" << sys.unreadCoverableCount()
             << " coverable), layout " << cli.layout << ", seed " << cli.seed
@@ -414,6 +485,7 @@ int main(int argc, char** argv) {
     sched::McsOptions mcs_opt;
     mcs_opt.metrics = metrics;
     mcs_opt.trace = trace;
+    mcs_opt.cost = cost;
     if (!fault_plan.empty()) {
       mcs_opt.faults = &fault_plan;
       mcs_opt.channel = channel.get();
@@ -436,6 +508,7 @@ int main(int argc, char** argv) {
         ckpt::runMcsCheckpointed(sys, *scheduler, mcs_opt, setup);
     if (!run.ok) {
       std::cerr << "checkpoint error: " << run.error << "\n";
+      flushTelemetry();  // best-effort: the partial run's evidence still lands
       return 4;
     }
     // Checkpoint chatter goes to stderr: stdout must stay byte-comparable
@@ -481,30 +554,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (metrics != nullptr) {
-    if (registry.writeJsonFile(cli.metrics_path)) {
-      std::cout << "metrics written to " << cli.metrics_path << '\n';
-    } else {
-      std::cerr << "failed to write metrics to " << cli.metrics_path << "\n";
-      return 2;
-    }
-  }
-  if (!cli.trace_path.empty()) {
-    if (sink.writeChromeTraceFile(cli.trace_path)) {
-      std::cout << "trace written to " << cli.trace_path << '\n';
-    } else {
-      std::cerr << "failed to write trace to " << cli.trace_path << "\n";
-      return 2;
-    }
-  }
-  if (!cli.jsonl_path.empty()) {
-    if (sink.writeJsonlFile(cli.jsonl_path)) {
-      std::cout << "jsonl events written to " << cli.jsonl_path << '\n';
-    } else {
-      std::cerr << "failed to write jsonl to " << cli.jsonl_path << "\n";
-      return 2;
-    }
-  }
+  if (const int rc = flushTelemetry(); rc != 0) return rc;
   if (cli.check) {
     if (check_failed) {
       validator.report(std::cerr);
