@@ -171,6 +171,9 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
         break;
       }
     }
+    if (opt.progress != nullptr) {
+      opt.progress->fetch_add(1, std::memory_order_relaxed);
+    }
     const int q = res.slots;  // slot index the fault plan speaks in
     // While a resume journal still has records ahead of q we are replaying:
     // the slot is recomputed through this exact loop body and verified

@@ -21,6 +21,8 @@
 // paths — the run is bit-identical to one with no plan at all.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "ckpt/budget.h"
@@ -92,6 +94,13 @@ struct McsOptions {
   /// schedulers to stop mid-search attach budget->token() themselves
   /// (OneShotScheduler::attachCancel).
   ckpt::RunBudget* budget = nullptr;
+  /// Liveness heartbeat (optional).  Bumped once per driver loop iteration
+  /// — before the slot's schedule() call — with a relaxed atomic add, so an
+  /// external watchdog (src/service/) can distinguish a run that is slowly
+  /// making slot progress from one wedged inside a single schedule() call.
+  /// The heartbeat carries no data and decides nothing: results are
+  /// bit-identical with or without it.
+  std::atomic<std::int64_t>* progress = nullptr;
   /// Crash-safe journaling (optional).  With `journal` attached the driver
   /// appends one record per committed slot and writes a periodic atomic
   /// snapshot of the read-state bitmap.  With `resume` attached the driver

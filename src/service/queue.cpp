@@ -1,0 +1,108 @@
+#include "service/queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfid::service {
+
+namespace {
+
+/// Backpressure hint: how long the client should wait before retrying so
+/// its next attempt likely finds room.  Derived from the same wait estimate
+/// admission used; clamped to a sane, never-zero range.
+int retryHintMs(double est_wait_ms) {
+  const double hint = std::ceil(est_wait_ms);
+  if (hint < 1.0) return 1;
+  if (hint > 60000.0) return 60000;
+  return static_cast<int>(hint);
+}
+
+}  // namespace
+
+const char* shedPolicyName(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kRejectNewest: return "reject-newest";
+    case ShedPolicy::kRejectLargest: return "reject-largest";
+  }
+  return "?";
+}
+
+Admit AdmissionQueue::push(Job job, double est_wait_ms) {
+  Admit out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) {
+      out.code = Code::kDraining;
+      out.retry_after_ms = retryHintMs(est_wait_ms);
+      return out;
+    }
+    // Deadline-aware admission: if the estimated wait alone already spends
+    // the request's whole deadline, queueing it just manufactures a
+    // guaranteed cancellation — bounce now, while the client can still
+    // retarget another instance.
+    if (job.has_deadline) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          job.deadline - std::chrono::steady_clock::now());
+      if (static_cast<double>(remaining.count()) <= est_wait_ms) {
+        out.code = Code::kDeadlineUnmeetable;
+        out.retry_after_ms = retryHintMs(est_wait_ms);
+        return out;
+      }
+    }
+    if (q_.size() >= capacity_) {
+      if (policy_ == ShedPolicy::kRejectNewest) {
+        out.code = Code::kQueueFull;
+        out.retry_after_ms = retryHintMs(est_wait_ms);
+        return out;
+      }
+      // kRejectLargest: shed the largest deployment among queued ∪ {job}.
+      // If the incoming job is itself the largest it bounces; otherwise the
+      // largest queued job is evicted to make room.
+      auto largest = std::max_element(
+          q_.begin(), q_.end(), [](const Job& a, const Job& b) {
+            return a.spec.sizeUnits() < b.spec.sizeUnits();
+          });
+      if (largest == q_.end() ||
+          largest->spec.sizeUnits() <= job.spec.sizeUnits()) {
+        out.code = Code::kShed;
+        out.retry_after_ms = retryHintMs(est_wait_ms);
+        return out;
+      }
+      out.evicted.push_back(std::move(*largest));
+      q_.erase(largest);
+    }
+    q_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return out;
+}
+
+bool AdmissionQueue::pop(Job* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return false;  // closed and drained
+  *out = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<Job> AdmissionQueue::drainPending() {
+  std::vector<Job> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.reserve(q_.size());
+  while (!q_.empty()) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace rfid::service

@@ -1,0 +1,141 @@
+// queue.h — bounded admission queue with backpressure and load shedding.
+//
+// The queue is where the daemon's no-OOM guarantee lives: capacity is fixed
+// at construction, every push that would exceed it resolves *immediately*
+// to a structured rejection (never a block, never an allocation that grows
+// with load), and admission is deadline-aware — a request whose deadline
+// the estimated queue wait already blows is bounced up front with a
+// Retry-After hint instead of being queued to die.
+//
+// Two shed policies for the overflow case (docs/service.md):
+//
+//   * kRejectNewest  — the incoming request bounces (kQueueFull).  Fair to
+//                      queued work, favors FIFO latency.
+//   * kRejectLargest — the largest deployment among {queued + incoming} is
+//                      shed (kShed) to make room, protecting many small
+//                      tenants from one huge one.  Evicted queued jobs are
+//                      returned to the caller to complete with rejections.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/request.h"
+
+namespace rfid::service {
+
+/// Overflow behavior when a push finds the queue at capacity.
+enum class ShedPolicy {
+  kRejectNewest,
+  kRejectLargest,
+};
+
+const char* shedPolicyName(ShedPolicy p);
+
+/// One-shot completion rendezvous between the worker that runs a request
+/// and the session thread that must write its Response.  complete() is
+/// idempotent (first writer wins) so a drain bounce racing a worker finish
+/// cannot double-complete.
+class Ticket {
+ public:
+  void complete(Response r) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (done_) return;
+      resp_ = std::move(r);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until complete() has been called; returns the response.
+  Response wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return done_; });
+    return resp_;
+  }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Response resp_;
+};
+
+/// One admitted unit of work: the validated spec, its completion ticket,
+/// and the timing facts admission fixed (submit time, absolute deadline).
+struct Job {
+  RequestSpec spec;
+  std::shared_ptr<Ticket> ticket;
+  std::chrono::steady_clock::time_point submitted{};
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  int attempts = 0;  // execution attempts consumed so far
+};
+
+/// Outcome of AdmissionQueue::push.
+struct Admit {
+  Code code = Code::kNone;  // kNone = admitted (job now queued)
+  int retry_after_ms = 0;   // backpressure hint on rejection
+  /// Queued jobs evicted by kRejectLargest to make room; the caller owns
+  /// completing their tickets with kShed rejections.
+  std::vector<Job> evicted;
+  bool admitted() const { return code == Code::kNone; }
+};
+
+/// Bounded MPMC queue.  Thread-safe; push never blocks, pop blocks until a
+/// job or closure.  Memory is bounded by construction: at most `capacity`
+/// jobs, each already validated against the protocol caps.
+class AdmissionQueue {
+ public:
+  AdmissionQueue(std::size_t capacity, ShedPolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  /// Admission decision for `job` given the caller's current estimate of
+  /// the queue wait (EMA service time × backlog / workers, computed by the
+  /// Service).  Applies, in order: the draining gate, the deadline-aware
+  /// check, and on overflow the shed policy.
+  Admit push(Job job, double est_wait_ms);
+
+  /// Blocks for the next job.  Returns false when the queue is closed and
+  /// empty — the worker-pool shutdown signal.
+  bool pop(Job* out);
+
+  /// Stops admission (push returns kDraining) and wakes every blocked pop.
+  /// Queued jobs stay queued until popped or drained.
+  void close();
+
+  /// Empties the queue (typically after close()): the bounced jobs are
+  /// returned for the caller to reject with kDraining.
+  std::vector<Job> drainPending();
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const ShedPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> q_;
+  bool closed_ = false;
+};
+
+}  // namespace rfid::service

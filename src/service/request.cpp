@@ -1,0 +1,386 @@
+#include "service/request.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace rfid::service {
+
+namespace {
+
+/// Bounded line reader: reads up to kMaxLineLen bytes into `*line`.  A
+/// longer line is consumed to its newline but NOT stored; `*overflow` is
+/// set instead, so hostile input costs O(kMaxLineLen) memory no matter how
+/// long the line is.  Returns false on EOF with nothing read.
+bool readLine(std::istream& in, std::string* line, bool* overflow) {
+  line->clear();
+  *overflow = false;
+  int c = in.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  for (; c != std::istream::traits_type::eof() && c != '\n'; c = in.get()) {
+    if (line->size() < kMaxLineLen) {
+      line->push_back(static_cast<char>(c));
+    } else {
+      *overflow = true;  // keep consuming, stop storing
+    }
+  }
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits "key rest" at the first whitespace run; rest may be empty.
+void splitKey(std::string_view line, std::string_view* key,
+              std::string_view* rest) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  *key = line.substr(0, i);
+  *rest = trim(line.substr(i));
+}
+
+bool parseI64(std::string_view v, std::int64_t lo, std::int64_t hi,
+              std::int64_t* out) {
+  if (v.empty()) return false;
+  const std::string s(v);  // strtoll needs a terminator
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (x < lo || x > hi) return false;
+  *out = x;
+  return true;
+}
+
+bool parseU64(std::string_view v, std::uint64_t* out) {
+  if (v.empty() || v.front() == '-') return false;
+  const std::string s(v);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = x;
+  return true;
+}
+
+bool parseF64(std::string_view v, double lo, double hi, double* out) {
+  if (v.empty()) return false;
+  const std::string s(v);
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (!(x >= lo && x <= hi)) return false;  // rejects NaN too
+  *out = x;
+  return true;
+}
+
+void jsonEscape(std::ostream& os, std::string_view s) {
+  for (const char ch : s) {
+    const unsigned char u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (u < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(u >> 4) & 0xf] << hex[u & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* codeName(Code c) {
+  switch (c) {
+    case Code::kNone: return "none";
+    case Code::kParse: return "parse";
+    case Code::kTooLarge: return "too-large";
+    case Code::kTruncated: return "truncated";
+    case Code::kBadValue: return "bad-value";
+    case Code::kQueueFull: return "queue-full";
+    case Code::kDeadlineUnmeetable: return "deadline-unmeetable";
+    case Code::kShed: return "shed";
+    case Code::kDraining: return "draining";
+    case Code::kDeadline: return "deadline";
+    case Code::kStalled: return "stalled";
+    case Code::kIntegrity: return "integrity";
+    case Code::kInternal: return "internal";
+  }
+  return "?";
+}
+
+bool retryable(Code c) {
+  return c == Code::kStalled || c == Code::kIntegrity;
+}
+
+const char* statusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kCancelled: return "cancelled";
+    case Status::kFailed: return "failed";
+  }
+  return "?";
+}
+
+bool validRequestId(std::string_view id) {
+  if (id.empty() || id.size() > kMaxIdLen) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void Response::writeJson(std::ostream& os, bool mask_wall) const {
+  os << "{\"id\":\"";
+  jsonEscape(os, id);
+  os << "\",\"status\":\"" << statusName(status) << "\",\"code\":\""
+     << codeName(code) << "\",\"detail\":\"";
+  jsonEscape(os, detail);
+  os << "\",\"attempts\":" << attempts << ",\"slots\":" << slots
+     << ",\"tags_read\":" << tags_read << ",\"completed\":"
+     << (completed ? "true" : "false") << ",\"resumable\":"
+     << (resumable ? "true" : "false")
+     << ",\"retry_after_ms\":" << retry_after_ms << ",\"queue_wait_ms\":"
+     << (mask_wall ? 0.0 : queue_wait_ms) << ",\"latency_ms\":"
+     << (mask_wall ? 0.0 : latency_ms) << "}";
+}
+
+RequestStreamParser::Item RequestStreamParser::fail(Response* err,
+                                                    std::string id, Code code,
+                                                    std::string detail,
+                                                    bool resync) {
+  if (resync) {
+    // Skip forward to the request terminator so the next request parses
+    // clean.  Oversized lines are consumed unbuffered, like everywhere.
+    std::string line;
+    bool overflow = false;
+    while (readLine(in_, &line, &overflow)) {
+      if (!overflow && trim(line) == "end") break;
+    }
+  }
+  ++errors_;
+  *err = Response{};
+  err->id = std::move(id);
+  err->status = Status::kRejected;
+  err->code = code;
+  err->detail = std::move(detail);
+  return Item::kError;
+}
+
+RequestStreamParser::Item RequestStreamParser::next(RequestSpec* out,
+                                                    Response* err) {
+  std::string line;
+  bool overflow = false;
+
+  // ---- framing: find the `request <id>` line ----
+  std::string_view key, rest;
+  for (;;) {
+    if (!readLine(in_, &line, &overflow)) return Item::kEof;
+    if (overflow) {
+      return fail(err, "", Code::kTooLarge,
+                  "line exceeds " + std::to_string(kMaxLineLen) + " bytes",
+                  true);
+    }
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    splitKey(t, &key, &rest);
+    if (key != "request") {
+      return fail(err, "", Code::kParse,
+                  "expected 'request <id>', got '" + std::string(key) + "'",
+                  true);
+    }
+    break;
+  }
+  if (!validRequestId(rest)) {
+    return fail(err, "", Code::kParse,
+                "invalid request id (need 1-" + std::to_string(kMaxIdLen) +
+                    " chars of [A-Za-z0-9._-])",
+                true);
+  }
+
+  RequestSpec spec;
+  spec.id = std::string(rest);
+  const std::string id = spec.id;  // survives into error paths
+
+  const auto bad = [&](std::string_view k, std::string_view why) {
+    return fail(err, id, Code::kBadValue,
+                std::string(k) + ": " + std::string(why), true);
+  };
+
+  // ---- body ----
+  int lines = 0;
+  for (;;) {
+    if (!readLine(in_, &line, &overflow)) {
+      return fail(err, id, Code::kTruncated, "stream ended before 'end'",
+                  false);
+    }
+    if (overflow) {
+      return fail(err, id, Code::kTooLarge,
+                  "line exceeds " + std::to_string(kMaxLineLen) + " bytes",
+                  true);
+    }
+    if (++lines > kMaxRequestLines) {
+      return fail(err, id, Code::kTooLarge,
+                  "request exceeds " + std::to_string(kMaxRequestLines) +
+                      " lines",
+                  true);
+    }
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    splitKey(t, &key, &rest);
+
+    if (key == "end") {
+      if (!rest.empty()) return bad("end", "takes no value");
+      ++parsed_;
+      *out = std::move(spec);
+      return Item::kRequest;
+    }
+    if (key == "request") {
+      return fail(err, id, Code::kParse,
+                  "nested 'request' before 'end'", true);
+    }
+
+    std::int64_t n = 0;
+    double f = 0.0;
+    if (key == "algo") {
+      if (rest != "alg1" && rest != "alg2" && rest != "alg3" &&
+          rest != "ghc" && rest != "ca" && rest != "exact" && rest != "mc") {
+        return bad(key, "unknown algorithm");
+      }
+      spec.algo = std::string(rest);
+    } else if (key == "layout") {
+      if (rest != "uniform" && rest != "clusters" && rest != "aisles" &&
+          rest != "grid") {
+        return bad(key, "unknown layout");
+      }
+      spec.layout = std::string(rest);
+    } else if (key == "readers") {
+      if (!parseI64(rest, 1, kMaxReaders, &n)) {
+        return bad(key, "need integer in [1, 20000]");
+      }
+      spec.readers = static_cast<int>(n);
+    } else if (key == "tags") {
+      if (!parseI64(rest, 0, kMaxTags, &n)) {
+        return bad(key, "need integer in [0, 500000]");
+      }
+      spec.tags = static_cast<int>(n);
+    } else if (key == "side") {
+      if (!parseF64(rest, 1e-6, 1e6, &f)) {
+        return bad(key, "need number in (0, 1e6]");
+      }
+      spec.side = f;
+    } else if (key == "lambda-R") {
+      if (!parseF64(rest, 1.0, 1e3, &f)) {
+        return bad(key, "need number in [1, 1000]");
+      }
+      spec.lambda_R = f;
+    } else if (key == "lambda-r") {
+      if (!parseF64(rest, 1.0, 1e3, &f)) {
+        return bad(key, "need number in [1, 1000]");
+      }
+      spec.lambda_r = f;
+    } else if (key == "seed") {
+      std::uint64_t u = 0;
+      if (!parseU64(rest, &u)) return bad(key, "need unsigned integer");
+      spec.seed = u;
+    } else if (key == "rho") {
+      if (!parseF64(rest, 1.0 + 1e-9, 16.0, &f)) {
+        return bad(key, "need number in (1, 16]");
+      }
+      spec.rho = f;
+    } else if (key == "k") {
+      if (!parseI64(rest, 2, 16, &n)) return bad(key, "need integer in [2, 16]");
+      spec.k = static_cast<int>(n);
+    } else if (key == "channels") {
+      if (!parseI64(rest, 1, 64, &n)) return bad(key, "need integer in [1, 64]");
+      spec.channels = static_cast<int>(n);
+    } else if (key == "deadline-ms") {
+      if (!parseI64(rest, 0, kMaxDeadlineMs, &n)) {
+        return bad(key, "need integer in [0, 86400000]");
+      }
+      spec.deadline_ms = static_cast<int>(n);
+    } else if (key == "max-slots") {
+      if (!parseI64(rest, 0, kMaxSlotCap, &n)) {
+        return bad(key, "need integer in [0, 1000000]");
+      }
+      spec.max_slots = static_cast<int>(n);
+    } else if (key == "retries") {
+      if (!parseI64(rest, 0, kMaxRetries, &n)) {
+        return bad(key, "need integer in [0, 10]");
+      }
+      spec.retries = static_cast<int>(n);
+    } else if (key == "checkpoint") {
+      if (rest == "on") spec.checkpoint = true;
+      else if (rest == "off") spec.checkpoint = false;
+      else return bad(key, "need on|off");
+    } else if (key == "hang-ms") {
+      if (!parseI64(rest, 0, kMaxHangMs, &n)) {
+        return bad(key, "need integer in [0, 600000]");
+      }
+      spec.hang_ms = static_cast<int>(n);
+    } else if (key == "pace-ms") {
+      if (!parseI64(rest, 0, kMaxPaceMs, &n)) {
+        return bad(key, "need integer in [0, 60000]");
+      }
+      spec.pace_ms = static_cast<int>(n);
+    } else if (key == "fault-begin") {
+      if (!rest.empty()) return bad(key, "takes no value");
+      std::string plan_text;
+      int fault_lines = 0;
+      for (;;) {
+        if (!readLine(in_, &line, &overflow)) {
+          return fail(err, id, Code::kTruncated,
+                      "stream ended inside fault block", false);
+        }
+        if (overflow) {
+          return fail(err, id, Code::kTooLarge,
+                      "fault line exceeds " + std::to_string(kMaxLineLen) +
+                          " bytes",
+                      true);
+        }
+        const std::string_view ft = trim(line);
+        if (ft == "fault-end") break;
+        if (++fault_lines > kMaxFaultLines) {
+          return fail(err, id, Code::kTooLarge,
+                      "fault block exceeds " +
+                          std::to_string(kMaxFaultLines) + " lines",
+                      true);
+        }
+        plan_text.append(ft);
+        plan_text.push_back('\n');
+      }
+      std::string perr;
+      auto plan = fault::FaultPlan::parse(plan_text, &perr);
+      if (!plan) return bad("fault-begin", perr);
+      spec.faults = std::move(*plan);
+      spec.has_faults = !spec.faults.empty();
+    } else {
+      return bad(key, "unknown key");
+    }
+  }
+}
+
+}  // namespace rfid::service

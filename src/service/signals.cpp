@@ -1,0 +1,47 @@
+#include "service/signals.h"
+
+#include <atomic>
+#include <csignal>
+
+#include "ckpt/budget.h"
+
+namespace rfid::service {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+std::atomic<ckpt::CancelToken*> g_token{nullptr};
+
+extern "C" void stopHandler(int sig) {
+  if (g_stop_signal == 0) g_stop_signal = sig;
+  // CancelToken::cancel is one relaxed store on a lock-free atomic<bool> —
+  // async-signal-safe per POSIX's lock-free-atomic carve-out.
+  ckpt::CancelToken* t = g_token.load(std::memory_order_relaxed);
+  if (t != nullptr) t->cancel();
+}
+
+}  // namespace
+
+void installStopSignalHandlers(ckpt::CancelToken* token) {
+  g_token.store(token, std::memory_order_relaxed);
+#if defined(_WIN32)
+  std::signal(SIGTERM, stopHandler);
+  std::signal(SIGINT, stopHandler);
+#else
+  struct sigaction sa = {};
+  sa.sa_handler = stopHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must wake with EINTR
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+#endif
+}
+
+int stopSignal() { return static_cast<int>(g_stop_signal); }
+
+void resetStopSignalsForTest() {
+  g_stop_signal = 0;
+  g_token.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace rfid::service

@@ -1,0 +1,31 @@
+// signals.h — async-signal-safe SIGTERM/SIGINT bridge for graceful drain.
+//
+// The handler does exactly two async-signal-safe things: stores the signal
+// number into a sig_atomic_t and fires the bound CancelToken (a relaxed
+// atomic-bool store, lock-free by construction).  Everything else — closing
+// admission, draining, flushing telemetry, picking the exit code — happens
+// on the main thread, which polls stopSignal().
+//
+// Handlers install without SA_RESTART so a daemon blocked in a stdin read
+// wakes with EINTR instead of sleeping through its own shutdown.
+#pragma once
+
+namespace rfid::ckpt {
+class CancelToken;
+}
+
+namespace rfid::service {
+
+/// Installs SIGTERM + SIGINT handlers.  `token` (optional) is cancelled
+/// from the handler so in-flight work starts checkpointing immediately,
+/// before the main loop even notices.  Call once; the token must outlive
+/// every subsequent signal.
+void installStopSignalHandlers(ckpt::CancelToken* token = nullptr);
+
+/// The first stop signal received (SIGTERM/SIGINT), 0 if none yet.
+int stopSignal();
+
+/// Test hook: forgets any received signal and unbinds the token.
+void resetStopSignalsForTest();
+
+}  // namespace rfid::service

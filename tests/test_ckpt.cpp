@@ -6,6 +6,7 @@
 // fail closed on everything except exactly one torn tail record.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +16,10 @@
 #include "ckpt/atomic_file.h"
 #include "ckpt/budget.h"
 #include "ckpt/journal.h"
+#include "graph/interference_graph.h"
+#include "sched/growth.h"
+#include "sched/mcs.h"
+#include "test_helpers.h"
 
 namespace rfid::ckpt {
 namespace {
@@ -430,6 +435,96 @@ TEST(CkptBudget, StopNames) {
   EXPECT_STREQ(budgetStopName(BudgetStop::kSlotCap), "slot-cap");
   EXPECT_STREQ(budgetStopName(BudgetStop::kDeadline), "deadline");
   EXPECT_STREQ(budgetStopName(BudgetStop::kCancelled), "cancelled");
+}
+
+// ---- budget / token edge cases (the service layer's contracts) ----
+
+TEST(CkptBudget, ZeroAndNegativeDeadlinesFireImmediately) {
+  // A <= 0 deadline must arm and fire at the very first checkpoint — the
+  // admission layer maps "deadline already spent" onto exactly this.
+  RunBudget zero;
+  zero.setDeadline(std::chrono::milliseconds(0));
+  EXPECT_TRUE(zero.armed());
+  EXPECT_EQ(zero.charge(0), BudgetStop::kDeadline);
+
+  RunBudget negative;
+  negative.setDeadline(std::chrono::milliseconds(-50));
+  EXPECT_TRUE(negative.armed());
+  EXPECT_EQ(negative.charge(0), BudgetStop::kDeadline);
+  EXPECT_TRUE(negative.token().cancelled());
+}
+
+TEST(CkptBudget, AlreadyCancelledTokenAtAdmissionRunsZeroSlots) {
+  // A token cancelled before the run starts (client gone, drain racing
+  // admission) must yield a valid empty result: zero committed slots,
+  // interrupted, kCancelled — never a partial first slot.
+  core::System sys = test::smallRandomSystem(7, 10, 60, 40.0);
+  const graph::InterferenceGraph g(sys);
+  sched::GrowthScheduler scheduler(g);
+  RunBudget budget;
+  budget.token().cancel();
+  sched::McsOptions opt;
+  opt.budget = &budget;
+  scheduler.attachCancel(&budget.token());
+  const sched::McsResult res = sched::runCoveringSchedule(sys, scheduler, opt);
+  EXPECT_EQ(res.slots, 0);
+  EXPECT_EQ(res.tags_read, 0);
+  EXPECT_TRUE(res.interrupted);
+  EXPECT_EQ(res.stop, sched::McsStop::kCancelled);
+  EXPECT_TRUE(res.schedule.empty());
+}
+
+/// Cancels the shared token *during* the Nth schedule() call — the
+/// raced-with-final-slot-commit window: the driver has already committed
+/// N-1 slots and is mid-proposal for slot N when the cancel lands.
+class CancelDuringNthCall : public sched::OneShotScheduler {
+ public:
+  CancelDuringNthCall(sched::OneShotScheduler& inner, CancelToken& token,
+                      int fire_on_call)
+      : inner_(inner), token_(token), fire_on_call_(fire_on_call) {}
+
+  std::string name() const override { return inner_.name(); }
+  sched::OneShotResult schedule(const core::System& sys) override {
+    if (++calls_ == fire_on_call_) token_.cancel();
+    return inner_.schedule(sys);
+  }
+
+ private:
+  sched::OneShotScheduler& inner_;
+  CancelToken& token_;
+  int fire_on_call_;
+  int calls_ = 0;
+};
+
+TEST(CkptBudget, CancelRacedWithFinalSlotCommitKeepsPrefixOnly) {
+  // Baseline trajectory, uninterrupted.
+  core::System base = test::smallRandomSystem(11, 12, 80, 45.0);
+  const graph::InterferenceGraph g0(base);
+  sched::GrowthScheduler s0(g0);
+  const sched::McsResult full = sched::runCoveringSchedule(base, s0);
+  ASSERT_GE(full.slots, 2) << "need a multi-slot run to race the last slot";
+
+  // Same run, but the token fires inside the final slot's schedule() call.
+  // The anytime contract: that proposal is discarded, never committed, so
+  // the result is exactly the first slots-1 of the uninterrupted run.
+  core::System sys = test::smallRandomSystem(11, 12, 80, 45.0);
+  const graph::InterferenceGraph g(sys);
+  sched::GrowthScheduler inner(g);
+  RunBudget budget;
+  CancelDuringNthCall racer(inner, budget.token(), full.slots);
+  sched::McsOptions opt;
+  opt.budget = &budget;
+  const sched::McsResult res = sched::runCoveringSchedule(sys, racer, opt);
+  EXPECT_TRUE(res.interrupted);
+  EXPECT_EQ(res.stop, sched::McsStop::kCancelled);
+  ASSERT_EQ(res.slots, full.slots - 1);
+  for (int q = 0; q < res.slots; ++q) {
+    const auto idx = static_cast<std::size_t>(q);
+    EXPECT_EQ(res.schedule[idx].active, full.schedule[idx].active)
+        << "slot " << q;
+    EXPECT_EQ(res.schedule[idx].tags_read, full.schedule[idx].tags_read)
+        << "slot " << q;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// test_service_fuzz.cpp — fuzz sweeps over the service request parser, the
+// daemon's outermost trust boundary (src/service/request.h).
+//
+// Three generators hammer RequestStreamParser: byte-level mutations of a
+// valid request stream (flips, deletions, duplications), truncations at
+// every prefix length, and token soup assembled from the protocol's own
+// vocabulary (the nastiest inputs are almost-valid ones).  The invariants
+// are the fail-closed contract, not any particular parse:
+//
+//   * next() never crashes, hangs, or reads past its limits (ASan/UBSan in
+//     the sanitizer CI job make this bite);
+//   * the stream always terminates: every call yields kRequest, kError, or
+//     kEof, and total items are bounded by the input's line count;
+//   * every kError carries a structured rejection (status kRejected, a
+//     parse-layer code, non-empty detail);
+//   * every kRequest satisfies the documented value bounds — hostile bytes
+//     can never smuggle an out-of-range deployment past admission.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/request.h"
+#include "test_helpers.h"
+#include "workload/rng.h"
+
+namespace rfid::service {
+namespace {
+
+/// A valid two-request stream exercising every key, used as mutation seed.
+std::string validStream() {
+  return
+      "request alpha-1\n"
+      "algo alg2\n"
+      "layout clusters\n"
+      "readers 12\n"
+      "tags 60\n"
+      "side 50.5\n"
+      "lambda-R 9\n"
+      "lambda-r 3\n"
+      "seed 42\n"
+      "rho 1.5\n"
+      "k 3\n"
+      "channels 4\n"
+      "deadline-ms 2500\n"
+      "max-slots 7\n"
+      "retries 2\n"
+      "checkpoint off\n"
+      "hang-ms 10\n"
+      "pace-ms 20\n"
+      "fault-begin\n"
+      "seed 9\n"
+      "crash 0 1 3\n"
+      "miss 0.25\n"
+      "fault-end\n"
+      "end\n"
+      "request beta.2\n"
+      "end\n";
+}
+
+/// Drains the parser over `input`, asserting the fail-closed invariants.
+/// Returns (requests, errors) for callers that assert more.
+std::pair<int, int> drainAndCheck(const std::string& input) {
+  std::istringstream in(input);
+  RequestStreamParser p(in);
+  RequestSpec spec;
+  Response err;
+  int requests = 0;
+  int errors = 0;
+  // Each iteration consumes at least one input line, so line count + 1
+  // bounds the items a terminating parser can yield.  Tripping the guard
+  // means next() stopped consuming input — an infinite-loop bug.
+  const int max_items =
+      static_cast<int>(std::count(input.begin(), input.end(), '\n')) + 2;
+  for (int i = 0; i <= max_items; ++i) {
+    const auto item = p.next(&spec, &err);
+    if (item == RequestStreamParser::Item::kEof) {
+      EXPECT_EQ(p.parsed(), requests);
+      EXPECT_EQ(p.errors(), errors);
+      return {requests, errors};
+    }
+    if (item == RequestStreamParser::Item::kError) {
+      ++errors;
+      EXPECT_EQ(err.status, Status::kRejected);
+      EXPECT_TRUE(err.code == Code::kParse || err.code == Code::kTooLarge ||
+                  err.code == Code::kTruncated || err.code == Code::kBadValue)
+          << codeName(err.code);
+      EXPECT_FALSE(err.detail.empty());
+      // A rejection must itself serialize safely (hostile bytes may have
+      // landed in id/detail; writeJson escapes them).
+      std::ostringstream os;
+      err.writeJson(os);
+      EXPECT_FALSE(os.str().empty());
+      continue;
+    }
+    ++requests;
+    // Parsed specs respect every documented bound — the OOM guard.
+    EXPECT_TRUE(validRequestId(spec.id));
+    EXPECT_GE(spec.readers, 1);
+    EXPECT_LE(spec.readers, kMaxReaders);
+    EXPECT_GE(spec.tags, 0);
+    EXPECT_LE(spec.tags, kMaxTags);
+    EXPECT_GT(spec.side, 0.0);
+    EXPECT_GE(spec.deadline_ms, 0);
+    EXPECT_LE(spec.deadline_ms, kMaxDeadlineMs);
+    EXPECT_GE(spec.max_slots, 0);
+    EXPECT_LE(spec.max_slots, kMaxSlotCap);
+    EXPECT_GE(spec.retries, -1);
+    EXPECT_LE(spec.retries, kMaxRetries);
+    EXPECT_GE(spec.hang_ms, 0);
+    EXPECT_LE(spec.hang_ms, kMaxHangMs);
+    EXPECT_GE(spec.pace_ms, 0);
+    EXPECT_LE(spec.pace_ms, kMaxPaceMs);
+  }
+  ADD_FAILURE() << "parser failed to terminate within " << max_items
+                << " items";
+  return {requests, errors};
+}
+
+class ServiceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServiceFuzz, ByteMutationsNeverCrashTheParser) {
+  workload::Rng rng(workload::deriveSeed(GetParam(), "svc.fuzz.mutate"));
+  const std::string base = validStream();
+  for (int iter = 0; iter < test::iterBudget(40); ++iter) {
+    std::string s = base;
+    const int edits = rng.uniformInt(1, 8);
+    for (int e = 0; e < edits && !s.empty(); ++e) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniformInt(0, static_cast<int>(s.size()) - 1));
+      switch (rng.uniformInt(0, 3)) {
+        case 0:  // flip to an arbitrary byte (NUL and friends included)
+          s[pos] = static_cast<char>(rng.uniformInt(0, 255));
+          break;
+        case 1:  // delete
+          s.erase(pos, 1);
+          break;
+        case 2:  // duplicate a chunk
+          s.insert(pos, s.substr(pos, static_cast<std::size_t>(
+                                          rng.uniformInt(1, 16))));
+          break;
+        default:  // swap two bytes
+          std::swap(s[pos], s[static_cast<std::size_t>(rng.uniformInt(
+                                0, static_cast<int>(s.size()) - 1))]);
+      }
+    }
+    drainAndCheck(s);
+  }
+}
+
+TEST_P(ServiceFuzz, TruncationsAlwaysFailClosed) {
+  const std::string base = validStream();
+  // Every prefix — the mid-request ones must yield kTruncated or a clean
+  // shorter parse, never a hang or crash.
+  const auto stride = static_cast<std::size_t>(
+      1 + static_cast<int>(GetParam() % 3));
+  for (std::size_t len = 0; len < base.size(); len += stride) {
+    drainAndCheck(base.substr(0, len));
+  }
+}
+
+TEST_P(ServiceFuzz, TokenSoupIsAlwaysStructurallyHandled) {
+  workload::Rng rng(workload::deriveSeed(GetParam(), "svc.fuzz.soup"));
+  const std::vector<std::string> words = {
+      "request",  "end",        "algo",       "alg2",    "readers",
+      "tags",     "deadline-ms", "fault-begin", "fault-end", "seed",
+      "crash",    "miss",       "checkpoint", "on",      "off",
+      "r1",       "-1",         "0",          "999999999999999999999",
+      "1e308",    "nan",        "#",          "",        "\t",
+      "🦀",       std::string(100, 'a'),      "request request",
+  };
+  for (int iter = 0; iter < test::iterBudget(40); ++iter) {
+    std::string s;
+    const int lines = rng.uniformInt(0, 40);
+    for (int l = 0; l < lines; ++l) {
+      const int tokens = rng.uniformInt(1, 4);
+      for (int t = 0; t < tokens; ++t) {
+        if (t > 0) s += ' ';
+        s += words[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(words.size()) - 1))];
+      }
+      s += '\n';
+    }
+    drainAndCheck(s);
+  }
+}
+
+TEST(ServiceFuzzLimits, OversizedLinesAreConsumedNotStored) {
+  // A multi-megabyte body line must cost O(kMaxLineLen) memory and yield
+  // exactly one kTooLarge error; after resyncing past that request's `end`
+  // the next request must parse fine.
+  std::string s = "request bad\n";
+  s += std::string(4 * kMaxLineLen, 'x');
+  s += "\nend\nrequest ok\nend\n";
+  const auto [requests, errors] = drainAndCheck(s);
+  EXPECT_EQ(requests, 1);
+  EXPECT_EQ(errors, 1);
+}
+
+TEST(ServiceFuzzLimits, ValidSeedStreamParsesCleanly) {
+  // The mutation baseline itself must be green, or every sweep above is
+  // fuzzing garbage.
+  const auto [requests, errors] = drainAndCheck(validStream());
+  EXPECT_EQ(requests, 2);
+  EXPECT_EQ(errors, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ServiceFuzz,
+                         ::testing::ValuesIn(test::seedRange(101, 6)));
+
+}  // namespace
+}  // namespace rfid::service

@@ -38,6 +38,31 @@ DET_KEYS = (
     "mcs.tags_read",
 )
 
+# Deterministic service counters from the closed-loop point recorded by
+# rfidsched_load: in a closed loop with concurrency <= queue capacity and
+# stall detection off, these depend only on (workload, seeds), never on
+# scheduling jitter, so growth is a real regression.  The open-loop
+# saturation sweep is machine-dependent and stays advisory.
+SVC_KEYS = (
+    "svc.admitted",
+    "svc.completed",
+    "svc.failed",
+    "svc.cancelled",
+    "svc.rejected",
+    "svc.retries",
+    "mcs.slots",
+    "mcs.tags_read",
+    "sched.schedule_calls",
+    "sched.weight_evals",
+)
+
+# The fixed closed-loop point --service-record replays; must match the
+# parameters bench_record.sh passes to `rfidsched_load --mode bench` so the
+# recorded baseline and the gate measure the same workload.
+SERVICE_POINT = ("--mode", "closed", "--requests", "32", "--concurrency",
+                 "8", "--workers", "2", "--queue", "16", "--readers", "30",
+                 "--tags", "600", "--side", "80", "--seed", "11")
+
 
 def det_counters(mode_entry):
     """Flatten one cli_mcs_n2000 mode entry to {name: value} deterministic counters."""
@@ -89,6 +114,57 @@ def compare(base_entry, cur_entry, threshold, wall_threshold):
                     f"{mode}/wall_ms drifted {drift:+.1%} ({bw} -> {cw} ms) — "
                     "wall clock is advisory, check the work counters above")
             lines.append(f"  [wall] {mode}/wall_ms: {bw} -> {cw} ({drift:+.1%})")
+
+    sf, sw, sl = compare_service(base_entry.get("service"),
+                                 cur_entry.get("service"),
+                                 threshold, wall_threshold)
+    return failures + sf, warnings + sw, lines + sl
+
+
+def compare_service(base_svc, cur_svc, threshold, wall_threshold):
+    """Gates the deterministic closed-loop svc.* counters; latency advisory."""
+    failures, warnings, lines = [], [], []
+    if not base_svc:
+        return failures, warnings, lines
+    if not cur_svc:
+        warnings.append("service section missing from current run (skipped)")
+        return failures, warnings, lines
+    base_c = base_svc.get("service_closed_loop", {}).get("counters", {})
+    cur_c = cur_svc.get("service_closed_loop", {}).get("counters", {})
+    for name in SVC_KEYS:
+        if name not in base_c:
+            continue
+        if name not in cur_c:
+            warnings.append(f"service/{name}: not recorded by current run")
+            continue
+        b, c = base_c[name], cur_c[name]
+        if b <= 0:
+            # Zero-valued failure counters must STAY zero: the closed loop
+            # has no legitimate source of failures or rejections.
+            if c > b:
+                failures.append(f"service/{name}: {b} -> {c} (was zero)")
+                lines.append(f"  [FAIL] service/{name}: {b} -> {c}")
+            continue
+        growth = (c - b) / b
+        tag = "ok"
+        if growth > threshold:
+            tag = "FAIL"
+            failures.append(
+                f"service/{name}: {b} -> {c} (+{growth:.1%} > {threshold:.0%})")
+        elif growth < 0:
+            tag = "improved"
+        lines.append(f"  [{tag}] service/{name}: {b} -> {c} ({growth:+.1%})")
+    base_s = base_svc.get("service_closed_loop", {}).get("summary", {})
+    cur_s = cur_svc.get("service_closed_loop", {}).get("summary", {})
+    for name in ("p50_ms", "p99_ms", "throughput_rps"):
+        b, c = base_s.get(name), cur_s.get(name)
+        if b and c and b > 0:
+            drift = (c - b) / b
+            if abs(drift) > wall_threshold:
+                warnings.append(
+                    f"service/{name} drifted {drift:+.1%} ({b} -> {c}) — "
+                    "latency/throughput are advisory, check svc.* above")
+            lines.append(f"  [wall] service/{name}: {b} -> {c} ({drift:+.1%})")
     return failures, warnings, lines
 
 
@@ -105,6 +181,12 @@ def selftest(base_entry, threshold, wall_threshold):
             mode["cost"]["work_units"] = int(mode["cost"]["work_units"] * 1.05) + 1
             mode["cost"]["total"] = {
                 k: int(v * 1.05) + 1 for k, v in mode["cost"]["total"].items()}
+            touched += 1
+    svc = seeded.get("service", {}).get("service_closed_loop", {}).get(
+        "counters", {})
+    for k in SVC_KEYS:
+        if isinstance(svc.get(k), (int, float)) and svc[k] > 0:
+            svc[k] = type(svc[k])(svc[k] * 1.05) + 1
             touched += 1
     if touched == 0:
         print("selftest: baseline entry has no deterministic counters", file=sys.stderr)
@@ -126,6 +208,9 @@ def main():
     ap.add_argument("--baseline-label", default="pr6")
     ap.add_argument("--record", metavar="BUILD_DIR",
                     help="run tools/bench_record.sh against this build dir")
+    ap.add_argument("--service-record", metavar="BUILD_DIR",
+                    help="re-run only the fixed closed-loop service point "
+                         "(rfidsched_load) and gate its svc.* counters")
     ap.add_argument("--current", metavar="OUT_JSON",
                     help="compare an already-recorded document instead")
     ap.add_argument("--current-label", default="current")
@@ -149,10 +234,46 @@ def main():
     if args.selftest:
         return 0 if selftest(base_entry, args.threshold, args.wall_threshold) else 1
 
-    if bool(args.record) == bool(args.current):
-        print("give exactly one of --record BUILD_DIR / --current OUT.json",
+    if sum(map(bool, (args.record, args.service_record, args.current))) != 1:
+        print("give exactly one of --record BUILD_DIR / "
+              "--service-record BUILD_DIR / --current OUT.json",
               file=sys.stderr)
         return 2
+
+    if args.service_record:
+        here = os.path.dirname(os.path.abspath(__file__))
+        load = os.path.join(args.service_record, "tools", "rfidsched_load")
+        cmd = [load, *SERVICE_POINT,
+               "--fault", os.path.join(here, "soak_fault.plan")]
+        try:
+            raw = subprocess.check_output(cmd, text=True)
+        except (OSError, subprocess.CalledProcessError) as e:
+            print(f"service point failed: {e}", file=sys.stderr)
+            return 2
+        point = json.loads(raw)
+        # Closed mode emits {"mode","summary","counters"}; wrap it in the
+        # shape bench_record.sh stores so compare_service sees one schema.
+        cur_svc = {"service_closed_loop": {"summary": point.get("summary", {}),
+                                           "counters": point.get("counters", {})}}
+        failures, warnings, lines = compare_service(
+            base_entry.get("service"), cur_svc,
+            args.threshold, args.wall_threshold)
+        print(f"bench_compare (service point): {args.baseline}"
+              f"[{args.baseline_label}]")
+        for line in lines:
+            print(line)
+        for w in warnings:
+            print(f"warning: {w}")
+        if not lines and not failures:
+            print("warning: baseline has no service section — nothing gated",
+                  file=sys.stderr)
+        if failures:
+            print(f"\nFAIL: {len(failures)} service counter(s) regressed:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("\nPASS: closed-loop service counters match the baseline")
+        return 0
 
     if args.record:
         here = os.path.dirname(os.path.abspath(__file__))

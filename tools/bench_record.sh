@@ -4,9 +4,12 @@
 #   tools/bench_record.sh <build-dir> <label> [out.json]
 #
 # Runs the fixed-seed perf workloads (bench/scaling_n with its MCS-at-scale
-# section, bench/micro_core, and timed rfidsched_cli MCS runs at n = 2000)
-# and merges the wall-clock numbers plus the sched.*/core.* work counters
-# into <out.json> (default BENCH_PR4.json) under <label>.  When the binary
+# section, bench/micro_core, timed rfidsched_cli MCS runs at n = 2000, and —
+# when the daemon tools are built — the rfidsched_load service saturation
+# bench: a closed-loop capacity probe plus a 0.5x/1x/2x open-loop sweep
+# recording req/s, p50/p99 latency, and shed counts under the soak fault
+# plan) and merges the wall-clock numbers plus the sched.*/core.*/svc.* work
+# counters into <out.json> (default BENCH_PR4.json) under <label>.  When the binary
 # supports --cost, the deterministic cost-attribution counters (total work
 # units plus the full per-field bill) ride along under "cost" — these are
 # what tools/bench_compare.py gates on, since they cannot jitter.  Run it
@@ -63,6 +66,20 @@ cli_run default
 cli_run reference --ref-eval
 cli_run single_thread --threads 1
 
+# Service saturation point (PR7): closed-loop capacity probe plus the
+# 0.5x/1x/2x open-loop sweep (req/s vs p50/p99 latency and shed rate),
+# under the soak fault plan.  Skipped when the binary predates the daemon.
+LOAD="$BUILD_DIR/tools/rfidsched_load"
+if [ -x "$LOAD" ]; then
+  echo "== service bench (closed-loop probe + saturation sweep) =="
+  "$LOAD" --mode bench --requests 32 --concurrency 8 --workers 2 --queue 16 \
+    --readers 30 --tags 600 --side 80 --seed 11 --duration-s 2 \
+    --fault "$(dirname "$0")/soak_fault.plan" > "$TMP/service.json"
+  python3 -m json.tool "$TMP/service.json" > /dev/null
+else
+  echo "== service bench: rfidsched_load not built, skipped =="
+fi
+
 python3 - "$TMP" "$LABEL" "$OUT" <<'EOF'
 import json, re, sys, os
 tmp, label, out = sys.argv[1], sys.argv[2], sys.argv[3]
@@ -111,6 +128,10 @@ for line in open(os.path.join(tmp, "cli_times.txt")):
                 "slots": len(cost.get("slots", [])),
             }
     entry["cli_mcs_n2000"][mode] = run
+
+spath = os.path.join(tmp, "service.json")
+if os.path.exists(spath):
+    entry["service"] = json.load(open(spath))
 
 doc = {}
 if os.path.exists(out):

@@ -60,8 +60,11 @@
 // Exit codes:
 //   0  success
 //   2  bad usage / bad configuration (the offending flag is named)
-//   3  run interrupted by --deadline-ms / --max-slots (result still valid
-//      and, with --checkpoint, resumable)
+//   3  run interrupted by --deadline-ms / --max-slots — or by SIGTERM/SIGINT,
+//      which ride the same cooperative-cancel path: the driver stops at the
+//      next slot boundary, telemetry flushes, and the journal (with
+//      --checkpoint) is left resumable instead of torn mid-write
+//      (result still valid and, with --checkpoint, resumable)
 //   4  checkpoint integrity failure (corrupt journal, identity mismatch,
 //      replay divergence, journal write error)
 //   5  invariant violation detected by --check
@@ -90,6 +93,7 @@
 #include "sched/hill_climbing.h"
 #include "sched/mcs.h"
 #include "sched/ptas.h"
+#include "service/signals.h"
 #include "workload/io.h"
 #include "workload/scenario.h"
 
@@ -350,6 +354,16 @@ int main(int argc, char** argv) {
   scheduler->attachTrace(trace);
   scheduler->attachCost(cost);
 
+  // Signal hardening: SIGTERM/SIGINT cancel this token from the handler, so
+  // a kill rides the same cooperative-cancel path as an expiring budget —
+  // the driver stops at the next slot boundary (schedulers bail at their
+  // next poll), the journal stays whole, and every telemetry sink flushes
+  // before the exit-3 return.  An unfired token is behavior-identical to no
+  // token at all, so goldens and equivalence checks are unaffected.
+  ckpt::RunBudget budget;
+  service::installStopSignalHandlers(&budget.token());
+  scheduler->attachCancel(&budget.token());
+
   // Fault injection: the plan drives the MCS referee, the channel model
   // makes any distributed scheduler's control plane lossy and crash-prone.
   fault::FaultPlan fault_plan;
@@ -491,15 +505,13 @@ int main(int argc, char** argv) {
       mcs_opt.channel = channel.get();
     }
     if (cli.check) mcs_opt.validator = &validator;
-    ckpt::RunBudget budget;
     if (cli.deadline_ms >= 0) {
       budget.setDeadline(std::chrono::milliseconds(cli.deadline_ms));
     }
     if (cli.max_slots > 0) budget.setSlotCap(cli.max_slots);
-    if (budget.armed()) {
-      mcs_opt.budget = &budget;
-      scheduler->attachCancel(&budget.token());
-    }
+    // Always attached: the budget also carries the signal-cancel token, and
+    // an unarmed, unfired budget never changes the driver's behavior.
+    mcs_opt.budget = &budget;
     ckpt::CheckpointSetup setup;
     setup.path = cli.ckpt_path;
     setup.resume = cli.resume;
@@ -522,7 +534,9 @@ int main(int argc, char** argv) {
                    (res.stop == sched::McsStop::kCheckFailed || !validator.ok());
     if (res.interrupted) {
       interrupted = true;
-      std::cerr << "run interrupted (" << sched::mcsStopName(res.stop)
+      std::cerr << "run interrupted ("
+                << (service::stopSignal() != 0 ? "signal"
+                                               : sched::mcsStopName(res.stop))
                 << ") after " << res.slots << " committed slots";
       if (!cli.ckpt_path.empty()) std::cerr << "; resume with --resume";
       std::cerr << "\n";
@@ -563,5 +577,8 @@ int main(int argc, char** argv) {
     std::cerr << "check: ok (" << validator.slotsChecked()
               << " slots validated)\n";
   }
-  return interrupted ? 3 : 0;
+  // A signal that landed too late to interrupt the run (or mid-oneshot,
+  // where the scheduler returned its best-so-far set) still reports the
+  // interrupted exit so wrappers can tell a kill from a clean finish.
+  return interrupted || service::stopSignal() != 0 ? 3 : 0;
 }

@@ -1,0 +1,296 @@
+// rfidsched_serve — the multi-tenant scheduler daemon (docs/service.md).
+//
+//   rfidsched_serve [--workers N] [--queue N] [--shed newest|largest]
+//                   [--stall-ms N] [--watchdog-ms N] [--retries N]
+//                   [--backoff-ms N] [--backoff-cap-ms N]
+//                   [--ckpt-dir DIR] [--snapshot-every N]
+//                   [--fault PATH] [--drain-ms N] [--threads N]
+//                   [--metrics PATH] [--prom PATH] [--trace PATH]
+//                   [--jsonl PATH] [--mask-wall]
+//                   [--requests PATH]
+//
+// Reads request specs (the line protocol in docs/service.md) from
+// --requests PATH or stdin, runs them on a fixed worker pool with admission
+// control, watchdog supervision, and retries, and writes one JSON response
+// line per request to stdout in *completion* order.  Parse and admission
+// rejections are responses too — every request gets exactly one line.
+//
+// SIGTERM/SIGINT start a graceful drain: admission closes, queued requests
+// bounce with code "draining", in-flight requests get --drain-ms to finish
+// or checkpoint (resumable PR3 journals under --ckpt-dir), telemetry
+// flushes, and the daemon exits 6 (clean) or 7 (a worker had to be
+// abandoned).  EOF on the request stream waits for all submitted work,
+// drains, flushes, and exits 0.
+//
+// --fault applies a service-wide fault plan to every request that does not
+// carry its own inline plan.  --mask-wall zeroes the wall-clock fields of
+// every response so output is byte-diffable across runs.
+//
+// Exit codes: 0 EOF + clean drain; 2 bad usage; 6 signal + clean drain;
+//             7 unclean drain (hung workers).
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/budget.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/request.h"
+#include "service/service.h"
+#include "service/signals.h"
+
+namespace {
+
+struct Args {
+  int workers = 2;
+  int queue = 16;
+  std::string shed = "newest";
+  int stall_ms = 500;
+  int watchdog_ms = 5;
+  int retries = 1;
+  int backoff_ms = 5;
+  int backoff_cap_ms = 100;
+  std::string ckpt_dir;
+  int snapshot_every = 16;
+  std::string fault_path;
+  int drain_ms = 2000;
+  int threads = 1;
+  std::string metrics_path;
+  std::string prom_path;
+  std::string trace_path;
+  std::string jsonl_path;
+  bool mask_wall = false;
+  std::string requests_path;  // empty = stdin
+};
+
+void usage() {
+  std::cerr <<
+      "usage: rfidsched_serve [--workers N] [--queue N]\n"
+      "                       [--shed newest|largest] [--stall-ms N]\n"
+      "                       [--watchdog-ms N] [--retries N]\n"
+      "                       [--backoff-ms N] [--backoff-cap-ms N]\n"
+      "                       [--ckpt-dir DIR] [--snapshot-every N]\n"
+      "                       [--fault PATH] [--drain-ms N] [--threads N]\n"
+      "                       [--metrics PATH] [--prom PATH] [--trace PATH]\n"
+      "                       [--jsonl PATH] [--mask-wall] [--requests PATH]\n"
+      "\n"
+      "Reads request specs (docs/service.md) from --requests or stdin and\n"
+      "writes one JSON response per line to stdout in completion order.\n"
+      "SIGTERM/SIGINT drain gracefully.\n"
+      "\n"
+      "exit codes: 0 EOF + clean drain; 2 bad usage; 6 signal + clean\n"
+      "            drain; 7 unclean drain (hung workers)\n";
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (f == "--workers" && (v = next())) a.workers = std::atoi(v);
+    else if (f == "--queue" && (v = next())) a.queue = std::atoi(v);
+    else if (f == "--shed" && (v = next())) a.shed = v;
+    else if (f == "--stall-ms" && (v = next())) a.stall_ms = std::atoi(v);
+    else if (f == "--watchdog-ms" && (v = next())) a.watchdog_ms = std::atoi(v);
+    else if (f == "--retries" && (v = next())) a.retries = std::atoi(v);
+    else if (f == "--backoff-ms" && (v = next())) a.backoff_ms = std::atoi(v);
+    else if (f == "--backoff-cap-ms" && (v = next())) a.backoff_cap_ms = std::atoi(v);
+    else if (f == "--ckpt-dir" && (v = next())) a.ckpt_dir = v;
+    else if (f == "--snapshot-every" && (v = next())) a.snapshot_every = std::atoi(v);
+    else if (f == "--fault" && (v = next())) a.fault_path = v;
+    else if (f == "--drain-ms" && (v = next())) a.drain_ms = std::atoi(v);
+    else if (f == "--threads" && (v = next())) a.threads = std::atoi(v);
+    else if (f == "--metrics" && (v = next())) a.metrics_path = v;
+    else if (f == "--prom" && (v = next())) a.prom_path = v;
+    else if (f == "--trace" && (v = next())) a.trace_path = v;
+    else if (f == "--jsonl" && (v = next())) a.jsonl_path = v;
+    else if (f == "--mask-wall") a.mask_wall = true;
+    else if (f == "--requests" && (v = next())) a.requests_path = v;
+    else {
+      std::cerr << "unknown or valueless option: " << f << "\n";
+      return false;
+    }
+  }
+  const auto reject = [](const char* flag, const char* why) {
+    std::cerr << "invalid value for " << flag << ": " << why << "\n";
+    return false;
+  };
+  if (a.workers < 1 || a.workers > 256) return reject("--workers", "need 1..256");
+  if (a.queue < 1 || a.queue > 100000) return reject("--queue", "need 1..100000");
+  if (a.shed != "newest" && a.shed != "largest") {
+    return reject("--shed", "need newest|largest");
+  }
+  if (a.watchdog_ms < 1) return reject("--watchdog-ms", "must be >= 1");
+  if (a.retries < 0 || a.retries > rfid::service::kMaxRetries) {
+    return reject("--retries", "need 0..10");
+  }
+  if (a.backoff_ms < 1) return reject("--backoff-ms", "must be >= 1");
+  if (a.drain_ms < 0) return reject("--drain-ms", "must be >= 0");
+  if (a.threads < 0) return reject("--threads", "must be >= 0");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  Args args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream req_file;
+  std::istream* in = &std::cin;
+  if (!args.requests_path.empty()) {
+    req_file.open(args.requests_path);
+    if (!req_file) {
+      std::cerr << "failed to open --requests " << args.requests_path << "\n";
+      return 2;
+    }
+    in = &req_file;
+  }
+
+  fault::FaultPlan default_plan;
+  if (!args.fault_path.empty()) {
+    std::string err;
+    auto loaded = fault::FaultPlan::loadFile(args.fault_path, &err);
+    if (!loaded) {
+      std::cerr << "failed to load fault plan from " << args.fault_path << ": "
+                << err << "\n";
+      return 2;
+    }
+    default_plan = std::move(*loaded);
+  }
+
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink;
+  obs::MetricsRegistry* metrics =
+      args.metrics_path.empty() && args.prom_path.empty() ? nullptr : &registry;
+  obs::TraceSink* trace =
+      args.trace_path.empty() && args.jsonl_path.empty() ? nullptr : &sink;
+
+  service::ServiceOptions opt;
+  opt.workers = args.workers;
+  opt.queue_capacity = static_cast<std::size_t>(args.queue);
+  opt.shed = args.shed == "largest" ? service::ShedPolicy::kRejectLargest
+                                    : service::ShedPolicy::kRejectNewest;
+  opt.watchdog_period_ms = args.watchdog_ms;
+  opt.stall_window_ms = args.stall_ms;
+  opt.default_retries = args.retries;
+  opt.backoff_base_ms = args.backoff_ms;
+  opt.backoff_cap_ms = args.backoff_cap_ms;
+  opt.checkpoint_dir = args.ckpt_dir;
+  opt.snapshot_every = args.snapshot_every;
+  opt.default_faults = default_plan.empty() ? nullptr : &default_plan;
+  opt.metrics = metrics;
+  opt.trace = trace;
+  opt.solver_threads = args.threads;
+  opt.mask_wall = args.mask_wall;
+
+  service::Service svc(opt);
+  svc.start();
+
+  // The signal handler cancels this token directly (lock-free) so that
+  // in-flight solves start checkpointing before the read loop's next EINTR.
+  ckpt::CancelToken stop_token;
+  service::installStopSignalHandlers(&stop_token);
+
+  // Responses complete on worker threads; serialize the output stream.
+  std::mutex out_mu;
+  const bool mask_wall = args.mask_wall;
+  const auto respond = [&](const service::Response& r) {
+    std::lock_guard<std::mutex> lk(out_mu);
+    r.writeJson(std::cout, mask_wall);
+    std::cout << '\n' << std::flush;
+  };
+
+  // Session pump: parse → submit → hand each ticket to a detached waiter
+  // that prints the response on completion.  Tickets are shared_ptrs, so a
+  // waiter outliving the Job is fine; drain guarantees every ticket
+  // completes, so every waiter terminates.
+  std::vector<std::thread> waiters;
+  service::RequestStreamParser parser(*in);
+  bool eof = false;
+  while (!eof && service::stopSignal() == 0) {
+    service::RequestSpec spec;
+    service::Response err;
+    switch (parser.next(&spec, &err)) {
+      case service::RequestStreamParser::Item::kEof:
+        eof = true;
+        break;
+      case service::RequestStreamParser::Item::kError:
+        if (metrics != nullptr) {
+          metrics->counter("svc.parse_errors").add(1);
+        }
+        respond(err);
+        break;
+      case service::RequestStreamParser::Item::kRequest: {
+        service::Response reject;
+        auto ticket = svc.submit(std::move(spec), &reject);
+        if (ticket == nullptr) {
+          respond(reject);
+          break;
+        }
+        waiters.emplace_back([ticket, &respond] { respond(ticket->wait()); });
+        break;
+      }
+    }
+  }
+
+  const int sig = service::stopSignal();
+  if (sig == 0) {
+    // EOF: let everything submitted resolve before draining.
+    svc.waitIdle([] { return service::stopSignal() != 0; });
+  }
+
+  const service::DrainReport rep = svc.drain(args.drain_ms);
+
+  std::cerr << "drain: bounced=" << rep.bounced
+            << " completed=" << rep.completed
+            << " checkpointed=" << rep.checkpointed
+            << " cancelled=" << rep.cancelled << " hung=" << rep.hung_workers
+            << (rep.clean() ? " (clean)" : " (UNCLEAN)") << "\n";
+
+  // A hung worker never completes its ticket, so its waiter thread can
+  // never be joined — flush telemetry first and exit hard in that case.
+  if (rep.clean()) {
+    for (std::thread& t : waiters) t.join();
+  }
+
+  bool flush_ok = true;
+  if (!args.metrics_path.empty() &&
+      !registry.writeJsonFile(args.metrics_path)) {
+    std::cerr << "failed to write metrics to " << args.metrics_path << "\n";
+    flush_ok = false;
+  }
+  if (!args.prom_path.empty() &&
+      !registry.writePrometheusFile(args.prom_path)) {
+    std::cerr << "failed to write prometheus text to " << args.prom_path
+              << "\n";
+    flush_ok = false;
+  }
+  if (!args.trace_path.empty() && !sink.writeChromeTraceFile(args.trace_path)) {
+    std::cerr << "failed to write trace to " << args.trace_path << "\n";
+    flush_ok = false;
+  }
+  if (!args.jsonl_path.empty() && !sink.writeJsonlFile(args.jsonl_path)) {
+    std::cerr << "failed to write jsonl to " << args.jsonl_path << "\n";
+    flush_ok = false;
+  }
+
+  if (!rep.clean()) {
+    std::cout.flush();
+    std::_Exit(7);  // un-joinable waiters: skip destructors, evidence is out
+  }
+  if (!flush_ok) return 2;
+  return sig != 0 ? 6 : 0;
+}

@@ -1,0 +1,103 @@
+#!/bin/sh
+# service_soak.sh — soak the scheduler daemon under chaos, then SIGTERM it
+# mid-flight and require a clean graceful drain.
+#
+#   tools/service_soak.sh <build-dir> [seconds]
+#
+# Starts rfidsched_serve with the soak fault plan, stall watchdog, retries,
+# and checkpointing enabled, then feeds it a continuous request stream
+# through a fifo: every batch carries one request that wedges its first
+# attempt (watchdog bait), mild pacing, and a fresh seed.  Batch ids repeat
+# on purpose, so journals left by cancelled requests get resumed against a
+# *different* deployment — exercising the integrity fail-closed + retry
+# path on top of the stall path.  Halfway through the soak window the
+# daemon gets SIGTERM.
+#
+# Assertions:
+#   * the daemon exits 6 (signal + clean drain) — 7 would mean a worker
+#     hung past the drain deadline;
+#   * the drain report says hung=0 and (clean);
+#   * every response line is valid JSON (one response per request, even
+#     under parse errors, shedding, and the mid-stream kill).
+#
+# Exit codes: 0 soak passed; 1 an assertion failed; 2 bad usage.
+set -eu
+
+BUILD_DIR=${1:?usage: service_soak.sh <build-dir> [seconds]}
+DUR=${2:-60}
+SERVE="$BUILD_DIR/tools/rfidsched_serve"
+LOAD="$BUILD_DIR/tools/rfidsched_load"
+PLAN="$(dirname "$0")/soak_fault.plan"
+[ -x "$SERVE" ] || { echo "missing $SERVE (build rfidsched_serve)"; exit 2; }
+[ -x "$LOAD" ] || { echo "missing $LOAD (build rfidsched_load)"; exit 2; }
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+FIFO="$TMP/req.fifo"
+mkfifo "$FIFO"
+mkdir -p "$TMP/ckpt"
+
+"$SERVE" --workers 2 --queue 8 --stall-ms 250 --watchdog-ms 5 --retries 2 \
+  --fault "$PLAN" --ckpt-dir "$TMP/ckpt" --snapshot-every 4 \
+  --drain-ms 3000 --mask-wall --metrics "$TMP/metrics.json" \
+  --prom "$TMP/metrics.prom" \
+  < "$FIFO" > "$TMP/resp.jsonl" 2> "$TMP/serve.err" &
+SERVE_PID=$!
+
+# Hold the fifo's write end open for the whole soak so EOF never races the
+# feeder, then pump request batches into it until the window closes.
+exec 9> "$FIFO"
+(
+  end=$(( $(date +%s) + DUR ))
+  i=0
+  while [ "$(date +%s)" -lt "$end" ]; do
+    "$LOAD" --mode emit --requests 3 --readers 20 --tags 300 --side 60 \
+      --seed "$i" --hang-first 5000 --pace-ms 2 || break
+    i=$((i + 1))
+    sleep 1
+  done >&9
+) &
+FEED_PID=$!
+
+sleep $(( DUR / 2 ))
+echo "soak: sending SIGTERM to the daemon after $(( DUR / 2 ))s"
+kill -TERM "$SERVE_PID"
+
+rc=0
+wait "$SERVE_PID" || rc=$?
+kill "$FEED_PID" 2> /dev/null || true
+wait "$FEED_PID" 2> /dev/null || true
+exec 9>&-
+
+echo "soak: daemon exited $rc"
+cat "$TMP/serve.err"
+
+fail=0
+if [ "$rc" -ne 6 ]; then
+  echo "FAIL: expected exit 6 (signal + clean drain), got $rc"
+  fail=1
+fi
+if ! grep -q "hung=0" "$TMP/serve.err"; then
+  echo "FAIL: drain report does not say hung=0"
+  fail=1
+fi
+if ! grep -q "(clean)" "$TMP/serve.err"; then
+  echo "FAIL: drain report is not clean"
+  fail=1
+fi
+responses=0
+while IFS= read -r line; do
+  [ -n "$line" ] || continue
+  if ! printf '%s' "$line" | python3 -m json.tool > /dev/null 2>&1; then
+    echo "FAIL: malformed response line: $line"
+    fail=1
+  fi
+  responses=$((responses + 1))
+done < "$TMP/resp.jsonl"
+echo "soak: $responses response lines, all JSON-valid"
+if [ "$responses" -lt 1 ]; then
+  echo "FAIL: the daemon produced no responses"
+  fail=1
+fi
+[ "$fail" -eq 0 ] && echo "soak: PASS" || echo "soak: FAIL"
+exit "$fail"
