@@ -1,0 +1,113 @@
+#include "check/index_oracle.h"
+
+#include <string>
+
+namespace rfid::check {
+
+IncrementalIndexOracle::IncrementalIndexOracle(IndexOracleOptions opt)
+    : opt_(opt) {
+  if (opt_.metrics != nullptr) {
+    c_checks_ = &opt_.metrics->counter("check.index_checks");
+    c_divergences_ = &opt_.metrics->counter("check.index_divergence");
+    c_heals_ = &opt_.metrics->counter("check.index_heals");
+  }
+}
+
+std::uint64_t IncrementalIndexOracle::expectedFingerprint(
+    const core::System& sys) const {
+  const int n = sys.numReaders();
+  const int m = sys.numTags();
+  // Rebuild both CSR directions from positions and radii alone — a plain
+  // O(n·m) distance scan sharing nothing with the incremental splices or
+  // the spatial grid, so a bug in either cannot hide here.  Departed tags
+  // get empty rows, mirroring removeTag's contract.
+  std::vector<int> covr_off(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<int> covr_idx;
+  for (int t = 0; t < m; ++t) {
+    if (!sys.departed(t)) {
+      const geom::Vec2 p = sys.tag(t).pos;
+      for (int v = 0; v < n; ++v) {
+        const core::Reader& r = sys.reader(v);
+        const double g = r.interrogation_radius;
+        if (geom::dist2(p, r.pos) <= g * g) covr_idx.push_back(v);
+      }
+    }
+    covr_off[static_cast<std::size_t>(t) + 1] =
+        static_cast<int>(covr_idx.size());
+  }
+  // Transpose: walking tags ascending appends each tag to its coverers'
+  // rows in ascending order, so the cov rows come out sorted for free.
+  std::vector<int> cov_off(static_cast<std::size_t>(n) + 1, 0);
+  for (const int v : covr_idx) ++cov_off[static_cast<std::size_t>(v) + 1];
+  for (int v = 0; v < n; ++v) {
+    cov_off[static_cast<std::size_t>(v) + 1] +=
+        cov_off[static_cast<std::size_t>(v)];
+  }
+  std::vector<int> cov_idx(covr_idx.size());
+  std::vector<int> cursor(cov_off.begin(), cov_off.end() - 1);
+  for (int t = 0; t < m; ++t) {
+    const auto lo = static_cast<std::size_t>(covr_off[static_cast<std::size_t>(t)]);
+    const auto hi = static_cast<std::size_t>(covr_off[static_cast<std::size_t>(t) + 1]);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const int v = covr_idx[i];
+      cov_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = t;
+    }
+  }
+  return core::System::fingerprintArrays(cov_off, cov_idx, covr_off, covr_idx);
+}
+
+IndexVerdict IncrementalIndexOracle::checkSlot(core::System& sys, int slot) {
+  if (!opt_.paranoid) {
+    if (opt_.every_epochs <= 0) return IndexVerdict::kSkipped;
+    const std::uint64_t delta = sys.structuralEpoch() - verified_epoch_;
+    if (delta < static_cast<std::uint64_t>(opt_.every_epochs)) {
+      return IndexVerdict::kSkipped;
+    }
+  }
+  return verify(sys, slot);
+}
+
+IndexVerdict IncrementalIndexOracle::verify(core::System& sys, int slot) {
+  ++checks_;
+  if (c_checks_ != nullptr) c_checks_->add(1);
+  const std::uint64_t expected = expectedFingerprint(sys);
+  const std::uint64_t live = sys.indexFingerprint();
+  if (live == expected) {
+    verified_epoch_ = sys.structuralEpoch();
+    return IndexVerdict::kOk;
+  }
+  // Divergence: the incremental path produced an index raw geometry
+  // disagrees with.  Fail it closed — from here on every call verifies.
+  ++divergences_;
+  if (c_divergences_ != nullptr) c_divergences_->add(1);
+  opt_.paranoid = true;
+  issues_.push_back(
+      {slot, "index.divergence",
+       "incremental CSR index fingerprint " + std::to_string(live) +
+           " != geometry rebuild " + std::to_string(expected) + " at epoch " +
+           std::to_string(sys.structuralEpoch())});
+  if (opt_.trace != nullptr) {
+    opt_.trace->instant(obs::EventKind::kFault, "check.index_divergence",
+                        {{"slot", static_cast<double>(slot)},
+                         {"epoch", static_cast<double>(sys.structuralEpoch())}});
+  }
+  if (!opt_.self_heal) return IndexVerdict::kCorrupt;
+  sys.rebuildIndex();
+  if (sys.indexFingerprint() == expected) {
+    ++heals_;
+    if (c_heals_ != nullptr) c_heals_->add(1);
+    verified_epoch_ = sys.structuralEpoch();
+    if (opt_.trace != nullptr) {
+      opt_.trace->instant(obs::EventKind::kFault, "check.index_heal",
+                          {{"slot", static_cast<double>(slot)}});
+    }
+    return IndexVerdict::kHealed;
+  }
+  // Even a from-scratch rebuild disagrees with the naive scan: the two
+  // geometry readings themselves are inconsistent.  Nothing to heal with.
+  issues_.push_back({slot, "index.heal-failed",
+                     "rebuilt index still disagrees with the geometry scan"});
+  return IndexVerdict::kCorrupt;
+}
+
+}  // namespace rfid::check

@@ -25,9 +25,18 @@ System::System(std::vector<Reader> readers, std::vector<Tag> tags)
   }
   for (std::size_t i = 0; i < tags_.size(); ++i) tags_[i].id = static_cast<int>(i);
 
+  departed_.assign(tags_.size(), 0);
+  buildIndex();
+
+  read_.assign(tags_.size(), 0);
+  initScratch(scratch_);
+}
+
+void System::buildIndex() {
   // Index tags once; coverage queries are disk queries around readers.
   double max_gamma = 1.0;
   for (const Reader& r : readers_) max_gamma = std::max(max_gamma, r.interrogation_radius);
+  max_gamma_ = max_gamma;
   std::vector<geom::Vec2> tag_pos;
   tag_pos.reserve(tags_.size());
   for (const Tag& t : tags_) tag_pos.push_back(t.pos);
@@ -38,12 +47,23 @@ System::System(std::vector<Reader> readers, std::vector<Tag> tags)
   // ascending reader order, matching the per-list sort queryDisk provides
   // for tags.
   cov_off_.assign(readers_.size() + 1, 0);
+  cov_idx_.clear();
   for (std::size_t v = 0; v < readers_.size(); ++v) {
     // queryDisk appends (and sorts the appended tail), so the flat index
-    // array is produced directly, one reader after another.
+    // array is produced directly, one reader after another.  Departed tags
+    // still sit in the grid at their last position; drop them from the
+    // appended tail (stable, preserving ascending order).
+    const std::size_t before = cov_idx_.size();
     tag_index.queryDisk(readers_[v].pos, readers_[v].interrogation_radius,
                         cov_idx_);
     ++grid_queries_;
+    std::size_t w = before;
+    for (std::size_t r = before; r < cov_idx_.size(); ++r) {
+      if (departed_[static_cast<std::size_t>(cov_idx_[r])] == 0) {
+        cov_idx_[w++] = cov_idx_[r];
+      }
+    }
+    cov_idx_.resize(w);
     cov_off_[v + 1] = static_cast<int>(cov_idx_.size());
   }
 
@@ -58,9 +78,6 @@ System::System(std::vector<Reader> readers, std::vector<Tag> tags)
           static_cast<int>(v);
     }
   }
-
-  read_.assign(tags_.size(), 0);
-  initScratch(scratch_);
 }
 
 void System::initScratch(WeightScratch& scratch) const {
@@ -191,6 +208,248 @@ int System::singleWeight(int v) const {
   int w = 0;
   for (const int t : coverage(v)) w += (read_[static_cast<std::size_t>(t)] == 0);
   return w;
+}
+
+void System::coveringReaders(geom::Vec2 pos, std::vector<int>& out) {
+  if (reader_index_ == nullptr) {
+    std::vector<geom::Vec2> reader_pos;
+    reader_pos.reserve(readers_.size());
+    for (const Reader& r : readers_) reader_pos.push_back(r.pos);
+    reader_index_ = std::make_shared<geom::SpatialGrid>(reader_pos, max_gamma_);
+  }
+  // One disk query at the maximum interrogation radius, then the per-reader
+  // radius filter: the grid answers "who could possibly cover pos", the
+  // filter answers "who does".
+  out.clear();
+  reader_index_->queryDisk(pos, max_gamma_, out);
+  ++grid_queries_;
+  std::size_t w = 0;
+  for (const int v : out) {
+    const Reader& r = readers_[static_cast<std::size_t>(v)];
+    const double g = r.interrogation_radius;
+    if (geom::dist2(pos, r.pos) <= g * g) out[w++] = v;
+  }
+  out.resize(w);
+}
+
+void System::covInsert(std::span<const int> readers, int t) {
+  if (readers.empty()) return;
+  // Multi-insert in one backward pass: find each row's insertion point
+  // (rows are ascending in tag index), shift the tail segments right once.
+  const std::size_t k = readers.size();
+  const std::size_t old_size = cov_idx_.size();
+  cov_idx_.resize(old_size + k);
+  std::size_t read_end = old_size;            // exclusive end of unmoved data
+  std::size_t write = cov_idx_.size();        // exclusive end of write window
+  for (std::size_t i = k; i-- > 0;) {
+    const int v = readers[i];
+    const auto row_lo = cov_idx_.begin() + cov_off_[static_cast<std::size_t>(v)];
+    const auto row_hi = cov_idx_.begin() + cov_off_[static_cast<std::size_t>(v) + 1];
+    const std::size_t ins = static_cast<std::size_t>(
+        std::lower_bound(row_lo, row_hi, t) - cov_idx_.begin());
+    std::copy_backward(cov_idx_.begin() + static_cast<std::ptrdiff_t>(ins),
+                       cov_idx_.begin() + static_cast<std::ptrdiff_t>(read_end),
+                       cov_idx_.begin() + static_cast<std::ptrdiff_t>(write));
+    write -= read_end - ins;
+    cov_idx_[--write] = t;
+    read_end = ins;
+  }
+  // Offset fixup: rows at or after reader v gained the insertions in rows
+  // <= v.  One O(n + k) sweep (readers is ascending and duplicate-free).
+  std::size_t ci = 0;
+  int shift = 0;
+  for (std::size_t v = 0; v < readers_.size(); ++v) {
+    if (ci < k && readers[ci] == static_cast<int>(v)) {
+      ++shift;
+      ++ci;
+    }
+    cov_off_[v + 1] += shift;
+  }
+}
+
+void System::covErase(std::span<const int> readers, int t) {
+  if (readers.empty()) return;
+  // Mirror of covInsert: one forward compaction pass over the tail.
+  const std::size_t k = readers.size();
+  std::size_t write = 0;
+  std::size_t src = 0;
+  bool first = true;
+  for (const int v : readers) {
+    const auto row_lo = cov_idx_.begin() + cov_off_[static_cast<std::size_t>(v)];
+    const auto row_hi = cov_idx_.begin() + cov_off_[static_cast<std::size_t>(v) + 1];
+    const auto it = std::lower_bound(row_lo, row_hi, t);
+    assert(it != row_hi && *it == t && "cov row must contain the tag");
+    const std::size_t pos = static_cast<std::size_t>(it - cov_idx_.begin());
+    if (first) {
+      write = pos;
+      src = pos + 1;
+      first = false;
+      continue;
+    }
+    std::copy(cov_idx_.begin() + static_cast<std::ptrdiff_t>(src),
+              cov_idx_.begin() + static_cast<std::ptrdiff_t>(pos),
+              cov_idx_.begin() + static_cast<std::ptrdiff_t>(write));
+    write += pos - src;
+    src = pos + 1;
+  }
+  std::copy(cov_idx_.begin() + static_cast<std::ptrdiff_t>(src), cov_idx_.end(),
+            cov_idx_.begin() + static_cast<std::ptrdiff_t>(write));
+  cov_idx_.resize(cov_idx_.size() - k);
+  std::size_t ci = 0;
+  int shift = 0;
+  for (std::size_t v = 0; v < readers_.size(); ++v) {
+    if (ci < k && readers[ci] == static_cast<int>(v)) {
+      ++shift;
+      ++ci;
+    }
+    cov_off_[v + 1] -= shift;
+  }
+}
+
+void System::covrReplace(int t, std::span<const int> readers) {
+  const std::size_t lo = static_cast<std::size_t>(covr_off_[static_cast<std::size_t>(t)]);
+  const std::size_t hi = static_cast<std::size_t>(covr_off_[static_cast<std::size_t>(t) + 1]);
+  const std::ptrdiff_t delta =
+      static_cast<std::ptrdiff_t>(readers.size()) - static_cast<std::ptrdiff_t>(hi - lo);
+  if (delta > 0) {
+    covr_idx_.insert(covr_idx_.begin() + static_cast<std::ptrdiff_t>(hi),
+                     static_cast<std::size_t>(delta), 0);
+  } else if (delta < 0) {
+    covr_idx_.erase(covr_idx_.begin() + static_cast<std::ptrdiff_t>(hi) + delta,
+                    covr_idx_.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  std::copy(readers.begin(), readers.end(),
+            covr_idx_.begin() + static_cast<std::ptrdiff_t>(lo));
+  if (delta != 0) {
+    for (std::size_t u = static_cast<std::size_t>(t) + 1; u < covr_off_.size(); ++u) {
+      covr_off_[u] += static_cast<int>(delta);
+    }
+  }
+}
+
+void System::logDirty(std::span<const int> readers) {
+  // Bounded window: once the log outgrows the cap, drop the whole window
+  // and advance the base so every cursor behind it falls back to a full
+  // cache rebuild — O(n) once, instead of an unbounded log.
+  constexpr std::size_t kDirtyLogCap = 1 << 14;
+  if (dirty_log_.size() + readers.size() > kDirtyLogCap) {
+    invalidateDirtyLog();
+  }
+  dirty_log_.insert(dirty_log_.end(), readers.begin(), readers.end());
+}
+
+void System::invalidateDirtyLog() {
+  dirty_base_ += static_cast<std::uint64_t>(dirty_log_.size()) + 1;
+  dirty_log_.clear();
+}
+
+int System::addTag(Tag t) {
+  const int idx = numTags();
+  t.id = idx;
+  tags_.push_back(t);
+  read_.push_back(0);
+  departed_.push_back(0);
+  scratch_.count.push_back(0);
+
+  std::vector<int> cs;
+  coveringReaders(t.pos, cs);
+  // covr: the new tag's row is appended at the end of the flat array — the
+  // new index is larger than every existing one.
+  covr_idx_.insert(covr_idx_.end(), cs.begin(), cs.end());
+  covr_off_.push_back(static_cast<int>(covr_idx_.size()));
+  // cov: the new tag index is the largest, so each insertion point is the
+  // row end; covInsert handles the general case anyway.
+  covInsert(cs, idx);
+
+  logDirty(cs);
+  ++structural_epoch_;
+  return idx;
+}
+
+void System::removeTag(int t) {
+  assert(t >= 0 && t < numTags());
+  assert(!departed(t) && "removeTag on a tombstone");
+  const std::span<const int> row = coverers(t);
+  const std::vector<int> cs(row.begin(), row.end());
+  covErase(cs, t);
+  covrReplace(t, {});
+  departed_[static_cast<std::size_t>(t)] = 1;
+  // A departed tag must never be counted or served: render it passive the
+  // same way a served tag is.  The read-state diff in the caches sees the
+  // flip, finds an empty coverers row, and the dirty-log entries below
+  // carry the exact correction.
+  read_[static_cast<std::size_t>(t)] = 1;
+  logDirty(cs);
+  ++structural_epoch_;
+}
+
+void System::moveTag(int t, geom::Vec2 pos) {
+  assert(t >= 0 && t < numTags());
+  assert(!departed(t) && "moveTag on a tombstone");
+  const std::span<const int> row = coverers(t);
+  const std::vector<int> old_cs(row.begin(), row.end());
+  std::vector<int> new_cs;
+  coveringReaders(pos, new_cs);
+  tags_[static_cast<std::size_t>(t)].pos = pos;
+  if (new_cs != old_cs) {
+    covErase(old_cs, t);
+    covInsert(new_cs, t);
+    covrReplace(t, new_cs);
+    logDirty(old_cs);
+    logDirty(new_cs);
+  }
+  ++structural_epoch_;
+}
+
+std::uint64_t System::fingerprintArrays(std::span<const int> cov_off,
+                                        std::span<const int> cov_idx,
+                                        std::span<const int> covr_off,
+                                        std::span<const int> covr_idx) {
+  // FNV-1a over the four arrays' little-endian bytes, with a separator
+  // byte between arrays so length boundaries cannot alias.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::span<const int> a) {
+    for (const int x : a) {
+      const auto u = static_cast<std::uint32_t>(x);
+      for (int s = 0; s < 32; s += 8) {
+        h ^= (u >> s) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    }
+    h ^= 0xffu;
+    h *= 1099511628211ull;
+  };
+  mix(cov_off);
+  mix(cov_idx);
+  mix(covr_off);
+  mix(covr_idx);
+  return h;
+}
+
+std::uint64_t System::indexFingerprint() const {
+  return fingerprintArrays(cov_off_, cov_idx_, covr_off_, covr_idx_);
+}
+
+void System::rebuildIndex() {
+  buildIndex();
+  invalidateDirtyLog();
+}
+
+void System::testOnlyCorruptIndex() {
+  // Swap two differing covr entries: corrupts row contents while keeping
+  // lengths and value ranges intact — exactly the shape of a missed delta.
+  for (std::size_t i = 1; i < covr_idx_.size(); ++i) {
+    if (covr_idx_[i] != covr_idx_[0]) {
+      std::swap(covr_idx_[0], covr_idx_[i]);
+      return;
+    }
+  }
+  for (std::size_t i = 1; i < cov_idx_.size(); ++i) {
+    if (cov_idx_[i] != cov_idx_[0]) {
+      std::swap(cov_idx_[0], cov_idx_[i]);
+      return;
+    }
+  }
 }
 
 void System::attachMetrics(obs::MetricsRegistry* m) {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -149,6 +150,76 @@ class System {
   /// well-covers all of them).  Thread-safe.
   int singleWeight(int v) const;
 
+  // ---- structural churn (streaming mode, docs/streaming.md) ----
+  //
+  // Tags arrive, move, and depart while readers stay fixed.  Each mutation
+  // patches the dual CSR index in place, bumps the structural epoch, and
+  // appends the affected reader rows to a bounded dirty-reader log so the
+  // scheduler-side caches (core/weight.h) can absorb churn through the same
+  // diff mechanism they already use for read-state changes across slots.
+  // None of these are thread-safe; call them only between schedule() calls
+  // (the streaming driver does exactly that).
+
+  /// Appends a new tag (position + EPC; `id` is rewritten to the new index)
+  /// and splices it into both CSR directions.  Returns the tag's index.
+  /// Indices of existing tags never change; departed slots are not reused.
+  int addTag(Tag t);
+
+  /// Removes tag `t` from the field: its CSR entries are spliced out (its
+  /// coverers row becomes empty), it is marked read, and the index becomes
+  /// a tombstone (`departed`).  Safe on read tags; must not be repeated.
+  void removeTag(int t);
+
+  /// Moves tag `t` to `pos`, rewriting its coverage in both CSR directions.
+  /// The read-state is untouched: an unread tag stays unread at the new
+  /// position.  Must not be called on a departed tag.
+  void moveTag(int t, geom::Vec2 pos);
+
+  /// True once removeTag(t) has run: the index is a tombstone with no
+  /// coverage that must never be counted or served again.
+  bool departed(int t) const { return departed_[static_cast<std::size_t>(t)] != 0; }
+
+  /// Monotone counter bumped by every structural mutation (add/remove/move).
+  /// Cache layers key on (instanceId, structuralEpoch) — instanceId alone
+  /// stays constant across in-place mutation.
+  std::uint64_t structuralEpoch() const { return structural_epoch_; }
+
+  /// FNV-1a over the four CSR arrays — the incremental-index identity the
+  /// check::IncrementalIndexOracle compares against a from-scratch rebuild.
+  std::uint64_t indexFingerprint() const;
+
+  /// Shared hash so the oracle can fingerprint its independently rebuilt
+  /// arrays with the exact same byte order.
+  static std::uint64_t fingerprintArrays(std::span<const int> cov_off,
+                                         std::span<const int> cov_idx,
+                                         std::span<const int> covr_off,
+                                         std::span<const int> covr_idx);
+
+  /// Rebuilds both CSR directions from raw geometry (skipping departed
+  /// tags), discarding whatever the incremental path had accumulated — the
+  /// self-heal step after the oracle flags a divergence.  Invalidates every
+  /// dirty-log cursor, so caches do a full rebuild at their next sync.
+  void rebuildIndex();
+
+  // The dirty-reader log: every mutation appends the reader rows it
+  // touched.  A cache remembers dirtyLogEnd() at each sync and processes
+  // dirtyLogFrom(cursor) next time; a cursor behind dirtyLogBase() means
+  // the window was compacted (or the index rebuilt) and the cache must do
+  // a full rebuild.  Entries may repeat; consumers de-duplicate.
+  std::uint64_t dirtyLogBase() const { return dirty_base_; }
+  std::uint64_t dirtyLogEnd() const {
+    return dirty_base_ + static_cast<std::uint64_t>(dirty_log_.size());
+  }
+  /// Valid only for dirtyLogBase() <= cursor <= dirtyLogEnd().
+  std::span<const int> dirtyLogFrom(std::uint64_t cursor) const {
+    const auto skip = static_cast<std::size_t>(cursor - dirty_base_);
+    return {dirty_log_.data() + skip, dirty_log_.size() - skip};
+  }
+
+  /// Test hook: silently corrupts one CSR entry (no epoch bump, no dirty
+  /// log) to simulate an incremental-update bug for the oracle tests.
+  void testOnlyCorruptIndex();
+
   // ---- observability ----
 
   /// Attaches a metrics registry (nullptr detaches).  Flushes the
@@ -167,6 +238,20 @@ class System {
                           std::span<int> count, std::span<char> victim,
                           OnTag&& on_tag) const;
 
+  /// From-scratch CSR construction (constructor and rebuildIndex); skips
+  /// departed tags.
+  void buildIndex();
+  /// Readers covering position `pos`, ascending (lazy reader grid query).
+  void coveringReaders(geom::Vec2 pos, std::vector<int>& out);
+  /// Splices tag `t` into / out of the cov rows of `readers` (ascending).
+  void covInsert(std::span<const int> readers, int t);
+  void covErase(std::span<const int> readers, int t);
+  /// Replaces covr row `t` with `readers` (ascending).
+  void covrReplace(int t, std::span<const int> readers);
+  void logDirty(std::span<const int> readers);
+  /// Forces every dirty-log cursor behind the window (full cache rebuild).
+  void invalidateDirtyLog();
+
   std::vector<Reader> readers_;
   std::vector<Tag> tags_;
   // CSR coverage, both directions.  Offsets have one trailing entry, so
@@ -176,6 +261,16 @@ class System {
   std::vector<int> covr_off_;  // size numTags()+1
   std::vector<int> covr_idx_;  // tag → readers, ascending per tag
   std::vector<char> read_;
+  // Structural-churn state.
+  std::vector<char> departed_;       // tombstones (removeTag)
+  std::uint64_t structural_epoch_ = 0;
+  std::vector<int> dirty_log_;       // reader rows touched by mutations
+  std::uint64_t dirty_base_ = 0;     // log-sequence number of dirty_log_[0]
+  double max_gamma_ = 1.0;           // cell size for the reader grid
+  // Lazy grid over reader positions (readers are static): built on the
+  // first addTag/moveTag, reused for every later coverer query.  Immutable
+  // and self-contained once built, so copies of the System share it.
+  std::shared_ptr<const geom::SpatialGrid> reader_index_;
   // Internal scratch backing the scratch-less evaluation overloads.
   mutable WeightScratch scratch_;
   std::uint64_t instance_id_ = 0;

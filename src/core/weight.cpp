@@ -99,7 +99,9 @@ void WeightEvaluator::clear() {
 void StandaloneWeightCache::sync(const System& sys) {
   const auto n = static_cast<std::size_t>(sys.numReaders());
   const auto m = static_cast<std::size_t>(sys.numTags());
-  if (sys.instanceId() != sys_id_) {
+  if (sys.instanceId() != sys_id_ || dirty_cursor_ < sys.dirtyLogBase()) {
+    // New deployment, or the dirty-log window moved past our cursor
+    // (compaction / rebuildIndex): rebuild from scratch.
     sys_id_ = sys.instanceId();
     standalone_.assign(n, 0);
     shadow_read_.assign(m, 0);
@@ -109,21 +111,43 @@ void StandaloneWeightCache::sync(const System& sys) {
     for (std::size_t t = 0; t < m; ++t) {
       shadow_read_[t] = sys.isRead(static_cast<int>(t)) ? 1 : 0;
     }
+    dirty_cursor_ = sys.dirtyLogEnd();
     ++stats_.full_builds;
     stats_.rows_refreshed += static_cast<std::int64_t>(n);
     return;
   }
-  // Same deployment: adjust only the coverers of tags whose read-state
-  // flipped since the last sync (within the MCS loop, exactly the tags the
-  // previous slot served).
   ++stats_.diff_syncs;
-  for (std::size_t t = 0; t < m; ++t) {
+  // Structural churn first: recompute exactly the rows mutations touched
+  // since the last sync.  Tags appended since then enter the shadow at
+  // their current bit — their coverers are all in the dirty log, so the
+  // rows below absorb them exactly and the shadow must not flag a diff.
+  const std::span<const int> dirty = sys.dirtyLogFrom(dirty_cursor_);
+  dirty_cursor_ = sys.dirtyLogEnd();
+  const std::size_t old_m = shadow_read_.size();
+  for (std::size_t t = old_m; t < m; ++t) {
+    shadow_read_.push_back(sys.isRead(static_cast<int>(t)) ? 1 : 0);
+  }
+  const bool churned = !dirty.empty();
+  if (churned) {
+    dirty_mask_.assign(n, 0);
+    for (const int v : dirty) {
+      if (dirty_mask_[static_cast<std::size_t>(v)] != 0) continue;
+      dirty_mask_[static_cast<std::size_t>(v)] = 1;
+      standalone_[static_cast<std::size_t>(v)] = sys.singleWeight(v);
+      ++stats_.rows_refreshed;
+    }
+  }
+  // Read-state diff: adjust only the coverers of tags whose read-state
+  // flipped since the last sync (within the MCS loop, exactly the tags the
+  // previous slot served) — skipping dirty rows, which are already exact.
+  for (std::size_t t = 0; t < old_m; ++t) {
     const char cur = sys.isRead(static_cast<int>(t)) ? 1 : 0;
     if (cur == shadow_read_[t]) continue;
     shadow_read_[t] = cur;
     ++stats_.rows_refreshed;
     const int by = (cur != 0) ? -1 : 1;
     for (const int u : sys.coverers(static_cast<int>(t))) {
+      if (churned && dirty_mask_[static_cast<std::size_t>(u)] != 0) continue;
       standalone_[static_cast<std::size_t>(u)] += by;
     }
   }

@@ -112,11 +112,19 @@ class WeightEvaluator {
 /// the read-state diff against an internal shadow bitmap and adjust only
 /// the coverers of flipped tags — the MCS meta-loop's cross-slot refresh
 /// touches exactly the readers covering a tag served in the previous slot.
+///
+/// Structural churn (System::addTag/removeTag/moveTag) rides the same diff
+/// mechanism: the cache keeps a cursor into the System's dirty-reader log
+/// and recomputes exactly the rows mutations touched since the last sync,
+/// then runs the ordinary read-diff walk skipping those rows (they are
+/// already exact).  A cursor behind the log window (compaction, or a
+/// rebuildIndex self-heal) falls back to one full build.
 class StandaloneWeightCache {
  public:
   /// Deterministic work accounting across sync() calls: a full build is a
   /// cache miss (n reader rows recomputed), a diff sync is a hit
-  /// (one coverers row refreshed per flipped tag).
+  /// (one coverers row refreshed per flipped tag, plus one row per unique
+  /// dirty-log reader).
   struct Stats {
     std::int64_t full_builds = 0;
     std::int64_t diff_syncs = 0;
@@ -132,8 +140,10 @@ class StandaloneWeightCache {
 
  private:
   std::uint64_t sys_id_ = 0;
+  std::uint64_t dirty_cursor_ = 0;  // System dirty-log position consumed
   std::vector<int> standalone_;
   std::vector<char> shadow_read_;
+  std::vector<char> dirty_mask_;    // per-sync scratch over readers
   Stats stats_;
 };
 

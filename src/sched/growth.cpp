@@ -31,8 +31,12 @@ struct GrowthScheduler::Worker {
 };
 
 void GrowthScheduler::ensureComponents(const core::System& sys) {
-  if (groups_sys_id_ == sys.instanceId()) return;
+  if (groups_sys_id_ == sys.instanceId() &&
+      groups_epoch_ == sys.structuralEpoch()) {
+    return;
+  }
   groups_sys_id_ = sys.instanceId();
+  groups_epoch_ = sys.structuralEpoch();
   const int n = sys.numReaders();
 
   // Union-find over the union of the interference graph and the

@@ -91,8 +91,11 @@ class GrowthScheduler final : public OneShotScheduler {
   const graph::InterferenceGraph* graph_;
   GrowthOptions opt_;
   Stats stats_;
-  // Caches over the static structure, keyed by System::instanceId.
+  // Caches over the static structure, keyed by System::instanceId plus the
+  // structural epoch: tag churn (streaming mode) rewires the shares-a-tag
+  // relation in place, so components must be recut after any mutation.
   std::uint64_t groups_sys_id_ = 0;
+  std::uint64_t groups_epoch_ = 0;
   std::vector<std::vector<int>> groups_;  // ordered by smallest member
   core::StandaloneWeightCache standalone_;
 };

@@ -10,18 +10,15 @@
 
 namespace rfid::sched {
 
-namespace {
-
-/// Unread coverable tags no future slot can serve — waiting for them would
-/// only spin the stall counter.  Three ways a permanent (never-recovering)
-/// failure orphans a tag at `slot`:
+/// Waiting for an orphaned tag would only spin the stall counter.  Three
+/// ways a permanent (never-recovering) failure orphans a tag at `slot`:
 ///   1. every coverer is permanently dead;
 ///   2. the tag sits in a permanently-loud reader's interrogation disk, so
 ///      its coverage multiplicity is >= 2 in every future slot (RRc);
 ///   3. every coverer not permanently dead sits inside a permanently-loud
 ///      reader's interference disk, i.e. is an RTc victim forever.
-int countOrphans(const core::System& sys, const fault::FaultPlan& plan,
-                 int slot) {
+int countMcsOrphans(const core::System& sys, const fault::FaultPlan& plan,
+                    int slot) {
   std::vector<char> jammed_tag(static_cast<std::size_t>(sys.numTags()), 0);
   std::vector<char> victim(static_cast<std::size_t>(sys.numReaders()), 0);
   for (int j = 0; j < sys.numReaders(); ++j) {
@@ -56,6 +53,8 @@ int countOrphans(const core::System& sys, const fault::FaultPlan& plan,
   }
   return orphans;
 }
+
+namespace {
 
 /// BudgetStop -> McsStop (kNone only when the budget did not fire).
 McsStop budgetStop(ckpt::BudgetStop bs) {
@@ -182,7 +181,7 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
         opt.resume != nullptr &&
         q < static_cast<int>(opt.resume->slots.size());
     if (faulty && plan->hasPermanentDeaths()) {
-      const int orphans = countOrphans(sys, *plan, q);
+      const int orphans = countMcsOrphans(sys, *plan, q);
       if (orphans >= sys.unreadCoverableCount()) {
         res.degradation.tags_orphaned = orphans;
         break;  // everything still unread is unservable forever
@@ -456,7 +455,7 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
     // Caps may have ended the loop before the orphan check ran; settle the
     // final accounting against the last executed slot.
     res.degradation.tags_orphaned =
-        countOrphans(sys, *plan, res.slots > 0 ? res.slots - 1 : 0);
+        countMcsOrphans(sys, *plan, res.slots > 0 ? res.slots - 1 : 0);
   }
   // Run postconditions.  Skipped when the run already failed closed mid-slot
   // (check / journal / replay): those paths leave a checked-but-uncommitted

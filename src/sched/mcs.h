@@ -200,4 +200,12 @@ struct McsResult {
 McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
                               const McsOptions& opt = {});
 
+/// Unread coverable tags no future slot can serve at `slot` under the
+/// plan's *permanent* failures: every coverer permanently dead, the tag
+/// permanently jammed by a loud-dead transmitter (RRc forever), or every
+/// live coverer an RTc victim of one.  Shared by the MCS and streaming
+/// drivers (both terminate early when orphans swallow the unread set).
+int countMcsOrphans(const core::System& sys, const fault::FaultPlan& plan,
+                    int slot);
+
 }  // namespace rfid::sched

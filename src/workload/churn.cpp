@@ -1,0 +1,221 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/atomic_file.h"
+#include "ckpt/journal.h"
+#include "workload/rng.h"
+
+namespace rfid::workload {
+
+ChurnTrace makeChurnTrace(const ChurnConfig& cfg, int initial_tags,
+                          std::uint64_t seed) {
+  const Rng root(seed);
+  Rng counts = root.split("churn-counts");
+  Rng positions = root.split("churn-positions");
+  Rng picks = root.split("churn-picks");
+  Rng burst = root.split("churn-burst");
+
+  ChurnTrace trace;
+  // The present set, by System index.  Departures swap-remove so sampling
+  // stays O(1); the *trace* records indices, not positions in this vector.
+  std::vector<int> present;
+  present.reserve(static_cast<std::size_t>(initial_tags));
+  for (int t = 0; t < initial_tags; ++t) present.push_back(t);
+  int next_index = initial_tags;  // matches System::addTag's assignment order
+
+  const bool bursty = cfg.burst_multiplier != 1.0;
+  bool in_burst = false;
+  for (int slot = 0; slot < cfg.slots; ++slot) {
+    if (bursty) {
+      in_burst = in_burst ? !burst.bernoulli(cfg.burst_exit)
+                          : burst.bernoulli(cfg.burst_enter);
+    }
+    const double rate =
+        in_burst ? cfg.arrival_rate * cfg.burst_multiplier : cfg.arrival_rate;
+    const int arrivals = rate > 0.0 ? counts.poisson(rate) : 0;
+    for (int i = 0; i < arrivals; ++i) {
+      ChurnEvent e;
+      e.slot = slot;
+      e.kind = ChurnKind::kArrive;
+      e.pos = {positions.uniform(0.0, cfg.region_side),
+               positions.uniform(0.0, cfg.region_side)};
+      e.epc = static_cast<std::uint64_t>(next_index);
+      trace.events.push_back(e);
+      present.push_back(next_index++);
+    }
+    const int departs =
+        cfg.depart_rate > 0.0 ? counts.poisson(cfg.depart_rate) : 0;
+    for (int i = 0; i < departs && !present.empty(); ++i) {
+      const int k = picks.uniformInt(0, static_cast<int>(present.size()) - 1);
+      ChurnEvent e;
+      e.slot = slot;
+      e.kind = ChurnKind::kDepart;
+      e.tag = present[static_cast<std::size_t>(k)];
+      trace.events.push_back(e);
+      present[static_cast<std::size_t>(k)] = present.back();
+      present.pop_back();
+    }
+    const int moves = cfg.move_rate > 0.0 ? counts.poisson(cfg.move_rate) : 0;
+    for (int i = 0; i < moves && !present.empty(); ++i) {
+      const int k = picks.uniformInt(0, static_cast<int>(present.size()) - 1);
+      ChurnEvent e;
+      e.slot = slot;
+      e.kind = ChurnKind::kMove;
+      e.tag = present[static_cast<std::size_t>(k)];
+      e.pos = {positions.uniform(0.0, cfg.region_side),
+               positions.uniform(0.0, cfg.region_side)};
+      trace.events.push_back(e);
+    }
+  }
+  trace.horizon =
+      trace.events.empty() ? 0 : trace.events.back().slot + 1;
+  return trace;
+}
+
+void saveChurnTrace(std::ostream& os, const ChurnTrace& trace) {
+  os << "# rfidsched churn v1\n";
+  os.precision(17);  // round-trip doubles exactly
+  for (const ChurnEvent& e : trace.events) {
+    switch (e.kind) {
+      case ChurnKind::kArrive:
+        os << "arrive," << e.slot << ',' << e.pos.x << ',' << e.pos.y << ','
+           << e.epc << '\n';
+        break;
+      case ChurnKind::kDepart:
+        os << "depart," << e.slot << ',' << e.tag << '\n';
+        break;
+      case ChurnKind::kMove:
+        os << "move," << e.slot << ',' << e.tag << ',' << e.pos.x << ','
+           << e.pos.y << '\n';
+        break;
+    }
+  }
+}
+
+bool saveChurnTraceFile(const std::string& path, const ChurnTrace& trace) {
+  std::ostringstream os;
+  saveChurnTrace(os, trace);
+  if (!os) return false;
+  return ckpt::writeFileAtomic(path, os.str());
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+bool parseFinite(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(s, &used);
+    return used == s.size() && std::isfinite(out);
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parseInt(const std::string& s, int& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoi(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  try {
+    std::size_t used = 0;
+    out = std::stoull(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool fail(std::string* err, int lineno, const std::string& what) {
+  if (err != nullptr) {
+    *err = "churn trace line " + std::to_string(lineno) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ChurnTrace> loadChurnTrace(std::istream& is, std::string* err) {
+  ChurnTrace trace;
+  std::string line;
+  int lineno = 0;
+  int last_slot = 0;
+  const auto bad = [&](const std::string& what) {
+    fail(err, lineno, what);
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const auto f = split(line);
+    ChurnEvent e;
+    double x = 0, y = 0;
+    if (f[0] == "arrive" && f.size() == 5) {
+      e.kind = ChurnKind::kArrive;
+      if (!parseInt(f[1], e.slot) || !parseFinite(f[2], x) ||
+          !parseFinite(f[3], y) || !parseU64(f[4], e.epc)) {
+        return bad("malformed arrive record");
+      }
+      e.pos = {x, y};
+    } else if (f[0] == "depart" && f.size() == 3) {
+      e.kind = ChurnKind::kDepart;
+      if (!parseInt(f[1], e.slot) || !parseInt(f[2], e.tag)) {
+        return bad("malformed depart record");
+      }
+      if (e.tag < 0) return bad("negative tag index");
+    } else if (f[0] == "move" && f.size() == 5) {
+      e.kind = ChurnKind::kMove;
+      if (!parseInt(f[1], e.slot) || !parseInt(f[2], e.tag) ||
+          !parseFinite(f[3], x) || !parseFinite(f[4], y)) {
+        return bad("malformed move record");
+      }
+      if (e.tag < 0) return bad("negative tag index");
+      e.pos = {x, y};
+    } else {
+      return bad("unrecognized record '" + f[0] + "'");
+    }
+    if (e.slot < 0) return bad("negative slot");
+    if (e.slot < last_slot) return bad("slots out of order");
+    last_slot = e.slot;
+    trace.events.push_back(e);
+  }
+  trace.horizon = trace.events.empty() ? 0 : trace.events.back().slot + 1;
+  return trace;
+}
+
+std::optional<ChurnTrace> loadChurnTraceFile(const std::string& path,
+                                             std::string* err) {
+  std::ifstream is(path);
+  if (!is) {
+    if (err != nullptr) *err = "cannot open churn trace at " + path;
+    return std::nullopt;
+  }
+  return loadChurnTrace(is, err);
+}
+
+std::uint64_t churnTraceHash(const ChurnTrace& trace) {
+  std::ostringstream os;
+  saveChurnTrace(os, trace);
+  return ckpt::fnv1a(os.str());
+}
+
+}  // namespace rfid::workload

@@ -1,0 +1,100 @@
+// churn.h — tag churn traces for the streaming MCS driver (docs/streaming.md).
+//
+// A churn trace is the schedule of structural mutations a streaming run
+// applies to its System: tags *arrive* at a position, *depart* from the
+// field, or *move* to a new position, each stamped with the stream slot at
+// which it happens.  Traces are first-class data — generated from a config
+// (Poisson arrivals, optionally modulated by a two-state MMPP burst chain),
+// saved/loaded as line-based CSV like deployments (workload/io.h), and
+// hashed into the checkpoint identity so a resumed stream provably replays
+// the exact same churn.
+//
+// Tag identity convention: depart/move events name tags by *System index*.
+// The generator assumes arrivals are applied in trace order, so the k-th
+// arrival receives index `initial_tags + k` — exactly what System::addTag
+// returns when the driver feeds it the trace.  A loaded trace is validated
+// structurally (sorted slots, finite coordinates, known kinds) but target
+// liveness is only checkable at application time; the driver counts and
+// skips events whose target is out of range or already departed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace rfid::workload {
+
+enum class ChurnKind { kArrive, kDepart, kMove };
+
+struct ChurnEvent {
+  int slot = 0;                // stream slot at which the event applies
+  ChurnKind kind = ChurnKind::kArrive;
+  int tag = -1;                // target System index (depart/move); -1 arrive
+  geom::Vec2 pos;              // field position (arrive/move)
+  std::uint64_t epc = 0;       // EPC identifier (arrive only)
+
+  bool operator==(const ChurnEvent&) const = default;
+};
+
+struct ChurnTrace {
+  /// Sorted by slot (stable within a slot: application order matters for
+  /// the index convention above).
+  std::vector<ChurnEvent> events;
+  /// One past the last slot carrying an event (0 for the empty trace).
+  int horizon = 0;
+
+  bool empty() const { return events.empty(); }
+};
+
+struct ChurnConfig {
+  /// Mean arrivals per slot (Poisson; <= 0 disables arrivals).
+  double arrival_rate = 5.0;
+  /// Mean departures per slot among present tags (<= 0 disables).
+  double depart_rate = 0.0;
+  /// Mean moves per slot among present tags (<= 0 disables).
+  double move_rate = 0.0;
+  /// Slots during which churn occurs.
+  int slots = 100;
+  /// Positions are uniform over [0, region_side]².
+  double region_side = 100.0;
+  /// Two-state MMPP burst modulation: while the chain is in its burst
+  /// state the arrival rate is multiplied by this factor.  1 disables the
+  /// chain entirely (pure Poisson, bit-identical to pre-burst traces).
+  double burst_multiplier = 1.0;
+  /// Per-slot transition probabilities calm -> burst and burst -> calm.
+  double burst_enter = 0.05;
+  double burst_exit = 0.25;
+};
+
+/// Generates a trace deterministically from (cfg, initial_tags, seed).
+/// `initial_tags` is the tag count of the System the trace will run
+/// against — departures and moves sample uniformly from the present set.
+ChurnTrace makeChurnTrace(const ChurnConfig& cfg, int initial_tags,
+                          std::uint64_t seed);
+
+/// CSV serialization:
+///   # rfidsched churn v1
+///   arrive,<slot>,<x>,<y>,<epc>
+///   depart,<slot>,<tag>
+///   move,<slot>,<tag>,<x>,<y>
+void saveChurnTrace(std::ostream& os, const ChurnTrace& trace);
+bool saveChurnTraceFile(const std::string& path, const ChurnTrace& trace);
+
+/// Parses a trace; fails closed (nullopt + *err naming the line) on any
+/// malformed record, non-finite coordinate, negative slot/tag, or
+/// out-of-order slots.
+std::optional<ChurnTrace> loadChurnTrace(std::istream& is,
+                                         std::string* err = nullptr);
+std::optional<ChurnTrace> loadChurnTraceFile(const std::string& path,
+                                             std::string* err = nullptr);
+
+/// FNV-1a over the canonical serialization — folded into the streaming
+/// checkpoint identity (the empty trace hashes like any other value, so a
+/// journal recorded with churn never resumes without it and vice versa).
+std::uint64_t churnTraceHash(const ChurnTrace& trace);
+
+}  // namespace rfid::workload

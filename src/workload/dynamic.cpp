@@ -14,7 +14,9 @@ DynamicInstance makeDynamicInstance(const DynamicConfig& cfg,
   std::vector<core::Tag> tags;
   std::vector<int> arrival_slot;
   for (int slot = 0; slot < cfg.arrival_slots; ++slot) {
-    const int n = arrivals.poisson(cfg.arrival_rate);
+    // poisson(mean <= 0) is UB in the underlying distribution; a zero rate
+    // legitimately means "no arrivals" (drain-only experiments).
+    const int n = cfg.arrival_rate > 0.0 ? arrivals.poisson(cfg.arrival_rate) : 0;
     for (int i = 0; i < n; ++i) {
       core::Tag t;
       t.id = static_cast<int>(tags.size());

@@ -1,5 +1,6 @@
 #include "workload/io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -44,11 +45,15 @@ std::vector<std::string> split(const std::string& line) {
   return out;
 }
 
-bool parseDouble(const std::string& s, double& out) {
+/// Numeric fields must be *finite*: stod happily parses "nan" and "inf",
+/// and a single non-finite coordinate or radius poisons every distance
+/// comparison downstream (NaN makes them all false, inf makes a reader
+/// cover everything).
+bool parseFinite(const std::string& s, double& out) {
   try {
     std::size_t used = 0;
     out = std::stod(s, &used);
-    return used == s.size();
+    return used == s.size() && std::isfinite(out);
   } catch (...) {
     return false;
   }
@@ -80,13 +85,22 @@ bool parseU64(const std::string& s, std::uint64_t& out) {
 
 }  // namespace
 
-std::optional<core::System> loadDeployment(std::istream& is) {
+std::optional<core::System> loadDeployment(std::istream& is,
+                                           std::string* err) {
   std::vector<core::Reader> readers;
   std::vector<core::Tag> tags;
   std::unordered_set<int> reader_ids;
   std::unordered_set<int> tag_ids;
   std::string line;
+  int lineno = 0;
+  const auto bad = [&](const std::string& what) {
+    if (err != nullptr) {
+      *err = "deployment line " + std::to_string(lineno) + ": " + what;
+    }
+    return std::nullopt;
+  };
   while (std::getline(is, line)) {
+    ++lineno;
     // Tolerate CRLF files (surveys exported from spreadsheets): getline
     // leaves the '\r' on the line, which would otherwise poison the last
     // field's numeric parse.
@@ -95,40 +109,60 @@ std::optional<core::System> loadDeployment(std::istream& is) {
     const auto f = split(line);
     if (f[0] == "reader" && f.size() == 6) {
       core::Reader r;
+      if (!parseInt(f[1], r.id)) return bad("malformed reader id");
       double x = 0, y = 0;
-      if (!parseInt(f[1], r.id) || !parseDouble(f[2], x) ||
-          !parseDouble(f[3], y) || !parseDouble(f[4], r.interference_radius) ||
-          !parseDouble(f[5], r.interrogation_radius)) {
-        return std::nullopt;
+      if (!parseFinite(f[2], x) || !parseFinite(f[3], y)) {
+        return bad("reader position is not a finite number");
+      }
+      if (!parseFinite(f[4], r.interference_radius) ||
+          !parseFinite(f[5], r.interrogation_radius)) {
+        return bad("reader radius is not a finite number");
       }
       r.pos = {x, y};
-      if (!r.valid()) return std::nullopt;
+      if (r.interference_radius < 0 || r.interrogation_radius < 0) {
+        return bad("negative reader radius");
+      }
+      if (!r.valid()) {
+        return bad("invalid radii (need 0 < interrogation <= interference)");
+      }
       // A duplicated id is a corrupt survey, not two devices; accepting it
       // would silently skew every id-keyed structure downstream.
-      if (!reader_ids.insert(r.id).second) return std::nullopt;
+      if (!reader_ids.insert(r.id).second) {
+        return bad("duplicate reader id " + std::to_string(r.id));
+      }
       readers.push_back(r);
     } else if (f[0] == "tag" && f.size() == 5) {
       core::Tag t;
+      if (!parseInt(f[1], t.id)) return bad("malformed tag id");
       double x = 0, y = 0;
-      if (!parseInt(f[1], t.id) || !parseDouble(f[2], x) ||
-          !parseDouble(f[3], y) || !parseU64(f[4], t.epc)) {
-        return std::nullopt;
+      if (!parseFinite(f[2], x) || !parseFinite(f[3], y)) {
+        return bad("tag position is not a finite number");
       }
+      if (!parseU64(f[4], t.epc)) return bad("malformed tag epc");
       t.pos = {x, y};
-      if (!tag_ids.insert(t.id).second) return std::nullopt;
+      if (!tag_ids.insert(t.id).second) {
+        return bad("duplicate tag id " + std::to_string(t.id));
+      }
       tags.push_back(t);
     } else {
-      return std::nullopt;  // fail closed on anything unrecognized
+      return bad("unrecognized record '" + f[0] + "'");  // fail closed
     }
   }
-  if (readers.empty()) return std::nullopt;
+  if (readers.empty()) {
+    if (err != nullptr) *err = "deployment has no readers";
+    return std::nullopt;
+  }
   return core::System(std::move(readers), std::move(tags));
 }
 
-std::optional<core::System> loadDeploymentFile(const std::string& path) {
+std::optional<core::System> loadDeploymentFile(const std::string& path,
+                                               std::string* err) {
   std::ifstream is(path);
-  if (!is) return std::nullopt;
-  return loadDeployment(is);
+  if (!is) {
+    if (err != nullptr) *err = "cannot open deployment at " + path;
+    return std::nullopt;
+  }
+  return loadDeployment(is, err);
 }
 
 }  // namespace rfid::workload

@@ -30,10 +30,15 @@ void saveDeployment(std::ostream& os, const core::System& sys);
 bool saveDeploymentFile(const std::string& path, const core::System& sys);
 
 /// Parses a deployment.  Returns std::nullopt on any malformed line,
-/// invalid radii (γ > R or γ ≤ 0), or an empty reader set.
-std::optional<core::System> loadDeployment(std::istream& is);
+/// non-finite coordinates or radii (NaN/inf poison every distance the
+/// schedulers compute), invalid radii (γ > R, γ ≤ 0, or R < 0), or an
+/// empty reader set.  On failure `err` (when given) names the offending
+/// line and field.
+std::optional<core::System> loadDeployment(std::istream& is,
+                                           std::string* err = nullptr);
 
 /// Convenience file form.
-std::optional<core::System> loadDeploymentFile(const std::string& path);
+std::optional<core::System> loadDeploymentFile(const std::string& path,
+                                               std::string* err = nullptr);
 
 }  // namespace rfid::workload

@@ -6,6 +6,8 @@
 // fail closed on everything except exactly one torn tail record.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -29,7 +31,9 @@ namespace fs = std::filesystem;
 class CkptTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "ckpt_test_tmp";
+    // Suffix with the pid: ctest -j runs each case as its own process, and
+    // concurrent cases sharing one fixture dir race each other's remove_all.
+    dir_ = "ckpt_test_tmp." + std::to_string(::getpid());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -81,7 +81,8 @@ std::vector<std::string> withArgs(std::vector<std::string> base,
 class CkptCliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "ckpt_cli_tmp";
+    // Pid suffix: ctest -j cases are separate processes sharing one cwd.
+    dir_ = "ckpt_cli_tmp." + std::to_string(::getpid());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

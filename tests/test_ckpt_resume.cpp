@@ -5,6 +5,7 @@
 // Also the fail-closed paths: identity mismatches, missing journals, and
 // torn tails.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -124,7 +125,8 @@ void expectSameResult(const sched::McsResult& a, const sched::McsResult& b) {
 class CkptResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "ckpt_resume_tmp";
+    // Pid suffix: ctest -j cases are separate processes sharing one cwd.
+    dir_ = "ckpt_resume_tmp." + std::to_string(::getpid());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -8,6 +8,7 @@
 // Value assertions ride inside #ifndef RFIDSCHED_NO_OBS; the unguarded
 // tests exercise the stub API so a NO_OBS build compiles every call site.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <memory>
@@ -214,7 +215,8 @@ TEST(CostDeterminism, LazyAndReferencePathsChargeTheSameRefereeBill) {
 class CostCkptTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "cost_ckpt_tmp";
+    // Pid suffix: ctest -j cases are separate processes sharing one cwd.
+    dir_ = "cost_ckpt_tmp." + std::to_string(::getpid());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

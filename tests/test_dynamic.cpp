@@ -89,6 +89,60 @@ TEST(Dynamic, HigherRateMeansMoreBacklog) {
   EXPECT_GT(rb.max_backlog, ra.max_backlog);
 }
 
+TEST(Dynamic, ZeroArrivalRateIsSafeAndEmpty) {
+  // poisson(0) is UB in the raw distribution; the generator must treat a
+  // zero rate as "no arrivals", and the simulation must cope with an empty
+  // field (no served tags, latency defined as 0, immediate drain).
+  DynamicConfig cfg = smallConfig();
+  cfg.arrival_rate = 0.0;
+  DynamicInstance inst = makeDynamicInstance(cfg, 18);
+  EXPECT_EQ(inst.system.numTags(), 0);
+  sched::HillClimbingScheduler ghc;
+  const DynamicResult res = runDynamicSimulation(inst, ghc, cfg);
+  EXPECT_EQ(res.arrived, 0);
+  EXPECT_EQ(res.served, 0);
+  EXPECT_EQ(res.mean_latency, 0.0);
+  EXPECT_TRUE(res.drained);
+  EXPECT_LE(res.slots_run, cfg.arrival_slots + 1);
+}
+
+TEST(Dynamic, AllUncoverableArrivalsDrainWithoutService) {
+  // Every arrival lands outside the lone reader's interrogation disk: the
+  // loop must neither serve nor stall forever, and mean_latency must stay
+  // defined at served == 0.
+  std::vector<core::Reader> readers;
+  core::Reader r;
+  r.pos = {0.0, 0.0};
+  r.interference_radius = 2.0;
+  r.interrogation_radius = 1.0;
+  readers.push_back(r);
+  std::vector<core::Tag> tags;
+  std::vector<int> arrival;
+  for (int i = 0; i < 6; ++i) {
+    core::Tag t;
+    t.id = i;
+    t.pos = {100.0 + i, 100.0};  // far outside coverage
+    tags.push_back(t);
+    arrival.push_back(i % 3);
+  }
+  DynamicInstance inst{core::System(std::move(readers), std::move(tags)),
+                       std::move(arrival)};
+  for (int t = 0; t < inst.system.numTags(); ++t) inst.system.markRead(t);
+
+  DynamicConfig cfg;
+  cfg.arrival_slots = 3;
+  cfg.drain_slots = 5;
+  sched::HillClimbingScheduler ghc;
+  const DynamicResult res = runDynamicSimulation(inst, ghc, cfg);
+  EXPECT_EQ(res.arrived, 6);
+  EXPECT_EQ(res.arrived_coverable, 0);
+  EXPECT_EQ(res.served, 0);
+  EXPECT_EQ(res.mean_latency, 0.0);
+  EXPECT_EQ(res.max_backlog, 0);
+  EXPECT_TRUE(res.drained);
+  EXPECT_LE(res.slots_run, cfg.arrival_slots + 1);
+}
+
 TEST(Dynamic, WorksWithGraphBasedScheduler) {
   const DynamicConfig cfg = smallConfig();
   DynamicInstance inst = makeDynamicInstance(cfg, 17);

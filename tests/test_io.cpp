@@ -156,6 +156,62 @@ TEST(Io, DuplicateIdsRejected) {
   }
 }
 
+TEST(Io, NonFiniteFieldsRejectedWithNamedLine) {
+  // stod accepts "nan" and "inf"; the loader must not — one poisoned
+  // coordinate makes every downstream distance comparison meaningless.
+  const char* cases[] = {
+      "reader,0,nan,2.0,5.0,3.0\n",  // NaN coordinate
+      "reader,0,1.0,inf,5.0,3.0\n",  // inf coordinate
+      "reader,0,1.0,2.0,inf,inf\n",  // inf radii (passes r.valid()!)
+      "reader,0,1.0,2.0,5.0,nan\n",  // NaN radius
+  };
+  for (const char* text : cases) {
+    std::stringstream ss(text);
+    std::string err;
+    EXPECT_FALSE(loadDeployment(ss, &err).has_value()) << text;
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  }
+  {
+    std::stringstream ss(
+        "reader,0,1.0,2.0,5.0,3.0\n"
+        "tag,3,nan,5.0,8\n");
+    std::string err;
+    EXPECT_FALSE(loadDeployment(ss, &err).has_value());
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("tag position"), std::string::npos) << err;
+  }
+}
+
+TEST(Io, NegativeRadiusRejected) {
+  for (const char* text : {"reader,0,1.0,2.0,-5.0,3.0\n",
+                           "reader,0,1.0,2.0,5.0,-3.0\n"}) {
+    std::stringstream ss(text);
+    std::string err;
+    EXPECT_FALSE(loadDeployment(ss, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(Io, ErrorsNameTheProblem) {
+  {
+    std::stringstream ss("reader,0,1.0,2.0,5.0,3.0\nbogus,1,2\n");
+    std::string err;
+    EXPECT_FALSE(loadDeployment(ss, &err).has_value());
+    EXPECT_NE(err.find("unrecognized"), std::string::npos) << err;
+  }
+  {
+    std::stringstream ss("tag,0,1.0,2.0,7\n");
+    std::string err;
+    EXPECT_FALSE(loadDeployment(ss, &err).has_value());
+    EXPECT_NE(err.find("no readers"), std::string::npos) << err;
+  }
+  {
+    std::string err;
+    EXPECT_FALSE(loadDeploymentFile("/nonexistent_xyz/d.csv", &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+  }
+}
+
 TEST(Io, SaveFailureNeverLeavesTornFile) {
   namespace fs = std::filesystem;
   const core::System sys = test::figure2System();

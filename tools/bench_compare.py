@@ -63,6 +63,40 @@ SERVICE_POINT = ("--mode", "closed", "--requests", "32", "--concurrency",
                  "8", "--workers", "2", "--queue", "16", "--readers", "30",
                  "--tags", "600", "--side", "80", "--seed", "11")
 
+# Deterministic streaming counters from the fixed churn point: the trace,
+# the shed decisions, the committed slots, and the oracle verdicts depend
+# only on (deployment, seed, trace), never on the machine.  Zero-valued
+# counters (check.index_divergence above all) must STAY zero.
+STREAM_KEYS = (
+    "stream.arrived",
+    "stream.departed",
+    "stream.moved",
+    "stream.shed",
+    "stream.shed_aged",
+    "check.index_checks",
+    "check.index_divergence",
+    "check.index_heals",
+    "mcs.slots",
+    "mcs.stall_slots",
+    "mcs.tags_read",
+    "sched.schedule_calls",
+    "sched.weight_evals",
+)
+# Gated summary gauges: slot-denominated, hence deterministic.  Growth in a
+# latency percentile or the backlog peak is a real service regression.
+STREAM_SUMMARY_KEYS = ("stream.backlog_peak", "stream.latency_p50",
+                       "stream.latency_p99")
+
+# The fixed stream point --stream-record replays; must match the
+# parameters bench_record.sh passes to `rfidsched_cli --mode stream`.
+STREAM_POINT = ("--mode", "stream", "--algo", "alg2", "--readers", "200",
+                "--tags", "4000", "--side", "120", "--seed", "17",
+                "--arrival-rate", "10", "--depart-rate", "3",
+                "--move-rate", "3", "--stream-slots", "80", "--burst", "10",
+                "--burst-enter", "0.1", "--burst-exit", "0.25",
+                "--max-backlog", "300", "--shed-after", "30",
+                "--oracle-every", "16")
+
 
 def det_counters(mode_entry):
     """Flatten one cli_mcs_n2000 mode entry to {name: value} deterministic counters."""
@@ -118,7 +152,10 @@ def compare(base_entry, cur_entry, threshold, wall_threshold):
     sf, sw, sl = compare_service(base_entry.get("service"),
                                  cur_entry.get("service"),
                                  threshold, wall_threshold)
-    return failures + sf, warnings + sw, lines + sl
+    tf, tw, tl = compare_stream(base_entry.get("stream_churn"),
+                                cur_entry.get("stream_churn"),
+                                threshold, wall_threshold)
+    return failures + sf + tf, warnings + sw + tw, lines + sl + tl
 
 
 def compare_service(base_svc, cur_svc, threshold, wall_threshold):
@@ -168,6 +205,76 @@ def compare_service(base_svc, cur_svc, threshold, wall_threshold):
     return failures, warnings, lines
 
 
+def compare_stream(base_st, cur_st, threshold, wall_threshold):
+    """Gates the deterministic stream.*/check.* counters of the churn point."""
+    failures, warnings, lines = [], [], []
+    if not base_st:
+        return failures, warnings, lines
+    if not cur_st:
+        warnings.append("stream_churn section missing from current run (skipped)")
+        return failures, warnings, lines
+
+    def gate(section, keys, base_d, cur_d):
+        for name in keys:
+            if name not in base_d:
+                continue
+            if name not in cur_d:
+                warnings.append(f"{section}/{name}: not recorded by current run")
+                continue
+            b, c = base_d[name], cur_d[name]
+            if b <= 0:
+                # check.index_divergence (and friends) must stay zero: a
+                # divergence appearing is the index bug this gate exists for.
+                if c > b:
+                    failures.append(f"{section}/{name}: {b} -> {c} (was zero)")
+                    lines.append(f"  [FAIL] {section}/{name}: {b} -> {c}")
+                continue
+            growth = (c - b) / b
+            tag = "ok"
+            if growth > threshold:
+                tag = "FAIL"
+                failures.append(
+                    f"{section}/{name}: {b} -> {c} (+{growth:.1%} > {threshold:.0%})")
+            elif growth < 0:
+                tag = "improved"
+            lines.append(f"  [{tag}] {section}/{name}: {b} -> {c} ({growth:+.1%})")
+
+    gate("stream", STREAM_KEYS, base_st.get("counters", {}),
+         cur_st.get("counters", {}))
+    gate("stream", STREAM_SUMMARY_KEYS, base_st.get("summary", {}),
+         cur_st.get("summary", {}))
+    cost_b = base_st.get("cost", {})
+    cost_c = cur_st.get("cost", {})
+    if cost_b:
+        flat_b = {"cost.work_units": cost_b.get("work_units", 0)}
+        flat_b.update({f"cost.total.{k}": v
+                       for k, v in cost_b.get("total", {}).items()})
+        flat_c = {"cost.work_units": cost_c.get("work_units", 0)}
+        flat_c.update({f"cost.total.{k}": v
+                       for k, v in cost_c.get("total", {}).items()})
+        gate("stream", tuple(sorted(flat_b)), flat_b, flat_c)
+    # Throughput is deterministic too but a ratio; drift is advisory with
+    # the work counters above as the authority.
+    b = base_st.get("summary", {}).get("stream.tags_per_sec")
+    c = cur_st.get("summary", {}).get("stream.tags_per_sec")
+    if b and c and b > 0:
+        drift = (c - b) / b
+        if abs(drift) > wall_threshold:
+            warnings.append(
+                f"stream/tags_per_sec drifted {drift:+.1%} ({b} -> {c}) — "
+                "check the stream.* counters above")
+        lines.append(f"  [wall] stream/tags_per_sec: {b} -> {c} ({drift:+.1%})")
+    bw, cw = base_st.get("wall_ms"), cur_st.get("wall_ms")
+    if bw and cw and bw > 0:
+        drift = (cw - bw) / bw
+        if abs(drift) > wall_threshold:
+            warnings.append(
+                f"stream/wall_ms drifted {drift:+.1%} ({bw} -> {cw} ms) — "
+                "wall clock is advisory, check the work counters above")
+        lines.append(f"  [wall] stream/wall_ms: {bw} -> {cw} ({drift:+.1%})")
+    return failures, warnings, lines
+
+
 def selftest(base_entry, threshold, wall_threshold):
     """The gate must flag a seeded +5% work regression and pass a clean copy."""
     seeded = copy.deepcopy(base_entry)
@@ -188,6 +295,16 @@ def selftest(base_entry, threshold, wall_threshold):
         if isinstance(svc.get(k), (int, float)) and svc[k] > 0:
             svc[k] = type(svc[k])(svc[k] * 1.05) + 1
             touched += 1
+    st = seeded.get("stream_churn", {})
+    for k in STREAM_KEYS:
+        v = st.get("counters", {}).get(k)
+        if isinstance(v, (int, float)) and v > 0:
+            st["counters"][k] = type(v)(v * 1.05) + 1
+            touched += 1
+    # The zero-stays-zero rule must have teeth for the divergence counter.
+    if "counters" in st and st["counters"].get("check.index_divergence") == 0:
+        st["counters"]["check.index_divergence"] = 1
+        touched += 1
     if touched == 0:
         print("selftest: baseline entry has no deterministic counters", file=sys.stderr)
         return False
@@ -211,6 +328,10 @@ def main():
     ap.add_argument("--service-record", metavar="BUILD_DIR",
                     help="re-run only the fixed closed-loop service point "
                          "(rfidsched_load) and gate its svc.* counters")
+    ap.add_argument("--stream-record", metavar="BUILD_DIR",
+                    help="re-run only the fixed streaming churn point "
+                         "(rfidsched_cli --mode stream) and gate its "
+                         "stream.*/check.* counters")
     ap.add_argument("--current", metavar="OUT_JSON",
                     help="compare an already-recorded document instead")
     ap.add_argument("--current-label", default="current")
@@ -234,11 +355,61 @@ def main():
     if args.selftest:
         return 0 if selftest(base_entry, args.threshold, args.wall_threshold) else 1
 
-    if sum(map(bool, (args.record, args.service_record, args.current))) != 1:
+    if sum(map(bool, (args.record, args.service_record, args.stream_record,
+                      args.current))) != 1:
         print("give exactly one of --record BUILD_DIR / "
-              "--service-record BUILD_DIR / --current OUT.json",
+              "--service-record BUILD_DIR / --stream-record BUILD_DIR / "
+              "--current OUT.json",
               file=sys.stderr)
         return 2
+
+    if args.stream_record:
+        cli = os.path.join(args.stream_record, "tools", "rfidsched_cli")
+        with tempfile.TemporaryDirectory() as td:
+            mpath = os.path.join(td, "m.json")
+            cpath = os.path.join(td, "c.json")
+            cmd = [cli, *STREAM_POINT, "--metrics", mpath, "--cost", cpath]
+            try:
+                subprocess.check_output(cmd, text=True)
+                metrics = json.load(open(mpath))
+                cost_total = json.load(open(cpath)).get("total", {})
+            except (OSError, ValueError, subprocess.CalledProcessError) as e:
+                print(f"stream point failed: {e}", file=sys.stderr)
+                return 2
+        cur_st = {
+            "counters": {k: v for k, v in metrics.get("counters", {}).items()
+                         if k.startswith(("stream.", "check.", "mcs.",
+                                          "sched."))},
+            "summary": {k: v for k, v in metrics.get("gauges", {}).items()
+                        if k.startswith("stream.")},
+        }
+        if cost_total:
+            cur_st["cost"] = {
+                "work_units": (cost_total.get("weight_evals", 0)
+                               + cost_total.get("queue_work", 0)
+                               + cost_total.get("dp_entries", 0)
+                               + cost_total.get("bnb_nodes", 0)),
+                "total": cost_total,
+            }
+        failures, warnings, lines = compare_stream(
+            base_entry.get("stream_churn"), cur_st,
+            args.threshold, args.wall_threshold)
+        print(f"bench_compare (stream point): {args.baseline}"
+              f"[{args.baseline_label}]")
+        for line in lines:
+            print(line)
+        for w in warnings:
+            print(f"warning: {w}")
+        if not lines and not failures:
+            print("warning: baseline has no stream_churn section — "
+                  "nothing gated", file=sys.stderr)
+        if failures:
+            print(f"\nFAIL: {len(failures)} stream counter(s) regressed:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("\nPASS: streaming churn counters match the baseline")
+        return 0
 
     if args.service_record:
         here = os.path.dirname(os.path.abspath(__file__))

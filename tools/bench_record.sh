@@ -80,6 +80,27 @@ else
   echo "== service bench: rfidsched_load not built, skipped =="
 fi
 
+# Streaming churn point (PR8): one fixed bursty trace through the streaming
+# MCS driver with overload control and the incremental-index oracle on.
+# Everything recorded here — stream.*/check.* counters, the latency
+# percentiles (in slots), and the cost ledger — is deterministic in
+# (deployment, seed, trace), so tools/bench_compare.py gates on it.
+# Parameters must match STREAM_POINT in bench_compare.py.
+echo "== stream churn point =="
+stream_start=$(date +%s%N)
+if "$CLI" --mode stream --algo alg2 --readers 200 --tags 4000 --side 120 \
+    --seed 17 --arrival-rate 10 --depart-rate 3 --move-rate 3 \
+    --stream-slots 80 --burst 10 --burst-enter 0.1 --burst-exit 0.25 \
+    --max-backlog 300 --shed-after 30 --oracle-every 16 \
+    --metrics "$TMP/stream_m.json" --cost "$TMP/stream_c.json" \
+    > "$TMP/stream.txt" 2>&1; then
+  stream_end=$(date +%s%N)
+  echo "$(( (stream_end - stream_start) / 1000000 ))" > "$TMP/stream_ms.txt"
+  sed -n '/^streaming schedule/,/^index oracle/p' "$TMP/stream.txt"
+else
+  echo "== stream point: unsupported by this binary, skipped =="
+fi
+
 python3 - "$TMP" "$LABEL" "$OUT" <<'EOF'
 import json, re, sys, os
 tmp, label, out = sys.argv[1], sys.argv[2], sys.argv[3]
@@ -132,6 +153,29 @@ for line in open(os.path.join(tmp, "cli_times.txt")):
 spath = os.path.join(tmp, "service.json")
 if os.path.exists(spath):
     entry["service"] = json.load(open(spath))
+
+smpath = os.path.join(tmp, "stream_m.json")
+if os.path.exists(smpath):
+    metrics = json.load(open(smpath))
+    counters = {k: v for k, v in metrics.get("counters", {}).items()
+                if k.startswith(("stream.", "check.", "mcs.", "sched."))}
+    summary = {k: v for k, v in metrics.get("gauges", {}).items()
+               if k.startswith("stream.")}
+    stream = {"counters": counters, "summary": summary}
+    with open(os.path.join(tmp, "stream_ms.txt")) as f:
+        stream["wall_ms"] = int(f.read().strip())
+    scpath = os.path.join(tmp, "stream_c.json")
+    if os.path.exists(scpath):
+        total = json.load(open(scpath)).get("total", {})
+        if total:
+            stream["cost"] = {
+                "work_units": (total.get("weight_evals", 0)
+                               + total.get("queue_work", 0)
+                               + total.get("dp_entries", 0)
+                               + total.get("bnb_nodes", 0)),
+                "total": total,
+            }
+    entry["stream_churn"] = stream
 
 doc = {}
 if os.path.exists(out):

@@ -33,6 +33,12 @@ mkdir -p "$scratch"
 #    filter, since feasible schedules on the generated workload rarely
 #    overlap interrogation zones.
 gen_args="--algo ghc --mode mcs --readers 25 --tags 300 --side 70 --seed 11 --check"
+# A churn run for the streaming index oracle: departures and moves splice
+# the dual CSR index in place, and --oracle-every 1 verifies it against a
+# from-scratch geometry rebuild after every slot.
+stream_args="--algo alg2 --mode stream --readers 25 --tags 300 --side 70 --seed 11 \
+  --arrival-rate 4 --depart-rate 2 --move-rate 1 --stream-slots 30 \
+  --oracle-every 1 --check"
 overlap_csv="$scratch/overlap.csv"
 cat > "$overlap_csv" <<'EOF'
 # rfidsched deployment v1
@@ -52,6 +58,7 @@ mutants=(
   "drop-exactly-one|src/core/system.cpp|count\[static_cast<std::size_t>(t)\] == 1|count[static_cast<std::size_t>(t)] >= 1"
   "csr-off-by-one|src/core/system.h|covr_off_\[static_cast<std::size_t>(t) + 1\]|covr_off_[static_cast<std::size_t>(t)]"
   "drop-mark-read|src/sched/mcs.cpp|    sys.markRead(served);|    // sys.markRead(served);"
+  "churn-skip-covr-delta|src/core/system.cpp|  covrReplace(t, {});|  // covrReplace(t, {});"
 )
 
 run_cli() {
@@ -70,27 +77,29 @@ build_and_check() {
     -DRFIDSCHED_BUILD_TESTS=OFF -DRFIDSCHED_BUILD_BENCH=OFF \
     -DRFIDSCHED_BUILD_EXAMPLES=OFF > /dev/null
   cmake --build "$tree/build" --target rfidsched_cli -j > /dev/null
-  local g1 g2
+  local g1 g2 g3
   g1=$(run_cli "$tree" "$gen_args")
   local why="$(tail -1 "$tree/stderr.txt")"
   g2=$(run_cli "$tree" "$overlap_args")
   [ "$g2" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
-  case "$g1$g2" in *[!05]*)
-    echo "FAIL [$label]: unexpected exits gen=$g1 overlap=$g2" >&2
+  g3=$(run_cli "$tree" "$stream_args")
+  [ "$g3" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
+  case "$g1$g2$g3" in *[!05]*)
+    echo "FAIL [$label]: unexpected exits gen=$g1 overlap=$g2 stream=$g3" >&2
     sed 's/^/    /' "$tree/stderr.txt" >&2
     return 1
   esac
   if [ "$want" -eq 5 ]; then
-    if [ "$g1" -ne 5 ] && [ "$g2" -ne 5 ]; then
-      echo "FAIL [$label]: mutant escaped (gen=$g1 overlap=$g2)" >&2
+    if [ "$g1" -ne 5 ] && [ "$g2" -ne 5 ] && [ "$g3" -ne 5 ]; then
+      echo "FAIL [$label]: mutant escaped (gen=$g1 overlap=$g2 stream=$g3)" >&2
       return 1
     fi
-  elif [ "$g1" -ne 0 ] || [ "$g2" -ne 0 ]; then
-    echo "FAIL [$label]: clean tree flagged (gen=$g1 overlap=$g2)" >&2
+  elif [ "$g1" -ne 0 ] || [ "$g2" -ne 0 ] || [ "$g3" -ne 0 ]; then
+    echo "FAIL [$label]: clean tree flagged (gen=$g1 overlap=$g2 stream=$g3)" >&2
     sed 's/^/    /' "$tree/stderr.txt" >&2
     return 1
   fi
-  echo "ok   [$label]: gen=$g1 overlap=$g2 ($why)"
+  echo "ok   [$label]: gen=$g1 overlap=$g2 stream=$g3 ($why)"
 }
 
 copy_tree() {

@@ -1,7 +1,7 @@
 // rfidsched_cli — run any scenario × algorithm from the command line.
 //
 //   rfidsched_cli [--algo alg1|alg2|alg3|ghc|ca|exact|mc]
-//                 [--mode oneshot|mcs] [--readers N] [--tags M]
+//                 [--mode oneshot|mcs|stream] [--readers N] [--tags M]
 //                 [--side S] [--lambda-R X] [--lambda-r Y] [--seed S]
 //                 [--layout uniform|clusters|aisles|grid]
 //                 [--channels C] [--rho R] [--k K] [--svg PATH]
@@ -48,6 +48,16 @@
 // --deadline-ms / --max-slots bound the run; an expiring budget returns
 // the valid best-so-far schedule marked interrupted.
 //
+// Streaming (--mode stream, or the --stream shorthand; docs/streaming.md):
+// the population churns while the schedule runs.  Tag arrivals, departures,
+// and moves come from a generated Poisson/bursty-MMPP trace (--arrival-rate,
+// --depart-rate, --move-rate, --stream-slots, --burst) or a file (--churn);
+// the driver patches the coverage index incrementally, an index oracle
+// periodically re-derives it from raw geometry and self-heals divergences,
+// and overload control (--max-backlog, --shed-after, --shed-policy) sheds
+// load instead of letting backlog grow without bound.  --checkpoint/--resume
+// work as in mcs mode with the churn trace folded into the journal identity.
+//
 // --check arms the runtime invariant oracle (docs/testing.md): every slot
 // is re-verified from first principles — independence from raw geometry,
 // the served set by a naive exactly-one-coverage scan, monotone read-state
@@ -75,6 +85,7 @@
 #include <string>
 
 #include "analysis/svg.h"
+#include "check/index_oracle.h"
 #include "check/invariants.h"
 #include "ckpt/budget.h"
 #include "ckpt/mcs_ckpt.h"
@@ -93,7 +104,10 @@
 #include "sched/hill_climbing.h"
 #include "sched/mcs.h"
 #include "sched/ptas.h"
+#include "sched/streaming.h"
+#include "service/queue.h"
 #include "service/signals.h"
+#include "workload/churn.h"
 #include "workload/io.h"
 #include "workload/scenario.h"
 
@@ -129,12 +143,26 @@ struct Cli {
   bool ref_eval = false; // reference selection paths (oracle / baseline)
   bool check = false;           // arm the invariant oracle
   bool check_paranoid = false;  // per-slot bitmap/referee cross-checks
+  // Streaming (--mode stream only).
+  std::string churn_path;       // load a churn trace instead of generating
+  std::string save_churn_path;  // write the generated churn trace (CSV)
+  double arrival_rate = 5.0;    // Poisson tag arrivals per stream slot
+  double depart_rate = 0.0;     // Poisson departures per stream slot
+  double move_rate = 0.0;       // Poisson moves per stream slot
+  int stream_slots = 100;       // generated trace horizon (slots of churn)
+  double burst = 1.0;           // MMPP burst arrival-rate multiplier
+  double burst_enter = 0.05;    // P(enter burst) per slot
+  double burst_exit = 0.25;     // P(leave burst) per slot
+  int max_backlog = 0;          // shed unread coverable tags above this (0=off)
+  int shed_after = 0;           // shed tags unread for more slots (0=off)
+  std::string shed_policy = "newest";  // newest|largest
+  int oracle_every = 64;        // index-oracle cadence in structural epochs
 };
 
 void usage() {
   std::cerr <<
       "usage: rfidsched_cli [--algo alg1|alg2|alg3|ghc|ca|exact|mc]\n"
-      "                     [--mode oneshot|mcs] [--readers N] [--tags M]\n"
+      "                     [--mode oneshot|mcs|stream] [--readers N] [--tags M]\n"
       "                     [--side S] [--lambda-R X] [--lambda-r Y]\n"
       "                     [--seed S] [--layout uniform|clusters|aisles|grid]\n"
       "                     [--channels C] [--rho R] [--k K] [--svg PATH]\n"
@@ -172,6 +200,24 @@ void usage() {
       "  --check=paranoid  additionally cross-check the read bitmap and the\n"
       "                  referee at every slot\n"
       "\n"
+      "streaming (--mode stream, shorthand --stream; docs/streaming.md):\n"
+      "  --arrival-rate X  Poisson tag arrivals per stream slot (default 5)\n"
+      "  --depart-rate X   Poisson tag departures per stream slot (default 0)\n"
+      "  --move-rate X     Poisson tag moves per stream slot (default 0)\n"
+      "  --stream-slots N  churn-trace horizon in stream slots (default 100)\n"
+      "  --burst X         bursty MMPP: multiply the arrival rate by X while\n"
+      "                  in a burst (default 1 = plain Poisson)\n"
+      "  --burst-enter P / --burst-exit P  per-slot burst entry/exit odds\n"
+      "  --churn PATH      replay the churn trace at PATH instead of\n"
+      "                  generating one\n"
+      "  --save-churn P    write the generated churn trace to P (CSV)\n"
+      "  --max-backlog N   shed unread coverable tags above N (0 = off)\n"
+      "  --shed-after N    shed tags unread for more than N slots (0 = off)\n"
+      "  --shed-policy newest|largest  which tags the backlog bound sheds\n"
+      "  --oracle-every N  verify the incremental coverage index against raw\n"
+      "                  geometry every N structural epochs (default 64;\n"
+      "                  --check=paranoid verifies every iteration)\n"
+      "\n"
       "exit codes: 0 success; 2 bad usage; 3 interrupted by budget\n"
       "            (--deadline-ms/--max-slots); 4 checkpoint integrity\n"
       "            failure; 5 invariant violation (--check)\n";
@@ -190,7 +236,11 @@ bool parse(int argc, char** argv, Cli& cli) {
           "--prom", "--readers",
           "--tags", "--side", "--lambda-R", "--lambda-r", "--seed",
           "--channels", "--rho", "--k", "--fault", "--checkpoint",
-          "--deadline-ms", "--max-slots", "--threads"};
+          "--deadline-ms", "--max-slots", "--threads",
+          "--arrival-rate", "--depart-rate", "--move-rate", "--stream-slots",
+          "--burst", "--burst-enter", "--burst-exit", "--churn",
+          "--save-churn", "--max-backlog", "--shed-after", "--shed-policy",
+          "--oracle-every"};
       for (const char* f : flags) {
         if (a == f) return true;
       }
@@ -223,6 +273,20 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--rho" && (v = next())) cli.rho = std::atof(v);
     else if (a == "--k" && (v = next())) cli.k = std::atoi(v);
     else if (a == "--threads" && (v = next())) cli.threads = std::atoi(v);
+    else if (a == "--stream") cli.mode = "stream";
+    else if (a == "--arrival-rate" && (v = next())) cli.arrival_rate = std::atof(v);
+    else if (a == "--depart-rate" && (v = next())) cli.depart_rate = std::atof(v);
+    else if (a == "--move-rate" && (v = next())) cli.move_rate = std::atof(v);
+    else if (a == "--stream-slots" && (v = next())) cli.stream_slots = std::atoi(v);
+    else if (a == "--burst" && (v = next())) cli.burst = std::atof(v);
+    else if (a == "--burst-enter" && (v = next())) cli.burst_enter = std::atof(v);
+    else if (a == "--burst-exit" && (v = next())) cli.burst_exit = std::atof(v);
+    else if (a == "--churn" && (v = next())) cli.churn_path = v;
+    else if (a == "--save-churn" && (v = next())) cli.save_churn_path = v;
+    else if (a == "--max-backlog" && (v = next())) cli.max_backlog = std::atoi(v);
+    else if (a == "--shed-after" && (v = next())) cli.shed_after = std::atoi(v);
+    else if (a == "--shed-policy" && (v = next())) cli.shed_policy = v;
+    else if (a == "--oracle-every" && (v = next())) cli.oracle_every = std::atoi(v);
     else if (a == "--ref-eval") cli.ref_eval = true;
     else if (a == "--check") cli.check = true;
     else if (a == "--check=paranoid") {
@@ -257,10 +321,27 @@ bool parse(int argc, char** argv, Cli& cli) {
   }
   const bool ckpt_flags = !cli.ckpt_path.empty() || cli.deadline_ms >= 0 ||
                           cli.max_slots > 0;
-  if (ckpt_flags && cli.mode != "mcs") {
+  if (ckpt_flags && cli.mode != "mcs" && cli.mode != "stream") {
     return reject("--checkpoint/--deadline-ms/--max-slots",
-                  "only apply to --mode mcs");
+                  "only apply to --mode mcs or stream");
   }
+  if (cli.arrival_rate < 0) return reject("--arrival-rate", "must be >= 0");
+  if (cli.depart_rate < 0) return reject("--depart-rate", "must be >= 0");
+  if (cli.move_rate < 0) return reject("--move-rate", "must be >= 0");
+  if (cli.stream_slots < 0) return reject("--stream-slots", "must be >= 0");
+  if (cli.burst < 1.0) return reject("--burst", "must be >= 1");
+  if (cli.burst_enter < 0 || cli.burst_enter > 1) {
+    return reject("--burst-enter", "must be a probability in [0,1]");
+  }
+  if (cli.burst_exit < 0 || cli.burst_exit > 1) {
+    return reject("--burst-exit", "must be a probability in [0,1]");
+  }
+  if (cli.max_backlog < 0) return reject("--max-backlog", "must be >= 0");
+  if (cli.shed_after < 0) return reject("--shed-after", "must be >= 0");
+  if (cli.shed_policy != "newest" && cli.shed_policy != "largest") {
+    return reject("--shed-policy", "must be newest or largest");
+  }
+  if (cli.oracle_every < 0) return reject("--oracle-every", "must be >= 0");
   return true;
 }
 
@@ -300,9 +381,11 @@ int main(int argc, char** argv) {
 
   core::System sys = [&]() -> core::System {
     if (!cli.load_path.empty()) {
-      auto loaded = workload::loadDeploymentFile(cli.load_path);
+      std::string err;
+      auto loaded = workload::loadDeploymentFile(cli.load_path, &err);
       if (!loaded) {
-        std::cerr << "failed to load deployment from " << cli.load_path << "\n";
+        std::cerr << "failed to load deployment from " << cli.load_path << ": "
+                  << err << "\n";
         std::exit(2);
       }
       return std::move(*loaded);
@@ -466,6 +549,19 @@ int main(int argc, char** argv) {
             << " edges, max degree " << g.maxDegree() << "\nalgorithm: "
             << scheduler->name() << "\n\n";
 
+  // The streaming index oracle (stream mode only; constructed up here so the
+  // shared check verdict at the bottom can read its counters and issues).
+  check::IncrementalIndexOracle oracle([&]() {
+    check::IndexOracleOptions oo;
+    oo.every_epochs = cli.oracle_every;
+    oo.paranoid = cli.check_paranoid;
+    // Only stream mode drives the oracle; registering its counters in the
+    // static modes would pollute their metrics exports with dead zeros.
+    oo.metrics = cli.mode == "stream" ? metrics : nullptr;
+    oo.trace = cli.mode == "stream" ? trace : nullptr;
+    return oo;
+  }());
+
   bool interrupted = false;
   bool check_failed = false;
   if (cli.mode == "oneshot") {
@@ -562,6 +658,115 @@ int main(int argc, char** argv) {
     if (res.schedule.size() > 25) {
       std::cout << "  ... (" << res.schedule.size() - 25 << " more slots)\n";
     }
+  } else if (cli.mode == "stream") {
+    workload::ChurnTrace churn;
+    if (!cli.churn_path.empty()) {
+      std::string err;
+      auto loaded = workload::loadChurnTraceFile(cli.churn_path, &err);
+      if (!loaded) {
+        std::cerr << "failed to load churn trace from " << cli.churn_path
+                  << ": " << err << "\n";
+        return 2;
+      }
+      churn = std::move(*loaded);
+    } else {
+      workload::ChurnConfig cc;
+      cc.arrival_rate = cli.arrival_rate;
+      cc.depart_rate = cli.depart_rate;
+      cc.move_rate = cli.move_rate;
+      cc.slots = cli.stream_slots;
+      cc.region_side = cli.side;
+      cc.burst_multiplier = cli.burst;
+      cc.burst_enter = cli.burst_enter;
+      cc.burst_exit = cli.burst_exit;
+      churn = workload::makeChurnTrace(cc, sys.numTags(), cli.seed);
+    }
+    if (!cli.save_churn_path.empty()) {
+      if (!workload::saveChurnTraceFile(cli.save_churn_path, churn)) {
+        std::cerr << "failed to save churn trace to " << cli.save_churn_path
+                  << "\n";
+        return 2;
+      }
+      std::cout << "churn trace saved to " << cli.save_churn_path << '\n';
+    }
+
+    sched::StreamingOptions st_opt;
+    st_opt.metrics = metrics;
+    st_opt.trace = trace;
+    st_opt.cost = cost;
+    if (!fault_plan.empty()) {
+      st_opt.faults = &fault_plan;
+      st_opt.channel = channel.get();
+    }
+    st_opt.oracle = &oracle;
+    st_opt.fail_on_divergence = cli.check;
+    st_opt.max_backlog = cli.max_backlog;
+    st_opt.shed_policy = cli.shed_policy == "largest"
+                             ? service::ShedPolicy::kRejectLargest
+                             : service::ShedPolicy::kRejectNewest;
+    st_opt.shed_after_slots = cli.shed_after;
+    if (cli.deadline_ms >= 0) {
+      budget.setDeadline(std::chrono::milliseconds(cli.deadline_ms));
+    }
+    if (cli.max_slots > 0) budget.setSlotCap(cli.max_slots);
+    st_opt.budget = &budget;
+    ckpt::CheckpointSetup setup;
+    setup.path = cli.ckpt_path;
+    setup.resume = cli.resume;
+    setup.seed = cli.seed;
+    const sched::StreamingCheckpointedRun run =
+        sched::runStreamingCheckpointed(sys, *scheduler, churn, st_opt, setup);
+    if (!run.ok) {
+      std::cerr << "checkpoint error: " << run.error << "\n";
+      flushTelemetry();  // best-effort: the partial run's evidence still lands
+      return 4;
+    }
+    if (run.resumed) {
+      std::cerr << "resumed " << cli.ckpt_path << ": " << run.replayed_slots
+                << " committed slots replayed and verified\n";
+    }
+    const sched::StreamingResult& res = run.result;
+    check_failed =
+        cli.check && (res.stop == sched::McsStop::kCheckFailed || !oracle.ok());
+    if (res.interrupted) {
+      interrupted = true;
+      std::cerr << "run interrupted ("
+                << (service::stopSignal() != 0 ? "signal"
+                                               : sched::mcsStopName(res.stop))
+                << ") after " << res.slots << " committed slots";
+      if (!cli.ckpt_path.empty()) std::cerr << "; resume with --resume";
+      std::cerr << "\n";
+    }
+    std::cout << "streaming schedule: " << res.stream_slots
+              << " stream slots (" << res.slots << " busy, " << res.idle_slots
+              << " idle), " << res.tags_read << " tags read, "
+              << res.uncoverable << " uncoverable, "
+              << (res.drained ? "drained" : "NOT DRAINED") << '\n';
+    std::cout << "churn: " << res.arrived << " arrived, " << res.departed
+              << " departed, " << res.moved << " moved";
+    if (res.skipped_events > 0) {
+      std::cout << ", " << res.skipped_events << " events skipped";
+    }
+    std::cout << '\n';
+    std::cout << "overload: backlog peak " << res.backlog_peak << ", shed "
+              << res.shed << " (backlog) + " << res.shed_aged << " (aged)\n";
+    std::cout << "service: latency p50 " << res.latency_p50 << " / p99 "
+              << res.latency_p99 << " slots, " << res.tags_per_sec
+              << " tags/sec\n";
+    if (oracle.checks() > 0 || oracle.divergences() > 0) {
+      std::cerr << "index oracle: " << oracle.checks() << " checks, "
+                << oracle.divergences() << " divergences, " << oracle.heals()
+                << " heals\n";
+    }
+    if (!fault_plan.empty()) {
+      const sched::McsDegradation& d = res.degradation;
+      std::cout << "degradation: " << d.faulty_slots << " faulty slots ("
+                << d.slots_lost << " lost), " << d.crashed_activations
+                << " crashed activations, " << d.replanned_activations
+                << " re-planned, " << d.tags_missed << " tags missed, "
+                << d.tags_orphaned << " orphaned; coverage " << res.tags_read
+                << " achieved vs " << d.ideal_tags_read << " ideal\n";
+    }
   } else {
     std::cerr << "invalid value for --mode: " << cli.mode << "\n";
     usage();
@@ -571,11 +776,25 @@ int main(int argc, char** argv) {
   if (const int rc = flushTelemetry(); rc != 0) return rc;
   if (cli.check) {
     if (check_failed) {
-      validator.report(std::cerr);
+      if (cli.mode == "stream") {
+        std::cerr << "check: FAILED — " << oracle.divergences()
+                  << " index divergences (" << oracle.heals() << " healed)\n";
+        for (const check::CheckIssue& is : oracle.issues()) {
+          std::cerr << "  [slot " << is.slot << "] " << is.invariant << ": "
+                    << is.detail << "\n";
+        }
+      } else {
+        validator.report(std::cerr);
+      }
       return 5;
     }
-    std::cerr << "check: ok (" << validator.slotsChecked()
-              << " slots validated)\n";
+    if (cli.mode == "stream") {
+      std::cerr << "check: ok (" << oracle.checks()
+                << " index verifications)\n";
+    } else {
+      std::cerr << "check: ok (" << validator.slotsChecked()
+                << " slots validated)\n";
+    }
   }
   // A signal that landed too late to interrupt the run (or mid-oneshot,
   // where the scheduler returned its best-so-far set) still reports the
