@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -70,7 +71,16 @@ struct FigureMetrics {
 inline analysis::SeriesSet runFigure(const FigureConfig& cfg,
                                      FigureMetrics* metrics = nullptr) {
   const int xs = static_cast<int>(cfg.sweep.size());
-  const int total = xs * cfg.seeds;
+  // 64-bit-safe sizing: a misconfigured sweep (huge seed count) must fail
+  // closed with a message, not wrap the sample index.
+  const std::int64_t total64 =
+      static_cast<std::int64_t>(xs) * static_cast<std::int64_t>(cfg.seeds);
+  if (total64 > std::numeric_limits<int>::max()) {
+    std::cerr << "figure sweep too large: " << xs << " points x " << cfg.seeds
+              << " seeds = " << total64 << " samples exceeds the 2^31-1 cap\n";
+    return {};
+  }
+  const int total = static_cast<int>(total64);
   struct Sample {
     double value[5] = {0, 0, 0, 0, 0};
     obs::MetricsRegistry metrics[5];

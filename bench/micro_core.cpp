@@ -30,6 +30,27 @@ void BM_SystemConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_SystemConstruction)->Arg(50)->Arg(200)->Arg(800);
 
+// Construction throughput on a fixed deployment: counting-sort CSR build +
+// Morton SFC reorder + blocked-bitmap build, the per-candidate cost of any
+// outer loop that evaluates many Systems (deployment optimization).
+// BM_SystemConstruction above includes deployment *generation*; this one
+// isolates the index builds.
+void BM_SystemBuild(benchmark::State& state) {
+  const auto sc = scaled(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(0)) * 24);
+  const core::System proto = workload::makeSystem(sc, 8);
+  const std::vector<core::Reader> readers(proto.readers().begin(),
+                                          proto.readers().end());
+  const std::vector<core::Tag> tags(proto.tags().begin(), proto.tags().end());
+  for (auto _ : state) {
+    core::System sys(readers, tags);
+    benchmark::DoNotOptimize(sys.numTagBits());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (proto.numReaders() + proto.numTags()));
+}
+BENCHMARK(BM_SystemBuild)->Arg(200)->Arg(800)->Arg(4000);
+
 void BM_SpatialGridQuery(benchmark::State& state) {
   const auto sc = scaled(50, static_cast<int>(state.range(0)));
   const core::System sys = workload::makeSystem(sc, 2);

@@ -5,10 +5,15 @@
 // bill, which is the real cost of having no central entity.
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
+#include <string>
 
 #include "analysis/stats.h"
+#include "obs/metrics.h"
 #include "distributed/growth_distributed.h"
 #include "graph/interference_graph.h"
 #include "sched/growth.h"
@@ -66,10 +71,76 @@ void mcsSection(int seeds) {
   }
 }
 
+/// Peak resident set in MiB from /proc/self/status (VmHWM); 0 when the
+/// platform has no procfs.
+double peakRssMib() {
+  std::ifstream st("/proc/self/status");
+  std::string line;
+  while (std::getline(st, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+/// Large-scale sweep (--large): full alg2 MCS up to n=100k readers / m=1M
+/// tags, one run per point (seeds would double an already minutes-long
+/// section).  Emits one machine-parseable line per point — wall, peak RSS,
+/// and the referee/selection work counters — which tools/bench_record.sh
+/// scrapes into BENCH json for tools/bench_compare.py to gate.
+void largeSection() {
+  using namespace rfid;
+  std::cout << "\n# Large-scale MCS (alg2; one seed per point; "
+               "wall includes scheduling only)\n";
+  struct Point {
+    int n;
+    int tags_per_reader;
+  };
+  for (const Point pt : {Point{20000, 10}, Point{50000, 10}, Point{100000, 10}}) {
+    workload::Scenario sc = workload::paperScenario(10.0, 4.0);
+    sc.deploy.num_readers = pt.n;
+    sc.deploy.num_tags = static_cast<long long>(pt.n) * pt.tags_per_reader >
+                                 std::numeric_limits<int>::max()
+                             ? std::numeric_limits<int>::max()
+                             : pt.n * pt.tags_per_reader;
+    sc.deploy.region_side = 100.0 * std::sqrt(pt.n / 50.0);
+
+    const auto tb0 = std::chrono::steady_clock::now();
+    core::System sys = workload::makeSystem(sc, 99000);
+    const graph::InterferenceGraph g(sys);
+    const double build_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - tb0)
+                                .count();
+
+    obs::MetricsRegistry reg;
+    sys.attachMetrics(&reg);
+    sched::GrowthScheduler alg2(g);
+    alg2.attachMetrics(&reg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const sched::McsResult res = sched::runCoveringSchedule(sys, alg2);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    std::cout << "large n=" << pt.n << " m=" << sc.deploy.num_tags
+              << " algo=alg2 slots=" << res.slots << " tags=" << res.tags_read
+              << " completed=" << (res.completed ? 1 : 0) << std::fixed
+              << std::setprecision(1) << " build_ms=" << build_ms
+              << " wall_ms=" << wall_ms << " rss_mib=" << peakRssMib()
+              << " weight_evals=" << reg.counter("core.weight_evals").value()
+              << " work_units=" << reg.counter("sched.weight_evals").value()
+              << '\n';
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rfid;
+  if (argc > 1 && std::strcmp(argv[1], "--large") == 0) {
+    largeSection();
+    return 0;
+  }
   const int seeds = argc > 1 ? std::max(1, std::atoi(argv[1])) : 5;
 
   std::cout << "# Scaling study: one-shot scheduling vs fleet size n\n"

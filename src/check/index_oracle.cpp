@@ -1,5 +1,6 @@
 #include "check/index_oracle.h"
 
+#include <algorithm>
 #include <string>
 
 namespace rfid::check {
@@ -13,7 +14,7 @@ IncrementalIndexOracle::IncrementalIndexOracle(IndexOracleOptions opt)
   }
 }
 
-std::uint64_t IncrementalIndexOracle::expectedFingerprint(
+IncrementalIndexOracle::Expected IncrementalIndexOracle::expectedFingerprints(
     const core::System& sys) const {
   const int n = sys.numReaders();
   const int m = sys.numTags();
@@ -53,7 +54,41 @@ std::uint64_t IncrementalIndexOracle::expectedFingerprint(
       cov_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = t;
     }
   }
-  return core::System::fingerprintArrays(cov_off, cov_idx, covr_off, covr_idx);
+  Expected e;
+  e.csr = core::System::fingerprintArrays(cov_off, cov_idx, covr_off, covr_idx);
+
+  // Expected bitmap: re-block the geometry cov rows under the System's
+  // recorded SFC permutations.  Canonical form (non-zero words ascending)
+  // matches System::buildBitmap, so the fingerprints compare directly.
+  std::vector<std::uint32_t> row_of(static_cast<std::size_t>(n));
+  std::vector<std::uint32_t> bit_of(static_cast<std::size_t>(sys.numTagBits()));
+  for (int v = 0; v < n; ++v) row_of[static_cast<std::size_t>(v)] = sys.readerRow(v);
+  for (int t = 0; t < m; ++t) bit_of[static_cast<std::size_t>(t)] = sys.tagBit(t);
+  std::vector<std::uint32_t> off(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<core::BitEntry> arena;
+  arena.reserve(cov_idx.size());
+  std::vector<std::uint32_t> bits;
+  for (int r = 0; r < n; ++r) {
+    const int v = sys.rowReader(static_cast<std::uint32_t>(r));
+    const auto lo = static_cast<std::size_t>(cov_off[static_cast<std::size_t>(v)]);
+    const auto hi = static_cast<std::size_t>(cov_off[static_cast<std::size_t>(v) + 1]);
+    bits.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      bits.push_back(bit_of[static_cast<std::size_t>(cov_idx[i])]);
+    }
+    std::sort(bits.begin(), bits.end());
+    for (const std::uint32_t p : bits) {
+      const std::uint32_t w = p >> 6;
+      if (arena.size() > off[static_cast<std::size_t>(r)] && arena.back().word == w) {
+        arena.back().bits |= std::uint64_t{1} << (p & 63);
+      } else {
+        arena.push_back({w, 0, std::uint64_t{1} << (p & 63)});
+      }
+    }
+    off[static_cast<std::size_t>(r) + 1] = static_cast<std::uint32_t>(arena.size());
+  }
+  e.bitmap = core::System::fingerprintBitmap(off, arena, row_of, bit_of);
+  return e;
 }
 
 IndexVerdict IncrementalIndexOracle::checkSlot(core::System& sys, int slot) {
@@ -70,9 +105,10 @@ IndexVerdict IncrementalIndexOracle::checkSlot(core::System& sys, int slot) {
 IndexVerdict IncrementalIndexOracle::verify(core::System& sys, int slot) {
   ++checks_;
   if (c_checks_ != nullptr) c_checks_->add(1);
-  const std::uint64_t expected = expectedFingerprint(sys);
-  const std::uint64_t live = sys.indexFingerprint();
-  if (live == expected) {
+  const Expected expected = expectedFingerprints(sys);
+  const std::uint64_t live_csr = sys.indexFingerprint();
+  const std::uint64_t live_bitmap = sys.bitmapFingerprint();
+  if (live_csr == expected.csr && live_bitmap == expected.bitmap) {
     verified_epoch_ = sys.structuralEpoch();
     return IndexVerdict::kOk;
   }
@@ -81,11 +117,17 @@ IndexVerdict IncrementalIndexOracle::verify(core::System& sys, int slot) {
   ++divergences_;
   if (c_divergences_ != nullptr) c_divergences_->add(1);
   opt_.paranoid = true;
+  const char* which = live_csr != expected.csr
+                          ? (live_bitmap != expected.bitmap
+                                 ? "incremental CSR+bitmap index fingerprints "
+                                 : "incremental CSR index fingerprint ")
+                          : "bitmap index fingerprint ";
   issues_.push_back(
       {slot, "index.divergence",
-       "incremental CSR index fingerprint " + std::to_string(live) +
-           " != geometry rebuild " + std::to_string(expected) + " at epoch " +
-           std::to_string(sys.structuralEpoch())});
+       std::string(which) + std::to_string(live_csr) + "/" +
+           std::to_string(live_bitmap) + " != geometry rebuild " +
+           std::to_string(expected.csr) + "/" + std::to_string(expected.bitmap) +
+           " at epoch " + std::to_string(sys.structuralEpoch())});
   if (opt_.trace != nullptr) {
     opt_.trace->instant(obs::EventKind::kFault, "check.index_divergence",
                         {{"slot", static_cast<double>(slot)},
@@ -93,7 +135,8 @@ IndexVerdict IncrementalIndexOracle::verify(core::System& sys, int slot) {
   }
   if (!opt_.self_heal) return IndexVerdict::kCorrupt;
   sys.rebuildIndex();
-  if (sys.indexFingerprint() == expected) {
+  if (sys.indexFingerprint() == expected.csr &&
+      sys.bitmapFingerprint() == expected.bitmap) {
     ++heals_;
     if (c_heals_ != nullptr) c_heals_->add(1);
     verified_epoch_ = sys.structuralEpoch();

@@ -79,8 +79,15 @@ class IncrementalIndexOracle {
   const IndexOracleOptions& options() const { return opt_; }
 
  private:
-  /// The expected fingerprint, rebuilt from positions and radii alone.
-  std::uint64_t expectedFingerprint(const core::System& sys) const;
+  /// Both expected fingerprints, rebuilt from positions and radii alone.
+  /// The bitmap side reuses the geometry CSR under the System's recorded
+  /// SFC permutations (the permutations are model input — assigned once at
+  /// construction — not derived state the incremental path could corrupt).
+  struct Expected {
+    std::uint64_t csr = 0;
+    std::uint64_t bitmap = 0;
+  };
+  Expected expectedFingerprints(const core::System& sys) const;
 
   IndexOracleOptions opt_;
   std::uint64_t verified_epoch_ = 0;  // epoch at the last verification

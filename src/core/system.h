@@ -28,6 +28,15 @@
 
 namespace rfid::core {
 
+/// One blocked-bitmap row element: 64 tag-bit slots starting at bit
+/// position `word * 64`.  Rows store only non-zero words, ascending by
+/// `word`, all rows back to back in one arena (core::System below).
+struct BitEntry {
+  std::uint32_t word = 0;   // tag-bit block index (bit positions word*64 ..)
+  std::uint32_t pad = 0;    // keeps the arena element 16-byte, one load/entry
+  std::uint64_t bits = 0;   // never zero for a stored entry (canonical form)
+};
+
 /// Reusable per-thread buffers for weight evaluation.  The scratch-taking
 /// System overloads are safe to call concurrently, one scratch per thread
 /// (the parallel PTAS shifts do exactly that); the scratch-less overloads
@@ -37,6 +46,15 @@ namespace rfid::core {
 struct WeightScratch {
   std::vector<int> count;    // per-tag coverage multiplicity within X
   std::vector<char> victim;  // per-reader RTc victim flag within X
+  // Bitmap-referee buffers (word-indexed by tag bit block): exactly-one
+  // counting accumulates `once`/`twice` over the active rows, `touched`
+  // remembers which words to zero afterwards, `marked` which victim flags,
+  // and `qbuf` backs the reader-grid victim queries.
+  std::vector<std::uint64_t> once;
+  std::vector<std::uint64_t> twice;
+  std::vector<int> touched;
+  std::vector<int> marked;
+  std::vector<int> qbuf;
 };
 
 /// The deployment plus the tag read-state.
@@ -91,13 +109,21 @@ class System {
   // ---- read-state (MCS loop renders served tags passive) ----
 
   bool isRead(int t) const { return read_[static_cast<std::size_t>(t)] != 0; }
-  void markRead(int t) { read_[static_cast<std::size_t>(t)] = 1; }
+  void markRead(int t) {
+    read_[static_cast<std::size_t>(t)] = 1;
+    const std::uint32_t p = bit_of_[static_cast<std::size_t>(t)];
+    read_bits_[p >> 6] |= std::uint64_t{1} << (p & 63);
+  }
   void markRead(std::span<const int> tags);
   /// Re-arms a tag.  Two uses: undoing experiment state, and the dynamic
   /// arrival simulation (workload::DynamicSimulation), which pre-places all
   /// future tags as read ("not in the field yet") and un-reads each one at
   /// its arrival slot.
-  void markUnread(int t) { read_[static_cast<std::size_t>(t)] = 0; }
+  void markUnread(int t) {
+    read_[static_cast<std::size_t>(t)] = 0;
+    const std::uint32_t p = bit_of_[static_cast<std::size_t>(t)];
+    read_bits_[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
+  }
   /// Forgets all reads; used between independent experiments on one System.
   void resetReads();
   /// The raw read bitmap, one byte per tag (nonzero = read).  Checkpoint
@@ -195,6 +221,57 @@ class System {
                                          std::span<const int> covr_off,
                                          std::span<const int> covr_idx);
 
+  // ---- bitmap coverage index (the popcount weight referee) ----
+  //
+  // Beside the dual CSR lives a blocked per-reader coverage bitmap: tag t
+  // occupies bit position tagBit(t) (Morton rank of its position, so one
+  // disk's tags cluster into few words; churn-added tags append at the
+  // tail), and reader v's row — the non-zero 64-bit words of its coverage
+  // set — sits at arena rows readerRow(v), rows themselves in Morton order
+  // of the reader positions.  weight(), wellCoveredTags(), singleWeight()
+  // and unreadCoverableCount() run over this index by default; the CSR
+  // element walk remains available as the reference referee
+  // (setReferenceEval).  Both paths produce bit-identical results; the
+  // incremental-index oracle verifies the bitmap against geometry exactly
+  // like the CSR (docs/performance.md).
+
+  /// Switches the referee kernels to the CSR reference path (true) or the
+  /// bitmap path (false, default).  Purely an evaluation-strategy switch:
+  /// results are identical; only speed differs.
+  void setReferenceEval(bool on) { reference_eval_ = on; }
+  bool referenceEval() const { return reference_eval_; }
+
+  /// Tag t's bit position in the coverage bitmaps (Morton rank at
+  /// construction; tags added later append past the construction range).
+  std::uint32_t tagBit(int t) const { return bit_of_[static_cast<std::size_t>(t)]; }
+  /// Inverse of tagBit: the tag occupying bit position `p`.
+  int bitTag(std::uint32_t p) const { return tag_of_[static_cast<std::size_t>(p)]; }
+  /// Reader v's row slot in the bitmap arena (Morton rank of its position).
+  std::uint32_t readerRow(int v) const { return row_of_[static_cast<std::size_t>(v)]; }
+  /// Inverse of readerRow.
+  int rowReader(std::uint32_t r) const { return reader_of_[static_cast<std::size_t>(r)]; }
+  /// Reader v's bitmap row: non-zero words ascending by block index.
+  std::span<const BitEntry> bitRow(int v) const {
+    const std::uint32_t r = row_of_[static_cast<std::size_t>(v)];
+    return {bit_arena_.data() + bit_off_[r], bit_off_[r + 1] - bit_off_[r]};
+  }
+  /// Number of allocated tag bit positions (== numTags(); grows with addTag).
+  std::uint32_t numTagBits() const { return static_cast<std::uint32_t>(tag_of_.size()); }
+  /// Read-state bitmap, one bit per tag bit position (see tagBit); bit set
+  /// means the tag is read or departed.  Lets caches diff read-state
+  /// word-parallel instead of polling isRead() per tag.
+  std::span<const std::uint64_t> readBits() const { return read_bits_; }
+
+  /// FNV-1a over the bitmap arena, offsets, and both SFC permutations —
+  /// the bitmap counterpart of indexFingerprint() for the oracle.
+  std::uint64_t bitmapFingerprint() const;
+
+  /// Shared hash for the oracle's independently rebuilt bitmap.
+  static std::uint64_t fingerprintBitmap(std::span<const std::uint32_t> off,
+                                         std::span<const BitEntry> arena,
+                                         std::span<const std::uint32_t> row_of,
+                                         std::span<const std::uint32_t> bit_of);
+
   /// Rebuilds both CSR directions from raw geometry (skipping departed
   /// tags), discarding whatever the incremental path had accumulated — the
   /// self-heal step after the oracle flags a divergence.  Invalidates every
@@ -220,6 +297,10 @@ class System {
   /// log) to simulate an incremental-update bug for the oracle tests.
   void testOnlyCorruptIndex();
 
+  /// Test hook: flips one bit in the bitmap arena (CSR untouched) to
+  /// simulate a bitmap/CSR desync for the oracle and mutation-smoke tests.
+  void testOnlyCorruptBitmap();
+
   // ---- observability ----
 
   /// Attaches a metrics registry (nullptr detaches).  Flushes the
@@ -241,6 +322,28 @@ class System {
   /// From-scratch CSR construction (constructor and rebuildIndex); skips
   /// departed tags.
   void buildIndex();
+  /// Fails closed (std::length_error with sizing math) when the coverage
+  /// index would overflow the 32-bit arena offsets.
+  void checkIndexCapacity() const;
+  /// Assigns the SFC permutations (constructor only — bit positions and row
+  /// slots stay stable across mutations and rebuilds so fingerprints,
+  /// caches, and the oracle all speak one layout).
+  void assignSfcOrder();
+  /// Rebuilds the bitmap arena from the current CSR under the existing
+  /// permutations (constructor and rebuildIndex).
+  void buildBitmap();
+  /// Splices tag `t`'s bit into / out of the bitmap rows of `readers`.
+  void bitmapInsert(std::span<const int> readers, int t);
+  void bitmapErase(std::span<const int> readers, int t);
+  /// Bitmap-path referee kernels (weight / wellCoveredTags); `out` nullptr
+  /// means count only.  Exactly-one counting over once/twice accumulators;
+  /// victims marked through the reader grid above a small |X| threshold.
+  int evalBitmap(std::span<const int> X, std::span<const int> jamming,
+                 WeightScratch& scratch, std::vector<int>* out) const;
+  void markVictims(std::span<const int> X, std::span<const int> jamming,
+                   WeightScratch& scratch) const;
+  /// Materializes the directed interference rows (constructor only).
+  void buildInterferenceRows();
   /// Readers covering position `pos`, ascending (lazy reader grid query).
   void coveringReaders(geom::Vec2 pos, std::vector<int>& out);
   /// Splices tag `t` into / out of the cov rows of `readers` (ascending).
@@ -260,6 +363,19 @@ class System {
   std::vector<int> cov_idx_;   // reader → tags, ascending per reader
   std::vector<int> covr_off_;  // size numTags()+1
   std::vector<int> covr_idx_;  // tag → readers, ascending per tag
+  // Bitmap coverage index: one arena of non-zero words, rows in Morton
+  // reader order (bit_off_ has one trailing entry per the CSR convention),
+  // plus the two SFC permutations and the word-parallel read / coverable
+  // state the popcount kernels AND against.
+  std::vector<BitEntry> bit_arena_;
+  std::vector<std::uint32_t> bit_off_;        // size numReaders()+1, by row
+  std::vector<std::uint32_t> row_of_;         // reader → arena row
+  std::vector<int> reader_of_;                // arena row → reader
+  std::vector<std::uint32_t> bit_of_;         // tag → bit position
+  std::vector<int> tag_of_;                   // bit position → tag
+  std::vector<std::uint64_t> read_bits_;      // read-state, word per block
+  std::vector<std::uint64_t> coverable_bits_; // ≥1 coverer, word per block
+  bool reference_eval_ = false;
   std::vector<char> read_;
   // Structural-churn state.
   std::vector<char> departed_;       // tombstones (removeTag)
@@ -271,6 +387,14 @@ class System {
   // first addTag/moveTag, reused for every later coverer query.  Immutable
   // and self-contained once built, so copies of the System share it.
   std::shared_ptr<const geom::SpatialGrid> reader_index_;
+  // Directed interference rows: intf_idx_[intf_off_[v] .. intf_off_[v+1])
+  // lists the readers u != v inside v's interference disk, ascending — the
+  // victims v creates when it radiates.  Readers are static, so the rows
+  // never need maintenance; on adversarially dense deployments (total past
+  // the build cap) the offsets stay empty and the victim pass falls back
+  // to per-radiator grid queries.
+  std::vector<int> intf_off_;
+  std::vector<int> intf_idx_;
   // Internal scratch backing the scratch-less evaluation overloads.
   mutable WeightScratch scratch_;
   std::uint64_t instance_id_ = 0;

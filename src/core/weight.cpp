@@ -1,6 +1,7 @@
 #include "core/weight.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace rfid::core {
@@ -98,19 +99,17 @@ void WeightEvaluator::clear() {
 
 void StandaloneWeightCache::sync(const System& sys) {
   const auto n = static_cast<std::size_t>(sys.numReaders());
-  const auto m = static_cast<std::size_t>(sys.numTags());
+  const std::span<const std::uint64_t> live = sys.readBits();
   if (sys.instanceId() != sys_id_ || dirty_cursor_ < sys.dirtyLogBase()) {
     // New deployment, or the dirty-log window moved past our cursor
     // (compaction / rebuildIndex): rebuild from scratch.
     sys_id_ = sys.instanceId();
     standalone_.assign(n, 0);
-    shadow_read_.assign(m, 0);
     for (std::size_t v = 0; v < n; ++v) {
       standalone_[v] = sys.singleWeight(static_cast<int>(v));
     }
-    for (std::size_t t = 0; t < m; ++t) {
-      shadow_read_[t] = sys.isRead(static_cast<int>(t)) ? 1 : 0;
-    }
+    shadow_bits_.assign(live.begin(), live.end());
+    shadow_nbits_ = sys.numTagBits();
     dirty_cursor_ = sys.dirtyLogEnd();
     ++stats_.full_builds;
     stats_.rows_refreshed += static_cast<std::int64_t>(n);
@@ -123,9 +122,19 @@ void StandaloneWeightCache::sync(const System& sys) {
   // rows below absorb them exactly and the shadow must not flag a diff.
   const std::span<const int> dirty = sys.dirtyLogFrom(dirty_cursor_);
   dirty_cursor_ = sys.dirtyLogEnd();
-  const std::size_t old_m = shadow_read_.size();
-  for (std::size_t t = old_m; t < m; ++t) {
-    shadow_read_.push_back(sys.isRead(static_cast<int>(t)) ? 1 : 0);
+  const std::uint32_t old_bits = shadow_nbits_;
+  const std::uint32_t new_bits = sys.numTagBits();
+  if (new_bits > old_bits) {
+    shadow_bits_.resize(live.size(), 0);
+    // Seed appended bit positions at their current read value so the diff
+    // walk below sees no flip for them; the boundary word keeps its old
+    // low bits (still subject to the diff) and absorbs the new high bits.
+    for (std::uint32_t p = old_bits; p < new_bits; ++p) {
+      const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+      shadow_bits_[p >> 6] =
+          (shadow_bits_[p >> 6] & ~bit) | (live[p >> 6] & bit);
+    }
+    shadow_nbits_ = new_bits;
   }
   const bool churned = !dirty.empty();
   if (churned) {
@@ -140,15 +149,22 @@ void StandaloneWeightCache::sync(const System& sys) {
   // Read-state diff: adjust only the coverers of tags whose read-state
   // flipped since the last sync (within the MCS loop, exactly the tags the
   // previous slot served) — skipping dirty rows, which are already exact.
-  for (std::size_t t = 0; t < old_m; ++t) {
-    const char cur = sys.isRead(static_cast<int>(t)) ? 1 : 0;
-    if (cur == shadow_read_[t]) continue;
-    shadow_read_[t] = cur;
-    ++stats_.rows_refreshed;
-    const int by = (cur != 0) ? -1 : 1;
-    for (const int u : sys.coverers(static_cast<int>(t))) {
-      if (churned && dirty_mask_[static_cast<std::size_t>(u)] != 0) continue;
-      standalone_[static_cast<std::size_t>(u)] += by;
+  // XOR whole 64-tag blocks: unchanged blocks (the vast majority late in a
+  // covering schedule) cost one compare each.
+  for (std::size_t w = 0; w < shadow_bits_.size(); ++w) {
+    std::uint64_t flips = live[w] ^ shadow_bits_[w];
+    if (flips == 0) continue;
+    shadow_bits_[w] = live[w];
+    for (; flips != 0; flips &= flips - 1) {
+      const auto p = static_cast<std::uint32_t>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(flips)));
+      const int t = sys.bitTag(p);
+      ++stats_.rows_refreshed;
+      const int by = ((live[w] >> (p & 63)) & 1) != 0 ? -1 : 1;
+      for (const int u : sys.coverers(t)) {
+        if (churned && dirty_mask_[static_cast<std::size_t>(u)] != 0) continue;
+        standalone_[static_cast<std::size_t>(u)] += by;
+      }
     }
   }
 }

@@ -142,7 +142,11 @@ class StandaloneWeightCache {
   std::uint64_t sys_id_ = 0;
   std::uint64_t dirty_cursor_ = 0;  // System dirty-log position consumed
   std::vector<int> standalone_;
-  std::vector<char> shadow_read_;
+  // Shadow of System::readBits() as of the last sync, indexed by tag bit
+  // position (stable for a tag's lifetime).  The diff walk XORs whole
+  // 64-tag blocks, so an unchanged block costs one compare, not 64 polls.
+  std::vector<std::uint64_t> shadow_bits_;
+  std::uint32_t shadow_nbits_ = 0;  // tag bits tracked at last sync
   std::vector<char> dirty_mask_;    // per-sync scratch over readers
   Stats stats_;
 };

@@ -51,6 +51,43 @@ std::vector<int> kHopNeighborhoodAlive(const InterferenceGraph& g, int v,
   return collectWithin(bfs(g, v, alive, r), r);
 }
 
+void kHopNeighborhoodAlive(const InterferenceGraph& g, int v, int r,
+                           std::span<const char> alive, BfsScratch& scratch,
+                           std::vector<int>& out) {
+  assert(r >= 0);
+  assert(alive.empty() || alive[static_cast<std::size_t>(v)] != 0);
+  const auto n = static_cast<std::size_t>(g.numNodes());
+  if (scratch.stamp.size() < n) {
+    scratch.stamp.resize(n, 0);
+    scratch.dist.resize(n, 0);
+  }
+  if (++scratch.epoch == 0) {  // epoch wrapped: flush stale stamps once
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+    scratch.epoch = 1;
+  }
+  out.clear();
+  scratch.queue.clear();
+  scratch.stamp[static_cast<std::size_t>(v)] = scratch.epoch;
+  scratch.dist[static_cast<std::size_t>(v)] = 0;
+  scratch.queue.push_back(v);
+  // The hop cap bounds the whole traversal, so the visited set IS the
+  // answer — collect as we go, sort once at the end.
+  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+    const int u = scratch.queue[head];
+    const int du = scratch.dist[static_cast<std::size_t>(u)];
+    if (du >= r) continue;
+    for (const int w : g.neighbors(u)) {
+      if (!alive.empty() && alive[static_cast<std::size_t>(w)] == 0) continue;
+      if (scratch.stamp[static_cast<std::size_t>(w)] == scratch.epoch) continue;
+      scratch.stamp[static_cast<std::size_t>(w)] = scratch.epoch;
+      scratch.dist[static_cast<std::size_t>(w)] = du + 1;
+      scratch.queue.push_back(w);
+    }
+  }
+  out.assign(scratch.queue.begin(), scratch.queue.end());
+  std::sort(out.begin(), out.end());
+}
+
 std::vector<int> hopDistances(const InterferenceGraph& g, int v) {
   return bfs(g, v, {}, -1);
 }

@@ -26,6 +26,24 @@ std::vector<int> kHopNeighborhood(const InterferenceGraph& g, int v, int r);
 std::vector<int> kHopNeighborhoodAlive(const InterferenceGraph& g, int v,
                                        int r, std::span<const char> alive);
 
+/// Reusable buffers for the bounded BFS below.  Visited marks are epoch
+/// stamps, so nothing is cleared between calls: one query costs only the
+/// neighborhood it returns, not O(numNodes).  One scratch per thread.
+struct BfsScratch {
+  std::vector<std::uint32_t> stamp;  // visit epoch per node
+  std::vector<int> dist;             // hop distance, valid when stamp matches
+  std::vector<int> queue;            // frontier, head-indexed (no pops)
+  std::uint32_t epoch = 0;
+};
+
+/// kHopNeighborhoodAlive with caller-owned scratch and output buffer —
+/// bit-identical result (ascending), no per-call allocation or O(n) scan.
+/// The growth-bounded scheduler calls this thousands of times per schedule
+/// on neighborhoods far smaller than the graph (docs/performance.md).
+void kHopNeighborhoodAlive(const InterferenceGraph& g, int v, int r,
+                           std::span<const char> alive, BfsScratch& scratch,
+                           std::vector<int>& out);
+
 /// Hop distance from v to every node; -1 for unreachable.
 std::vector<int> hopDistances(const InterferenceGraph& g, int v);
 

@@ -20,6 +20,10 @@
 #include "core/system.h"
 #include "sched/scheduler.h"
 
+namespace rfid::core {
+class WeightEvaluator;
+}
+
 namespace rfid::sched {
 
 /// A self-contained local MWFS instance over `n = adj.size()` candidates.
@@ -42,6 +46,23 @@ struct LocalProblem {
   std::vector<int> preload;
 };
 
+/// Reusable allocation arena for the hot local-MWFS path.  Algorithm 2
+/// solves one tiny subproblem per pick (thousands per covering schedule, a
+/// handful of candidates each), where heap churn for the problem rows and
+/// search buffers costs more than the search itself.  Passing the same
+/// scratch across calls keeps every buffer's capacity; results are
+/// bit-identical with and without one (the search never reads stale data).
+struct BnbScratch {
+  LocalProblem problem;  // assembled instance; rows keep capacity
+  std::vector<int> ids;  // densification: sorted unique tag ids
+  std::vector<int> count;
+  std::vector<int> conflict;
+  std::vector<int> order;
+  std::vector<int> chosen;
+  std::vector<int> best;
+  std::vector<std::vector<int>> coverage;  // densified candidate rows
+};
+
 struct BnbResult {
   /// Chosen candidates (local indices for solveLocal, reader indices for
   /// the System overloads), ascending.
@@ -61,7 +82,8 @@ struct BnbResult {
 /// ends the search through the same best-so-far path as the node budget
 /// (`optimal` comes back false).
 BnbResult solveLocal(const LocalProblem& problem, std::int64_t node_limit = 0,
-                     const ckpt::CancelToken* cancel = nullptr);
+                     const ckpt::CancelToken* cancel = nullptr,
+                     BnbScratch* scratch = nullptr);
 
 /// Exact MWFS restricted to `candidates` (reader indices) of `sys`,
 /// scored against the system's current unread set.  When `committed` is
@@ -73,7 +95,21 @@ BnbResult maxWeightFeasibleSubset(const core::System& sys,
                                   std::span<const int> candidates,
                                   std::int64_t node_limit = 0,
                                   std::span<const int> committed = {},
-                                  const ckpt::CancelToken* cancel = nullptr);
+                                  const ckpt::CancelToken* cancel = nullptr,
+                                  BnbScratch* scratch = nullptr);
+
+/// Same solve, but the committed context arrives as the live WeightEvaluator
+/// maintaining it: the preload multiplicities are read off
+/// `committed.multiplicity(t)` for exactly the candidate-covered tags,
+/// instead of re-walking every committed member's coverage row per call
+/// (which is quadratic in picks over a growth run).  Bit-identical search
+/// — same counts, same bounds, same nodes — at O(candidate coverage) setup.
+BnbResult maxWeightFeasibleSubset(const core::System& sys,
+                                  std::span<const int> candidates,
+                                  std::int64_t node_limit,
+                                  const core::WeightEvaluator& committed,
+                                  const ckpt::CancelToken* cancel = nullptr,
+                                  BnbScratch* scratch = nullptr);
 
 /// Exact one-shot scheduler over all readers.  Exponential in the worst
 /// case — intended for tests and small-n ablations, not the paper-scale

@@ -28,6 +28,14 @@ struct GrowthScheduler::Worker {
   std::vector<char> alive;
   core::WeightEvaluator eval;
   core::LazyGreedyQueue queue;
+  // Bounded-BFS scratch: the Γ-growth and kill-neighborhood queries run
+  // thousands of times per schedule on small neighborhoods; the stateless
+  // kHopNeighborhoodAlive would pay an O(n) allocation + scan on each.
+  graph::BfsScratch bfs;
+  std::vector<int> hood;
+  // Local-MWFS arena: one tiny branch & bound per pick; reusing the
+  // instance rows and search buffers removes the dominant per-call cost.
+  BnbScratch bnb;
 };
 
 void GrowthScheduler::ensureComponents(const core::System& sys) {
@@ -111,11 +119,16 @@ void GrowthScheduler::runComponent(const core::System& sys,
     int gamma_w = vw;
     int rbar = 0;
     for (int r = 0; r < opt_.hop_cap; ++r) {
-      const auto next_hood =
-          graph::kHopNeighborhoodAlive(*graph_, v, r + 1, worker.alive);
+      graph::kHopNeighborhoodAlive(*graph_, v, r + 1, worker.alive, worker.bfs,
+                                   worker.hood);
+      // Alone in its alive neighborhood: the MWFS over {v} is ({v}, w(v)'s
+      // marginal) and inequality (1) fails immediately (w < ρ·w for ρ > 1,
+      // and Γ_r ⊆ N(v)^{r+1} means the neighborhood can never grow again),
+      // so the exact solve would expand nodes only to confirm the break.
+      if (worker.hood.size() <= 1) break;
       const BnbResult next =
-          maxWeightFeasibleSubset(sys, next_hood, opt_.node_limit,
-                                  worker.eval.members(), cancelToken());
+          maxWeightFeasibleSubset(sys, worker.hood, opt_.node_limit,
+                                  worker.eval, cancelToken(), &worker.bnb);
       out.stats.bnb_nodes += next.nodes;
       if (static_cast<double>(next.weight) <
           opt_.rho * static_cast<double>(gamma_w)) {
@@ -134,8 +147,9 @@ void GrowthScheduler::runComponent(const core::System& sys,
     }
 
     // Remove N(v)^{r̄+1}; guarantees feasibility of the union across picks.
-    for (const int u :
-         graph::kHopNeighborhoodAlive(*graph_, v, rbar + 1, worker.alive)) {
+    graph::kHopNeighborhoodAlive(*graph_, v, rbar + 1, worker.alive, worker.bfs,
+                                 worker.hood);
+    for (const int u : worker.hood) {
       worker.alive[static_cast<std::size_t>(u)] = 0;
     }
   }
@@ -276,9 +290,11 @@ OneShotResult GrowthScheduler::scheduleReference(const core::System& sys) {
     for (int r = 0; r < opt_.hop_cap; ++r) {
       const auto next_hood =
           graph::kHopNeighborhoodAlive(*graph_, v, r + 1, alive);
+      // Same singleton shortcut as the lazy loop (identical stats bill).
+      if (next_hood.size() <= 1) break;
       const BnbResult next =
-          maxWeightFeasibleSubset(sys, next_hood, opt_.node_limit,
-                                  committed.members(), cancelToken());
+          maxWeightFeasibleSubset(sys, next_hood, opt_.node_limit, committed,
+                                  cancelToken());
       stats_.bnb_nodes += next.nodes;
       if (static_cast<double>(next.weight) <
           opt_.rho * static_cast<double>(gamma_w)) {

@@ -87,6 +87,14 @@ STREAM_KEYS = (
 STREAM_SUMMARY_KEYS = ("stream.backlog_peak", "stream.latency_p50",
                        "stream.latency_p99")
 
+# Deterministic fields of the large-scale MCS sweep (bench/scaling_n
+# --large, recorded under RFIDSCHED_BENCH_LARGE=1): slots, tags read, and
+# the referee/selection work counters depend only on (n, m, seed).  A
+# completed point must STAY completed.  wall_ms / build_ms / rss_mib are
+# machine numbers and stay advisory.
+LARGE_KEYS = ("slots", "tags", "completed", "weight_evals", "work_units")
+LARGE_WALL_KEYS = ("build_ms", "wall_ms", "rss_mib")
+
 # The fixed stream point --stream-record replays; must match the
 # parameters bench_record.sh passes to `rfidsched_cli --mode stream`.
 STREAM_POINT = ("--mode", "stream", "--algo", "alg2", "--readers", "200",
@@ -155,7 +163,61 @@ def compare(base_entry, cur_entry, threshold, wall_threshold):
     tf, tw, tl = compare_stream(base_entry.get("stream_churn"),
                                 cur_entry.get("stream_churn"),
                                 threshold, wall_threshold)
-    return failures + sf + tf, warnings + sw + tw, lines + sl + tl
+    lf, lw, ll = compare_large(base_entry.get("large_mcs"),
+                               cur_entry.get("large_mcs"),
+                               threshold, wall_threshold)
+    return (failures + sf + tf + lf, warnings + sw + tw + lw,
+            lines + sl + tl + ll)
+
+
+def compare_large(base_pts, cur_pts, threshold, wall_threshold):
+    """Gates the deterministic fields of the large-scale MCS sweep points."""
+    failures, warnings, lines = [], [], []
+    if not base_pts:
+        return failures, warnings, lines
+    if not cur_pts:
+        warnings.append("large_mcs section missing from current run (skipped)")
+        return failures, warnings, lines
+    cur_by_key = {(p.get("n"), p.get("m")): p for p in cur_pts}
+    for bp in base_pts:
+        key = (bp.get("n"), bp.get("m"))
+        label = f"large n={key[0]} m={key[1]}"
+        cp = cur_by_key.get(key)
+        if cp is None:
+            warnings.append(f"{label}: point missing from current run")
+            continue
+        if bp.get("completed", 1) == 1 and cp.get("completed", 1) != 1:
+            failures.append(f"{label}/completed: 1 -> {cp.get('completed')}")
+            lines.append(f"  [FAIL] {label}/completed: 1 -> {cp.get('completed')}")
+        for name in LARGE_KEYS:
+            if name == "completed" or name not in bp:
+                continue
+            if name not in cp:
+                warnings.append(f"{label}/{name}: not recorded by current run")
+                continue
+            b, c = bp[name], cp[name]
+            if b <= 0:
+                continue
+            growth = (c - b) / b
+            tag = "ok"
+            if growth > threshold:
+                tag = "FAIL"
+                failures.append(
+                    f"{label}/{name}: {b} -> {c} (+{growth:.1%} > {threshold:.0%})")
+            elif growth < 0:
+                tag = "improved"
+            lines.append(f"  [{tag}] {label}/{name}: {b} -> {c} ({growth:+.1%})")
+        for name in LARGE_WALL_KEYS:
+            b, c = bp.get(name), cp.get(name)
+            if b and c and b > 0:
+                drift = (c - b) / b
+                if abs(drift) > wall_threshold:
+                    warnings.append(
+                        f"{label}/{name} drifted {drift:+.1%} ({b} -> {c}) — "
+                        "machine numbers are advisory, check the work "
+                        "counters above")
+                lines.append(f"  [wall] {label}/{name}: {b} -> {c} ({drift:+.1%})")
+    return failures, warnings, lines
 
 
 def compare_service(base_svc, cur_svc, threshold, wall_threshold):
@@ -305,6 +367,11 @@ def selftest(base_entry, threshold, wall_threshold):
     if "counters" in st and st["counters"].get("check.index_divergence") == 0:
         st["counters"]["check.index_divergence"] = 1
         touched += 1
+    for pt in seeded.get("large_mcs", []):
+        for k in LARGE_KEYS:
+            if k != "completed" and isinstance(pt.get(k), (int, float)) and pt[k] > 0:
+                pt[k] = type(pt[k])(pt[k] * 1.05) + 1
+                touched += 1
     if touched == 0:
         print("selftest: baseline entry has no deterministic counters", file=sys.stderr)
         return False

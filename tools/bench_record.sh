@@ -38,8 +38,20 @@ sed -n '/# MCS covering schedule/,$p' "$TMP/scaling.txt"
 
 echo "== micro_core =="
 "$MICRO" --benchmark_format=json \
-  --benchmark_filter='BM_(SystemConstruction|WeightEvaluation|WeightEvaluatorPushPop|GreedySelection)' \
+  --benchmark_filter='BM_(SystemConstruction|SystemBuild|WeightEvaluation|WeightEvaluatorPushPop|GreedySelection)' \
   > "$TMP/micro.json" 2> /dev/null
+
+# Large-scale sweep (PR9): full alg2 MCS at n = 20k/50k/100k readers, up to
+# 1M tags.  Minutes-long, so opt-in: RFIDSCHED_BENCH_LARGE=1.  The emitted
+# key=value lines (wall, peak RSS, referee/selection work counters) are
+# scraped into "large_mcs"; tools/bench_compare.py gates the deterministic
+# fields (slots/tags/completed and the work counters) and treats wall/RSS
+# as advisory.
+if [ "${RFIDSCHED_BENCH_LARGE:-0}" = "1" ]; then
+  echo "== scaling_n --large (n up to 100k; this takes minutes) =="
+  "$SCALING" --large > "$TMP/large.txt"
+  grep '^large ' "$TMP/large.txt" || true
+fi
 
 # Timed CLI MCS runs: wall clock for the whole invocation plus the work
 # counters from --metrics.  Modes beyond "default" need the post-PR flags.
@@ -149,6 +161,26 @@ for line in open(os.path.join(tmp, "cli_times.txt")):
                 "slots": len(cost.get("slots", [])),
             }
     entry["cli_mcs_n2000"][mode] = run
+
+lpath = os.path.join(tmp, "large.txt")
+if os.path.exists(lpath):
+    large = []
+    for line in open(lpath):
+        if not line.startswith("large "):
+            continue
+        point = {}
+        for kv in line.split()[1:]:
+            k, _, v = kv.partition("=")
+            try:
+                point[k] = int(v)
+            except ValueError:
+                try:
+                    point[k] = float(v)
+                except ValueError:
+                    point[k] = v
+        large.append(point)
+    if large:
+        entry["large_mcs"] = large
 
 spath = os.path.join(tmp, "service.json")
 if os.path.exists(spath):

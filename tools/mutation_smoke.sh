@@ -19,7 +19,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 scratch="${1:-$(mktemp -d /tmp/rfidsched-mutants.XXXXXX)}"
 mkdir -p "$scratch"
 
-# Two runs per tree, and a mutant is caught if either exits 5:
+# Four runs per tree, and a mutant is caught if any exits 5:
 #
 #  * a generated instance — small enough to build+run in seconds, big enough
 #    that every mutated code path executes.  GHC keeps the search cheap even
@@ -51,6 +51,11 @@ tag,3,8,1,103
 tag,4,8,-1,104
 EOF
 overlap_args="--load $overlap_csv --algo ghc --mode mcs --check"
+# The overlap deployment again, scheduled by the CSR reference referee.
+# Since PR9 the bitmap index drives weight evaluation by default, so a bug
+# confined to the CSR exactly-one path (e.g. drop-exactly-one) no longer
+# perturbs default-mode schedules; this run keeps that path observable.
+ref_args="--load $overlap_csv --algo ghc --mode mcs --check --ref-eval"
 
 # name|file|pattern|replacement  (POSIX basic regexps for sed/grep -c)
 mutants=(
@@ -59,6 +64,12 @@ mutants=(
   "csr-off-by-one|src/core/system.h|covr_off_\[static_cast<std::size_t>(t) + 1\]|covr_off_[static_cast<std::size_t>(t)]"
   "drop-mark-read|src/sched/mcs.cpp|    sys.markRead(served);|    // sys.markRead(served);"
   "churn-skip-covr-delta|src/core/system.cpp|  covrReplace(t, {});|  // covrReplace(t, {});"
+  # Bitmap desync: an arriving/moving tag that needs a fresh 64-tag block in
+  # its coverer's row gets a zero-bit entry — the bit is lost and a zero
+  # word is stored (canonical-form violation), so the CSR and bitmap
+  # referees drift apart, which the oracle's independently rebuilt bitmap
+  # fingerprint must flag.
+  "bitmap-desync-insert|src/core/system.cpp|bit_arena_\[--write\] = BitEntry{w, 0, mask};|bit_arena_[--write] = BitEntry{w, 0, 0};"
 )
 
 run_cli() {
@@ -77,29 +88,31 @@ build_and_check() {
     -DRFIDSCHED_BUILD_TESTS=OFF -DRFIDSCHED_BUILD_BENCH=OFF \
     -DRFIDSCHED_BUILD_EXAMPLES=OFF > /dev/null
   cmake --build "$tree/build" --target rfidsched_cli -j > /dev/null
-  local g1 g2 g3
+  local g1 g2 g3 g4
   g1=$(run_cli "$tree" "$gen_args")
   local why="$(tail -1 "$tree/stderr.txt")"
   g2=$(run_cli "$tree" "$overlap_args")
   [ "$g2" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
   g3=$(run_cli "$tree" "$stream_args")
   [ "$g3" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
-  case "$g1$g2$g3" in *[!05]*)
-    echo "FAIL [$label]: unexpected exits gen=$g1 overlap=$g2 stream=$g3" >&2
+  g4=$(run_cli "$tree" "$ref_args")
+  [ "$g4" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
+  case "$g1$g2$g3$g4" in *[!05]*)
+    echo "FAIL [$label]: unexpected exits gen=$g1 overlap=$g2 stream=$g3 ref=$g4" >&2
     sed 's/^/    /' "$tree/stderr.txt" >&2
     return 1
   esac
   if [ "$want" -eq 5 ]; then
-    if [ "$g1" -ne 5 ] && [ "$g2" -ne 5 ] && [ "$g3" -ne 5 ]; then
-      echo "FAIL [$label]: mutant escaped (gen=$g1 overlap=$g2 stream=$g3)" >&2
+    if [ "$g1" -ne 5 ] && [ "$g2" -ne 5 ] && [ "$g3" -ne 5 ] && [ "$g4" -ne 5 ]; then
+      echo "FAIL [$label]: mutant escaped (gen=$g1 overlap=$g2 stream=$g3 ref=$g4)" >&2
       return 1
     fi
-  elif [ "$g1" -ne 0 ] || [ "$g2" -ne 0 ] || [ "$g3" -ne 0 ]; then
-    echo "FAIL [$label]: clean tree flagged (gen=$g1 overlap=$g2 stream=$g3)" >&2
+  elif [ "$g1" -ne 0 ] || [ "$g2" -ne 0 ] || [ "$g3" -ne 0 ] || [ "$g4" -ne 0 ]; then
+    echo "FAIL [$label]: clean tree flagged (gen=$g1 overlap=$g2 stream=$g3 ref=$g4)" >&2
     sed 's/^/    /' "$tree/stderr.txt" >&2
     return 1
   fi
-  echo "ok   [$label]: gen=$g1 overlap=$g2 stream=$g3 ($why)"
+  echo "ok   [$label]: gen=$g1 overlap=$g2 stream=$g3 ref=$g4 ($why)"
 }
 
 copy_tree() {

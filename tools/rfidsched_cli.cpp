@@ -79,9 +79,12 @@
 //      replay divergence, journal write error)
 //   5  invariant violation detected by --check
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/svg.h"
@@ -192,8 +195,9 @@ void usage() {
       "                  schedule (mcs mode only)\n"
       "  --max-slots N   stop after N committed slots (mcs mode only)\n"
       "  --threads N     worker threads for parallel schedulers (0 = auto)\n"
-      "  --ref-eval      use the reference selection paths (same schedules,\n"
-      "                  no lazy/parallel speedups; for benchmarking)\n"
+      "  --ref-eval      use the reference selection paths and the CSR\n"
+      "                  reference weight referee (same schedules, no\n"
+      "                  lazy/parallel/bitmap speedups; for benchmarking)\n"
       "  --check         re-verify every slot from first principles (the\n"
       "                  invariant oracle, docs/testing.md); verdicts go to\n"
       "                  stderr, violations exit 5\n"
@@ -263,8 +267,28 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--resume") cli.resume = true;
     else if (a == "--deadline-ms" && (v = next())) cli.deadline_ms = std::atoi(v);
     else if (a == "--max-slots" && (v = next())) cli.max_slots = std::atoi(v);
-    else if (a == "--readers" && (v = next())) cli.readers = std::atoi(v);
-    else if (a == "--tags" && (v = next())) cli.tags = std::atoi(v);
+    else if (a == "--readers" && (v = next())) {
+      // 64-bit-safe parse: a value past int range must be rejected with the
+      // flag named, not wrapped into a small (or negative) count.
+      const long long x = std::strtoll(v, nullptr, 10);
+      if (x > std::numeric_limits<int>::max()) {
+        std::cerr << "invalid value for --readers: " << v
+                  << " exceeds the supported maximum "
+                  << std::numeric_limits<int>::max() << "\n";
+        return false;
+      }
+      cli.readers = static_cast<int>(x);
+    }
+    else if (a == "--tags" && (v = next())) {
+      const long long x = std::strtoll(v, nullptr, 10);
+      if (x > std::numeric_limits<int>::max()) {
+        std::cerr << "invalid value for --tags: " << v
+                  << " exceeds the supported maximum "
+                  << std::numeric_limits<int>::max() << "\n";
+        return false;
+      }
+      cli.tags = static_cast<int>(x);
+    }
     else if (a == "--side" && (v = next())) cli.side = std::atof(v);
     else if (a == "--lambda-R" && (v = next())) cli.lambda_R = std::atof(v);
     else if (a == "--lambda-r" && (v = next())) cli.lambda_r = std::atof(v);
@@ -380,18 +404,28 @@ int main(int argc, char** argv) {
   obs::CostLedger* cost = cli.cost_path.empty() ? nullptr : &ledger;
 
   core::System sys = [&]() -> core::System {
-    if (!cli.load_path.empty()) {
-      std::string err;
-      auto loaded = workload::loadDeploymentFile(cli.load_path, &err);
-      if (!loaded) {
-        std::cerr << "failed to load deployment from " << cli.load_path << ": "
-                  << err << "\n";
-        std::exit(2);
+    try {
+      if (!cli.load_path.empty()) {
+        std::string err;
+        auto loaded = workload::loadDeploymentFile(cli.load_path, &err);
+        if (!loaded) {
+          std::cerr << "failed to load deployment from " << cli.load_path
+                    << ": " << err << "\n";
+          std::exit(2);
+        }
+        return std::move(*loaded);
       }
-      return std::move(*loaded);
+      return workload::makeSystem(sc, cli.seed);
+    } catch (const std::length_error& e) {
+      // The coverage index would overflow its 32-bit arena offsets
+      // (core::System fails closed); surface the sizing math as bad usage.
+      std::cerr << "invalid --readers/--tags combination: " << e.what() << "\n";
+      std::exit(2);
     }
-    return workload::makeSystem(sc, cli.seed);
   }();
+  // --ref-eval switches the System referee to the CSR reference path too, so
+  // the flag exercises the whole reference stack (selection + weights).
+  sys.setReferenceEval(cli.ref_eval);
   sys.attachMetrics(metrics);
   if (!cli.save_path.empty()) {
     if (!workload::saveDeploymentFile(cli.save_path, sys)) {
