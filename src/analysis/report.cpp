@@ -702,6 +702,36 @@ std::string renderReport(const RunTelemetry& run, const ReportOptions& opt) {
     if (replays > 0) kv(os, "replay events", fmtI64(replays));
   }
 
+  // --- gen2 link layer -----------------------------------------------------
+  if (anyPrefixed(run.counters, "protocol.gen2.")) {
+    os << "\ngen2 link layer\n";
+    const auto seconds = [](double us) {
+      char buf[48];
+      const auto whole = static_cast<std::int64_t>(us) / 1000000;
+      const auto frac = static_cast<std::int64_t>(us) % 1000000;
+      std::snprintf(buf, sizeof(buf), "%lld.%06lld s",
+                    static_cast<long long>(whole), static_cast<long long>(frac));
+      return std::string(buf);
+    };
+    kv(os, "schedule length", seconds(run.counter("protocol.gen2.air_us")));
+    kv(os, "serial air-time",
+       seconds(run.counter("protocol.gen2.air_us_serial")));
+    const std::pair<const char*, const char*> gen2_rows[] = {
+        {"macro-slots", "protocol.gen2.macro_slots"},
+        {"micro-slots", "protocol.gen2.micro_slots"},
+        {"frames", "protocol.gen2.frames"},
+        {"tags identified", "protocol.gen2.tags_identified"},
+        {"fresh reads", "protocol.gen2.fresh_reads"},
+        {"session skips", "protocol.gen2.session_skips"},
+        {"stale repliers", "protocol.gen2.stale_repliers"},
+        {"double identifications", "protocol.gen2.double_identifications"},
+    };
+    for (const auto& [label, name] : gen2_rows) {
+      const auto it = run.counters.find(name);
+      if (it != run.counters.end()) kv(os, label, fmtDouble(it->second));
+    }
+  }
+
   // --- invariant oracle ----------------------------------------------------
   if (anyPrefixed(run.counters, "check.")) {
     os << "\ninvariant oracle\n";

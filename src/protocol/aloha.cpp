@@ -1,6 +1,7 @@
 #include "protocol/aloha.h"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 namespace rfid::protocol {
@@ -9,7 +10,10 @@ AlohaResult runAloha(int num_tags, workload::Rng& rng,
                      const AlohaOptions& opt) {
   AlohaResult res;
   int remaining = num_tags;
-  int frame = std::clamp(opt.initial_frame, opt.min_frame, opt.max_frame);
+  // Same floor-of-1 contract as the re-size rule below: caller-supplied
+  // bounds must never yield an F = 0 frame.
+  int frame = std::clamp(std::max(1, opt.initial_frame),
+                         std::max(1, opt.min_frame), std::max(1, opt.max_frame));
   std::vector<int> occupancy;
 
   while (remaining > 0 && res.frames < opt.max_frames) {
@@ -43,9 +47,16 @@ AlohaResult runAloha(int num_tags, workload::Rng& rng,
     }
 
     // Vogt's rule of thumb: a collision slot hides ≥ 2 tags on average, so
-    // the backlog estimate is 2·collisions; frame size tracks the backlog.
+    // the backlog estimate is 2·collisions; frame size tracks the backlog,
+    // rounded up to the next power of two (readers signal frame size as a
+    // Q exponent) and clamped to [min_frame, max_frame] with a floor of 1 —
+    // a zero-collision frame with tags remaining must never propose F = 0,
+    // which would loop on empty frames until max_frames.
     const int estimate = std::max(remaining > 0 ? 1 : 0, 2 * collisions);
-    frame = std::clamp(estimate, opt.min_frame, opt.max_frame);
+    const int pow2 = static_cast<int>(
+        std::bit_ceil(static_cast<unsigned>(std::max(1, estimate))));
+    frame = std::clamp(pow2, std::max(1, opt.min_frame),
+                       std::max(1, opt.max_frame));
   }
   res.completed = remaining == 0;
 

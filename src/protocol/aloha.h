@@ -44,8 +44,11 @@ struct AlohaResult {
 
 /// Runs framed ALOHA until all `num_tags` tags are identified (or the frame
 /// cap is hit).  Frame adaptation: the next frame size is the lowest-error
-/// Vogt estimate — 2·(collision slots of the previous frame) + remaining
-/// singletons' leftovers — clamped to [min_frame, max_frame].
+/// Vogt estimate — 2·(collision slots of the previous frame) — rounded up
+/// to the next power of two and clamped to [max(1, min_frame),
+/// max(1, max_frame)], so the frame size is always ≥ 1 regardless of
+/// caller-supplied bounds (a zero estimate can otherwise propose F = 0 and
+/// spin on empty frames until max_frames).
 AlohaResult runAloha(int num_tags, workload::Rng& rng,
                      const AlohaOptions& opt = {});
 

@@ -359,6 +359,7 @@ McsResult runCoveringSchedule(core::System& sys, OneShotScheduler& scheduler,
       }
     }
     sys.markRead(served);
+    if (opt.on_commit) opt.on_commit(res.slots, one.readers, served);
 
     SlotRecord rec;
     rec.active = one.readers;

@@ -23,6 +23,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "ckpt/budget.h"
@@ -122,6 +124,17 @@ struct McsOptions {
   /// reprobe_interval as this struct.  nullptr: the driver is bit-identical
   /// to the unchecked one.
   check::ScheduleValidator* validator = nullptr;
+  /// Commit hook (optional).  Called once per committed slot, after the
+  /// referee's verdict is applied (markRead) — arguments are the slot index,
+  /// the proposed active set, and the served tags.  Fires on replayed
+  /// resumes too (they recompute every slot through the same loop), so an
+  /// observer's totals match a fresh run.  The hook observes and must not
+  /// mutate the system; nullptr keeps the driver bit-identical to the
+  /// pre-hook one.  Used by the link-layer co-simulation (protocol/) to
+  /// consume slots online without sched depending on protocol.
+  std::function<void(int slot, std::span<const int> active,
+                     std::span<const int> served)>
+      on_commit;
 };
 
 /// Why runCoveringSchedule returned (kNone: natural termination — covered,

@@ -384,6 +384,7 @@ StreamingResult runStreamingMcs(core::System& sys, OneShotScheduler& scheduler,
       }
     }
     sys.markRead(served);
+    if (opt.on_commit) opt.on_commit(res.slots, one.readers, served);
     for (const int t : served) {
       latencies.push_back(now - arrival_slot[static_cast<std::size_t>(t)]);
     }

@@ -83,6 +83,13 @@ struct StreamingOptions {
   /// Wall-clock seconds one stream slot represents — only converts
   /// tags_read into the reported tags_per_sec, never drives control flow.
   double slot_seconds = 0.01;
+  /// Commit hook (optional) — the McsOptions::on_commit contract: called
+  /// once per committed busy slot after markRead, fires during journal
+  /// replay too, observes only.  The slot index counts busy slots (matches
+  /// StreamingResult::slots), not the stream clock.
+  std::function<void(int slot, std::span<const int> active,
+                     std::span<const int> served)>
+      on_commit;
 };
 
 struct StreamingResult {

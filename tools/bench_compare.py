@@ -95,6 +95,14 @@ STREAM_SUMMARY_KEYS = ("stream.backlog_peak", "stream.latency_p50",
 LARGE_KEYS = ("slots", "tags", "completed", "weight_evals", "work_units")
 LARGE_WALL_KEYS = ("build_ms", "wall_ms", "rss_mib")
 
+# Deterministic fields of the Gen2 link-variant points (bench/gen2_variants,
+# PR10): air-time, micro/macro slots, tags, and session skips depend only on
+# (deployment seed, link config) — the replay derives every draw from a
+# splittable RNG keyed by (seed, slot, reader).  double_id must STAY zero
+# (a round acking the same tag twice is the bug the self-check exists for)
+# and check must stay 1.
+GEN2_KEYS = ("air_us", "serial_us", "micro", "macro", "tags", "skips")
+
 # The fixed stream point --stream-record replays; must match the
 # parameters bench_record.sh passes to `rfidsched_cli --mode stream`.
 STREAM_POINT = ("--mode", "stream", "--algo", "alg2", "--readers", "200",
@@ -166,8 +174,57 @@ def compare(base_entry, cur_entry, threshold, wall_threshold):
     lf, lw, ll = compare_large(base_entry.get("large_mcs"),
                                cur_entry.get("large_mcs"),
                                threshold, wall_threshold)
-    return (failures + sf + tf + lf, warnings + sw + tw + lw,
-            lines + sl + tl + ll)
+    gf, gw, gl = compare_gen2(base_entry.get("gen2_variants"),
+                              cur_entry.get("gen2_variants"), threshold)
+    return (failures + sf + tf + lf + gf, warnings + sw + tw + lw + gw,
+            lines + sl + tl + ll + gl)
+
+
+def compare_gen2(base_pts, cur_pts, threshold):
+    """Gates the deterministic Gen2 link-variant points (exact-seed replay)."""
+    failures, warnings, lines = [], [], []
+    if not base_pts:
+        return failures, warnings, lines
+    if not cur_pts:
+        warnings.append("gen2_variants section missing from current run (skipped)")
+        return failures, warnings, lines
+    cur_by_key = {(p.get("variant"), p.get("seed")): p for p in cur_pts}
+    for bp in base_pts:
+        key = (bp.get("variant"), bp.get("seed"))
+        label = f"gen2 {key[0]} seed={key[1]}"
+        cp = cur_by_key.get(key)
+        if cp is None:
+            warnings.append(f"{label}: point missing from current run")
+            continue
+        # Zero-stays-zero: a double identification appearing is exactly the
+        # protocol bug the round-level self-check exists to catch.
+        if cp.get("double_id", 0) > bp.get("double_id", 0):
+            failures.append(f"{label}/double_id: {bp.get('double_id', 0)} -> "
+                            f"{cp.get('double_id')} (was zero)")
+            lines.append(f"  [FAIL] {label}/double_id: "
+                         f"{bp.get('double_id', 0)} -> {cp.get('double_id')}")
+        if bp.get("check", 1) == 1 and cp.get("check", 1) != 1:
+            failures.append(f"{label}/check: 1 -> {cp.get('check')}")
+            lines.append(f"  [FAIL] {label}/check: 1 -> {cp.get('check')}")
+        for name in GEN2_KEYS:
+            if name not in bp:
+                continue
+            if name not in cp:
+                warnings.append(f"{label}/{name}: not recorded by current run")
+                continue
+            b, c = bp[name], cp[name]
+            if b <= 0:
+                continue
+            growth = (c - b) / b
+            tag = "ok"
+            if growth > threshold:
+                tag = "FAIL"
+                failures.append(
+                    f"{label}/{name}: {b} -> {c} (+{growth:.1%} > {threshold:.0%})")
+            elif growth < 0:
+                tag = "improved"
+            lines.append(f"  [{tag}] {label}/{name}: {b} -> {c} ({growth:+.1%})")
+    return failures, warnings, lines
 
 
 def compare_large(base_pts, cur_pts, threshold, wall_threshold):
@@ -372,6 +429,15 @@ def selftest(base_entry, threshold, wall_threshold):
             if k != "completed" and isinstance(pt.get(k), (int, float)) and pt[k] > 0:
                 pt[k] = type(pt[k])(pt[k] * 1.05) + 1
                 touched += 1
+    for pt in seeded.get("gen2_variants", []):
+        for k in GEN2_KEYS:
+            if isinstance(pt.get(k), (int, float)) and pt[k] > 0:
+                pt[k] = type(pt[k])(pt[k] * 1.05) + 1
+                touched += 1
+        # Zero-stays-zero must have teeth for the double-ack counter too.
+        if pt.get("double_id") == 0:
+            pt["double_id"] = 1
+            touched += 1
     if touched == 0:
         print("selftest: baseline entry has no deterministic counters", file=sys.stderr)
         return False
@@ -399,6 +465,10 @@ def main():
                     help="re-run only the fixed streaming churn point "
                          "(rfidsched_cli --mode stream) and gate its "
                          "stream.*/check.* counters")
+    ap.add_argument("--gen2-record", metavar="BUILD_DIR",
+                    help="re-run only the Gen2 link-variant points "
+                         "(bench/gen2_variants) and gate their deterministic "
+                         "fields")
     ap.add_argument("--current", metavar="OUT_JSON",
                     help="compare an already-recorded document instead")
     ap.add_argument("--current-label", default="current")
@@ -423,12 +493,50 @@ def main():
         return 0 if selftest(base_entry, args.threshold, args.wall_threshold) else 1
 
     if sum(map(bool, (args.record, args.service_record, args.stream_record,
-                      args.current))) != 1:
+                      args.gen2_record, args.current))) != 1:
         print("give exactly one of --record BUILD_DIR / "
               "--service-record BUILD_DIR / --stream-record BUILD_DIR / "
-              "--current OUT.json",
+              "--gen2-record BUILD_DIR / --current OUT.json",
               file=sys.stderr)
         return 2
+
+    if args.gen2_record:
+        bench = os.path.join(args.gen2_record, "bench", "gen2_variants")
+        try:
+            raw = subprocess.check_output([bench, "2"], text=True)
+        except (OSError, subprocess.CalledProcessError) as e:
+            print(f"gen2 point failed: {e}", file=sys.stderr)
+            return 2
+        cur_pts = []
+        for line in raw.splitlines():
+            if not line.startswith("gen2point "):
+                continue
+            point = {}
+            for kv in line.split()[1:]:
+                k, _, v = kv.partition("=")
+                try:
+                    point[k] = int(v)
+                except ValueError:
+                    point[k] = v
+            cur_pts.append(point)
+        failures, warnings, lines = compare_gen2(
+            base_entry.get("gen2_variants"), cur_pts, args.threshold)
+        print(f"bench_compare (gen2 points): {args.baseline}"
+              f"[{args.baseline_label}]")
+        for line in lines:
+            print(line)
+        for w in warnings:
+            print(f"warning: {w}")
+        if not lines and not failures:
+            print("warning: baseline has no gen2_variants section — "
+                  "nothing gated", file=sys.stderr)
+        if failures:
+            print(f"\nFAIL: {len(failures)} gen2 counter(s) regressed:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("\nPASS: gen2 link-variant counters match the baseline")
+        return 0
 
     if args.stream_record:
         cli = os.path.join(args.stream_record, "tools", "rfidsched_cli")

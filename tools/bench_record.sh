@@ -113,6 +113,20 @@ else
   echo "== stream point: unsupported by this binary, skipped =="
 fi
 
+# Gen2 link-variant point (PR10): a fixed Alg2 schedule replayed under every
+# link model.  Each `gen2point` line is fully deterministic in (deployment
+# seed, link config) — air_us / micro / macro / tags / skips are exact-match
+# gated by tools/bench_compare.py and double_id is zero-stays-zero.
+GEN2="$BUILD_DIR/bench/gen2_variants"
+if [ -x "$GEN2" ]; then
+  echo "== gen2 link variants (2 seeds) =="
+  "$GEN2" 2 > "$TMP/gen2.txt"
+  grep '^gen2point ' "$TMP/gen2.txt" || true
+  tail -2 "$TMP/gen2.txt"
+else
+  echo "== gen2 variants: bench not built, skipped =="
+fi
+
 python3 - "$TMP" "$LABEL" "$OUT" <<'EOF'
 import json, re, sys, os
 tmp, label, out = sys.argv[1], sys.argv[2], sys.argv[3]
@@ -208,6 +222,23 @@ if os.path.exists(smpath):
                 "total": total,
             }
     entry["stream_churn"] = stream
+
+gpath = os.path.join(tmp, "gen2.txt")
+if os.path.exists(gpath):
+    points = []
+    for line in open(gpath):
+        if not line.startswith("gen2point "):
+            continue
+        point = {}
+        for kv in line.split()[1:]:
+            k, _, v = kv.partition("=")
+            try:
+                point[k] = int(v)
+            except ValueError:
+                point[k] = v
+        points.append(point)
+    if points:
+        entry["gen2_variants"] = points
 
 doc = {}
 if os.path.exists(out):

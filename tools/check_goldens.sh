@@ -54,12 +54,19 @@ sed -E 's/"([a-zA-Z0-9_.]+_us)": \{[^}]*\}/"\1": {}/' \
 "$report" --metrics metrics.json --jsonl events.jsonl --cost cost.json \
   --mask-wall > report.txt
 
+# The same canonical run replayed under the Gen2 link (PR10): air-time is
+# integer-microsecond arithmetic over splittable-RNG draws, so stdout —
+# including the seconds-denominated schedule length — is byte-stable.
+"$cli" --load "$golden/deploy.csv" --algo alg2 --mode mcs --check \
+  --threads 1 --link gen2 > gen2_stdout.txt
+
 if [ "$mode" = "--update" ]; then
   cp stdout.txt "$golden/cli_stdout.txt"
   cp metrics.normalized.json "$golden/cli_metrics.json"
   cp events.normalized.jsonl "$golden/cli_events.jsonl"
   cp cost.json "$golden/cli_cost.json"
   cp report.txt "$golden/cli_report.txt"
+  cp gen2_stdout.txt "$golden/cli_gen2_stdout.txt"
   echo "goldens updated in $golden"
   exit 0
 fi
@@ -69,7 +76,8 @@ for pair in "stdout.txt cli_stdout.txt" \
             "metrics.normalized.json cli_metrics.json" \
             "events.normalized.jsonl cli_events.jsonl" \
             "cost.json cli_cost.json" \
-            "report.txt cli_report.txt"; do
+            "report.txt cli_report.txt" \
+            "gen2_stdout.txt cli_gen2_stdout.txt"; do
   set -- $pair
   if ! diff -u "$golden/$2" "$1"; then
     echo "golden mismatch: $2 (ran: $1)" >&2

@@ -56,6 +56,10 @@ overlap_args="--load $overlap_csv --algo ghc --mode mcs --check"
 # confined to the CSR exactly-one path (e.g. drop-exactly-one) no longer
 # perturbs default-mode schedules; this run keeps that path observable.
 ref_args="--load $overlap_csv --algo ghc --mode mcs --check --ref-eval"
+# A Gen2 link-layer replay (PR10): the co-simulation self-checks fresh-read
+# accounting, double acks, and session-persistence windows, escalated to
+# exit 5 under --check.  Only this run executes src/protocol/gen2.cpp.
+gen2_args="--algo ghc --mode mcs --readers 25 --tags 300 --side 70 --seed 11 --check --link gen2"
 
 # name|file|pattern|replacement  (POSIX basic regexps for sed/grep -c)
 mutants=(
@@ -70,6 +74,14 @@ mutants=(
   # referees drift apart, which the oracle's independently rebuilt bitmap
   # fingerprint must flag.
   "bitmap-desync-insert|src/core/system.cpp|bit_arena_\[--write\] = BitEntry{w, 0, mask};|bit_arena_[--write] = BitEntry{w, 0, 0};"
+  # Gen2 session amnesia: acked tags never set their inventoried flag, so an
+  # S2 tag covered in a later macro-slot replies and is re-identified inside
+  # its persistence window — the link replay's persistence check exits 5.
+  "gen2-skip-session-ack|src/protocol/gen2.cpp|          session.onAck(t, macro_slot, target);|          // session.onAck(t, macro_slot, target);"
+  # Gen2 MPR off-by-one: a singleton slot (occupancy 1 vs k=1) classifies as
+  # a collision, so no tag is ever identified; the round burns its frame cap,
+  # reports incomplete, and the replay check exits 5.  Deterministic, no UB.
+  "gen2-mpr-threshold-off|src/protocol/gen2.cpp|static_cast<int>(b.size()) <= k|static_cast<int>(b.size()) < k"
 )
 
 run_cli() {
@@ -88,7 +100,7 @@ build_and_check() {
     -DRFIDSCHED_BUILD_TESTS=OFF -DRFIDSCHED_BUILD_BENCH=OFF \
     -DRFIDSCHED_BUILD_EXAMPLES=OFF > /dev/null
   cmake --build "$tree/build" --target rfidsched_cli -j > /dev/null
-  local g1 g2 g3 g4
+  local g1 g2 g3 g4 g5
   g1=$(run_cli "$tree" "$gen_args")
   local why="$(tail -1 "$tree/stderr.txt")"
   g2=$(run_cli "$tree" "$overlap_args")
@@ -97,22 +109,24 @@ build_and_check() {
   [ "$g3" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
   g4=$(run_cli "$tree" "$ref_args")
   [ "$g4" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
-  case "$g1$g2$g3$g4" in *[!05]*)
-    echo "FAIL [$label]: unexpected exits gen=$g1 overlap=$g2 stream=$g3 ref=$g4" >&2
+  g5=$(run_cli "$tree" "$gen2_args")
+  [ "$g5" -eq 5 ] && why="$(tail -1 "$tree/stderr.txt")"
+  case "$g1$g2$g3$g4$g5" in *[!05]*)
+    echo "FAIL [$label]: unexpected exits gen=$g1 overlap=$g2 stream=$g3 ref=$g4 gen2=$g5" >&2
     sed 's/^/    /' "$tree/stderr.txt" >&2
     return 1
   esac
   if [ "$want" -eq 5 ]; then
-    if [ "$g1" -ne 5 ] && [ "$g2" -ne 5 ] && [ "$g3" -ne 5 ] && [ "$g4" -ne 5 ]; then
-      echo "FAIL [$label]: mutant escaped (gen=$g1 overlap=$g2 stream=$g3 ref=$g4)" >&2
+    if [ "$g1" -ne 5 ] && [ "$g2" -ne 5 ] && [ "$g3" -ne 5 ] && [ "$g4" -ne 5 ] && [ "$g5" -ne 5 ]; then
+      echo "FAIL [$label]: mutant escaped (gen=$g1 overlap=$g2 stream=$g3 ref=$g4 gen2=$g5)" >&2
       return 1
     fi
-  elif [ "$g1" -ne 0 ] || [ "$g2" -ne 0 ] || [ "$g3" -ne 0 ] || [ "$g4" -ne 0 ]; then
-    echo "FAIL [$label]: clean tree flagged (gen=$g1 overlap=$g2 stream=$g3 ref=$g4)" >&2
+  elif [ "$g1" -ne 0 ] || [ "$g2" -ne 0 ] || [ "$g3" -ne 0 ] || [ "$g4" -ne 0 ] || [ "$g5" -ne 0 ]; then
+    echo "FAIL [$label]: clean tree flagged (gen=$g1 overlap=$g2 stream=$g3 ref=$g4 gen2=$g5)" >&2
     sed 's/^/    /' "$tree/stderr.txt" >&2
     return 1
   fi
-  echo "ok   [$label]: gen=$g1 overlap=$g2 stream=$g3 ref=$g4 ($why)"
+  echo "ok   [$label]: gen=$g1 overlap=$g2 stream=$g3 ref=$g4 gen2=$g5 ($why)"
 }
 
 copy_tree() {

@@ -81,9 +81,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <span>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -101,6 +104,8 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "protocol/gen2.h"
+#include "protocol/slot_timing.h"
 #include "sched/channels.h"
 #include "sched/exact.h"
 #include "sched/growth.h"
@@ -160,6 +165,15 @@ struct Cli {
   int shed_after = 0;           // shed tags unread for more slots (0=off)
   std::string shed_policy = "newest";  // newest|largest
   int oracle_every = 64;        // index-oracle cadence in structural epochs
+  // Link-layer co-simulation (docs/protocol.md).  "unit" is the paper's
+  // unit-cost slot and leaves every output byte-identical to a pre-link run.
+  std::string link = "unit";         // unit|aloha|tree|gen2
+  int gen2_q0 = 4;                   // initial Q (frame 2^Q)
+  double gen2_c = 0.3;               // Q-algorithm step
+  std::string gen2_session = "s2";   // s0|s1|s2|s3
+  int gen2_mpr = 1;                  // MPR capability (<=1 = plain Gen2)
+  int gen2_persistence = 16;         // S2/S3 flag persistence (macro-slots)
+  std::string gen2_policy = "qalg";  // qalg|afsa
 };
 
 void usage() {
@@ -222,6 +236,22 @@ void usage() {
       "                  geometry every N structural epochs (default 64;\n"
       "                  --check=paranoid verifies every iteration)\n"
       "\n"
+      "link-layer co-simulation (docs/protocol.md):\n"
+      "  --link L          unit|aloha|tree|gen2 (default unit = the paper's\n"
+      "                  unit-cost slot, output unchanged).  mcs mode replays\n"
+      "                  the schedule under the link model and reports the\n"
+      "                  seconds-denominated schedule length; stream mode\n"
+      "                  co-simulates gen2 online.  Incompatible with --fault\n"
+      "  --gen2-q0 N       initial Q, frame size 2^Q (default 4)\n"
+      "  --gen2-c X        Q-algorithm step C in (0,1] (default 0.3)\n"
+      "  --gen2-session S  s0|s1|s2|s3 (default s2; s2/s3 flags persist\n"
+      "                  across macro-slots so inventoried tags cost nothing)\n"
+      "  --gen2-mpr K      resolve up to K colliding replies per micro-slot\n"
+      "                  (default 1 = plain single-reply Gen2)\n"
+      "  --gen2-persistence N  s2/s3 flag persistence in macro-slots\n"
+      "                  (default 16)\n"
+      "  --gen2-policy P   qalg|afsa Q-adaptation policy (default qalg)\n"
+      "\n"
       "exit codes: 0 success; 2 bad usage; 3 interrupted by budget\n"
       "            (--deadline-ms/--max-slots); 4 checkpoint integrity\n"
       "            failure; 5 invariant violation (--check)\n";
@@ -244,7 +274,9 @@ bool parse(int argc, char** argv, Cli& cli) {
           "--arrival-rate", "--depart-rate", "--move-rate", "--stream-slots",
           "--burst", "--burst-enter", "--burst-exit", "--churn",
           "--save-churn", "--max-backlog", "--shed-after", "--shed-policy",
-          "--oracle-every"};
+          "--oracle-every", "--link", "--gen2-q0", "--gen2-c",
+          "--gen2-session", "--gen2-mpr", "--gen2-persistence",
+          "--gen2-policy"};
       for (const char* f : flags) {
         if (a == f) return true;
       }
@@ -311,6 +343,13 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--shed-after" && (v = next())) cli.shed_after = std::atoi(v);
     else if (a == "--shed-policy" && (v = next())) cli.shed_policy = v;
     else if (a == "--oracle-every" && (v = next())) cli.oracle_every = std::atoi(v);
+    else if (a == "--link" && (v = next())) cli.link = v;
+    else if (a == "--gen2-q0" && (v = next())) cli.gen2_q0 = std::atoi(v);
+    else if (a == "--gen2-c" && (v = next())) cli.gen2_c = std::atof(v);
+    else if (a == "--gen2-session" && (v = next())) cli.gen2_session = v;
+    else if (a == "--gen2-mpr" && (v = next())) cli.gen2_mpr = std::atoi(v);
+    else if (a == "--gen2-persistence" && (v = next())) cli.gen2_persistence = std::atoi(v);
+    else if (a == "--gen2-policy" && (v = next())) cli.gen2_policy = v;
     else if (a == "--ref-eval") cli.ref_eval = true;
     else if (a == "--check") cli.check = true;
     else if (a == "--check=paranoid") {
@@ -366,7 +405,80 @@ bool parse(int argc, char** argv, Cli& cli) {
     return reject("--shed-policy", "must be newest or largest");
   }
   if (cli.oracle_every < 0) return reject("--oracle-every", "must be >= 0");
+  if (cli.link != "unit" && cli.link != "aloha" && cli.link != "tree" &&
+      cli.link != "gen2") {
+    return reject("--link", "must be unit, aloha, tree, or gen2");
+  }
+  if (cli.gen2_q0 < 0 || cli.gen2_q0 > 15) {
+    return reject("--gen2-q0", "must be in [0, 15]");
+  }
+  if (cli.gen2_c <= 0.0 || cli.gen2_c > 1.0) {
+    return reject("--gen2-c", "must be in (0, 1]");
+  }
+  if (cli.gen2_session != "s0" && cli.gen2_session != "s1" &&
+      cli.gen2_session != "s2" && cli.gen2_session != "s3") {
+    return reject("--gen2-session", "must be s0, s1, s2, or s3");
+  }
+  if (cli.gen2_mpr < 0) return reject("--gen2-mpr", "must be >= 0");
+  if (cli.gen2_persistence < 0) {
+    return reject("--gen2-persistence", "must be >= 0");
+  }
+  if (cli.gen2_policy != "qalg" && cli.gen2_policy != "afsa") {
+    return reject("--gen2-policy", "must be qalg or afsa");
+  }
+  if (cli.link != "unit") {
+    if (cli.mode == "oneshot") {
+      return reject("--link", "only applies to --mode mcs or stream");
+    }
+    if (cli.mode == "stream" && cli.link != "gen2") {
+      return reject("--link",
+                    "stream mode co-simulates only gen2 (mcs mode also "
+                    "replays aloha/tree)");
+    }
+    if (!cli.fault_path.empty()) {
+      return reject("--link",
+                    "cannot co-simulate a fault-injected run (the schedule "
+                    "records proposed sets, not faulted executions)");
+    }
+  }
   return true;
+}
+
+/// Integer-microsecond air time as "S.UUUUUU" seconds — pure integer
+/// arithmetic, so the printed schedule length is bit-identical everywhere.
+std::string secondsStr(std::int64_t us) {
+  std::ostringstream os;
+  os << us / 1000000 << '.' << std::setw(6) << std::setfill('0')
+     << us % 1000000;
+  return os.str();
+}
+
+rfid::protocol::Gen2Options buildGen2Options(const Cli& cli) {
+  using rfid::protocol::Gen2Policy;
+  using rfid::protocol::Gen2Session;
+  rfid::protocol::Gen2Options o;
+  o.q0 = cli.gen2_q0;
+  o.c = cli.gen2_c;
+  o.mpr_k = cli.gen2_mpr;
+  o.persistence = cli.gen2_persistence;
+  o.policy = cli.gen2_policy == "afsa" ? Gen2Policy::kAfsa
+                                       : Gen2Policy::kQAlgorithm;
+  if (cli.gen2_session == "s0") o.session = Gen2Session::kS0;
+  else if (cli.gen2_session == "s1") o.session = Gen2Session::kS1;
+  else if (cli.gen2_session == "s3") o.session = Gen2Session::kS3;
+  else o.session = Gen2Session::kS2;
+  return o;
+}
+
+std::string linkConfigStr(const Cli& cli) {
+  std::ostringstream os;
+  os << cli.link;
+  if (cli.link == "gen2") {
+    os << "[q0=" << cli.gen2_q0 << " c=" << cli.gen2_c << " session="
+       << cli.gen2_session << " mpr=" << cli.gen2_mpr << " policy="
+       << cli.gen2_policy << "]";
+  }
+  return os.str();
 }
 
 }  // namespace
@@ -598,6 +710,9 @@ int main(int argc, char** argv) {
 
   bool interrupted = false;
   bool check_failed = false;
+  // Gen2 link co-simulation verdict (empty = ok); escalates to exit 5
+  // under --check, a warning otherwise.
+  std::string link_fail_detail;
   if (cli.mode == "oneshot") {
     obs::ScopedTimer run_span(metrics, "cli.run_us", trace, "cli.oneshot");
     const sched::OneShotResult res = scheduler->schedule(sys);
@@ -692,6 +807,28 @@ int main(int argc, char** argv) {
     if (res.schedule.size() > 25) {
       std::cout << "  ... (" << res.schedule.size() - 25 << " more slots)\n";
     }
+    if (cli.link != "unit") {
+      // Replay the committed schedule under the selected link model and
+      // convert macro-slots into air-time (docs/protocol.md).  The replay
+      // re-marks the system's read-state, which nothing below consumes.
+      protocol::LinkOptions lo;
+      protocol::parseLink(cli.link, lo.link);
+      lo.gen2 = buildGen2Options(cli);
+      lo.metrics = metrics;
+      const protocol::LinkTimingResult lt = protocol::timeScheduleLink(
+          sys, res, lo, workload::Rng(cli.seed).split("link"));
+      std::cout << "link " << linkConfigStr(cli) << ": schedule "
+                << secondsStr(lt.air_us) << " s air-time (serial "
+                << secondsStr(lt.air_us_serial) << " s), " << lt.micro_slots
+                << " micro-slots over " << lt.macro_slots << " macro-slots\n";
+      if (lo.link == protocol::Link::kGen2) {
+        std::cout << "gen2: " << lt.tags_read << " fresh reads, "
+                  << lt.stale_repliers << " stale repliers, "
+                  << lt.session_skips << " session skips, " << lt.frames
+                  << " frames\n";
+        if (!lt.check_ok) link_fail_detail = lt.check_detail;
+      }
+    }
   } else if (cli.mode == "stream") {
     workload::ChurnTrace churn;
     if (!cli.churn_path.empty()) {
@@ -744,6 +881,18 @@ int main(int argc, char** argv) {
     }
     if (cli.max_slots > 0) budget.setSlotCap(cli.max_slots);
     st_opt.budget = &budget;
+    // Online gen2 co-simulation rides the driver's commit hook — every
+    // committed busy slot (including replayed ones on resume) is arbitrated
+    // as it lands, with session flags carried across slots.
+    std::unique_ptr<protocol::Gen2LinkTimer> link_timer;
+    if (cli.link == "gen2") {
+      link_timer = std::make_unique<protocol::Gen2LinkTimer>(
+          sys, buildGen2Options(cli), workload::Rng(cli.seed).split("link"));
+      st_opt.on_commit = [&link_timer](int slot, std::span<const int> active,
+                                       std::span<const int> served) {
+        link_timer->onSlot(slot, active, served);
+      };
+    }
     ckpt::CheckpointSetup setup;
     setup.path = cli.ckpt_path;
     setup.resume = cli.resume;
@@ -787,6 +936,18 @@ int main(int argc, char** argv) {
     std::cout << "service: latency p50 " << res.latency_p50 << " / p99 "
               << res.latency_p99 << " slots, " << res.tags_per_sec
               << " tags/sec\n";
+    if (link_timer != nullptr) {
+      const protocol::LinkTimingResult& lt = link_timer->result();
+      link_timer->flushMetrics(metrics);
+      std::cout << "link " << linkConfigStr(cli) << ": schedule "
+                << secondsStr(lt.air_us) << " s air-time (serial "
+                << secondsStr(lt.air_us_serial) << " s), " << lt.micro_slots
+                << " micro-slots over " << lt.macro_slots << " busy slots\n";
+      std::cout << "gen2: " << lt.identified << " tags identified, "
+                << lt.session_skips << " session skips, " << lt.frames
+                << " frames\n";
+      if (!lt.check_ok) link_fail_detail = lt.check_detail;
+    }
     if (oracle.checks() > 0 || oracle.divergences() > 0) {
       std::cerr << "index oracle: " << oracle.checks() << " checks, "
                 << oracle.divergences() << " divergences, " << oracle.heals()
@@ -808,6 +969,15 @@ int main(int argc, char** argv) {
   }
 
   if (const int rc = flushTelemetry(); rc != 0) return rc;
+  if (!link_fail_detail.empty()) {
+    // Gen2 co-simulation invariants (round completion, no double acks, no
+    // re-identification inside the persistence window) are part of the
+    // --check contract; without --check they still warn.
+    std::cerr << "check: "
+              << (cli.check ? "FAILED — " : "warning (link, unchecked) — ")
+              << link_fail_detail << "\n";
+    if (cli.check) return 5;
+  }
   if (cli.check) {
     if (check_failed) {
       if (cli.mode == "stream") {
